@@ -1,0 +1,374 @@
+//! `ext-bst-locks`: an external (leaf-oriented) binary search tree with
+//! per-node locks and optimistic lock-free searches, following the
+//! asynchronized-concurrency recipe of David, Guerraoui & Trigonakis
+//! (ASPLOS 2015).
+//!
+//! * Keys live only in leaves; internal nodes carry routing keys and are
+//!   immutable except for their child pointers.
+//! * Searches never take locks and never retry.
+//! * An insert locks the parent of the reached leaf, validates that nothing
+//!   changed, and replaces the leaf with a small subtree of three nodes.
+//! * A delete locks the grandparent and parent, validates, splices the
+//!   parent out (replacing it with the leaf's sibling) and marks the removed
+//!   nodes.  Locks are always taken ancestor-first, so there is no deadlock.
+//!
+//! Removed nodes are reclaimed through epoch-based reclamation, since
+//! searches may still be traversing them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam_epoch::Guard;
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+use parking_lot::Mutex;
+
+const NIL: u64 = 0;
+/// Sentinel key larger than any user key.
+const KEY_INF1: u64 = u64::MAX - 1;
+/// Sentinel key larger than [`KEY_INF1`].
+const KEY_INF2: u64 = u64::MAX;
+
+struct Node {
+    key: u64,
+    val: u64,
+    /// Child pointers (NIL for leaves).
+    left: AtomicU64,
+    right: AtomicU64,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+}
+
+impl Node {
+    fn leaf(key: u64, val: u64) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            left: AtomicU64::new(NIL),
+            right: AtomicU64::new(NIL),
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+        }))
+    }
+
+    fn internal(key: u64, left: u64, right: u64) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val: 0,
+            left: AtomicU64::new(left),
+            right: AtomicU64::new(right),
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+        }))
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left.load(Ordering::Acquire) == NIL && self.right.load(Ordering::Acquire) == NIL
+    }
+}
+
+#[inline]
+fn ptr_to_word(ptr: *const Node) -> u64 {
+    ptr as usize as u64
+}
+
+#[inline]
+unsafe fn word_to_ref<'g>(word: u64, _guard: &'g Guard) -> &'g Node {
+    unsafe { &*(word as usize as *const Node) }
+}
+
+/// Retire a node through the epoch collector.
+unsafe fn retire(word: u64, guard: &Guard) {
+    unsafe { guard.defer_unchecked(move || drop(Box::from_raw(word as usize as *mut Node))) };
+}
+
+/// The external BST with per-node locks (`ext-bst-locks`).
+pub struct TicketBst {
+    root: *mut Node,
+    retries: AtomicU64,
+}
+
+unsafe impl Send for TicketBst {}
+unsafe impl Sync for TicketBst {}
+
+impl Default for TicketBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct SearchResult<'g> {
+    gparent: &'g Node,
+    parent: &'g Node,
+    leaf: &'g Node,
+}
+
+impl TicketBst {
+    /// Create an empty tree (three sentinel nodes).
+    pub fn new() -> Self {
+        let leaf_inf1 = Node::leaf(KEY_INF1, 0);
+        let leaf_inf2 = Node::leaf(KEY_INF2, 0);
+        let root = Node::internal(KEY_INF2, ptr_to_word(leaf_inf1), ptr_to_word(leaf_inf2));
+        TicketBst { root, retries: AtomicU64::new(0) }
+    }
+
+    /// Number of update retries caused by failed validation.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lock-free traversal to the leaf responsible for `key`.
+    fn search<'g>(&self, key: u64, guard: &'g Guard) -> SearchResult<'g> {
+        let root: &Node = unsafe { &*self.root };
+        let mut gparent = root;
+        let mut parent = root;
+        let mut curr: &Node =
+            unsafe { word_to_ref(root.left.load(Ordering::Acquire), guard) };
+        while !curr.is_leaf() {
+            gparent = parent;
+            parent = curr;
+            let next = if key < curr.key {
+                curr.left.load(Ordering::Acquire)
+            } else {
+                curr.right.load(Ordering::Acquire)
+            };
+            curr = unsafe { word_to_ref(next, guard) };
+        }
+        SearchResult { gparent, parent, leaf: curr }
+    }
+
+    /// Which child word of `parent` currently points at `child_word`?
+    /// Returns `None` if neither does (validation failure).
+    fn child_slot<'g>(parent: &'g Node, child_word: u64) -> Option<&'g AtomicU64> {
+        if parent.left.load(Ordering::Acquire) == child_word {
+            Some(&parent.left)
+        } else if parent.right.load(Ordering::Acquire) == child_word {
+            Some(&parent.right)
+        } else {
+            None
+        }
+    }
+
+    fn insert_impl(&self, key: u64, val: u64) -> bool {
+        debug_assert!(key < KEY_INF1);
+        loop {
+            let guard = crossbeam_epoch::pin();
+            let res = self.search(key, &guard);
+            if res.leaf.key == key {
+                return false;
+            }
+            let parent = res.parent;
+            let leaf_word = ptr_to_word(res.leaf as *const Node);
+            let _plock = parent.lock.lock();
+            if parent.marked.load(Ordering::Acquire) {
+                self.note_retry();
+                continue;
+            }
+            let slot = match Self::child_slot(parent, leaf_word) {
+                Some(s) => s,
+                None => {
+                    self.note_retry();
+                    continue;
+                }
+            };
+            // Replace the leaf with an internal routing node whose children
+            // are the old leaf and the new leaf, ordered by key.
+            let new_leaf = Node::leaf(key, val);
+            let (router_key, left, right) = if key < res.leaf.key {
+                (res.leaf.key, ptr_to_word(new_leaf), leaf_word)
+            } else {
+                (key, leaf_word, ptr_to_word(new_leaf))
+            };
+            let new_internal = Node::internal(router_key, left, right);
+            slot.store(ptr_to_word(new_internal), Ordering::Release);
+            return true;
+        }
+    }
+
+    fn remove_impl(&self, key: u64) -> bool {
+        debug_assert!(key < KEY_INF1);
+        loop {
+            let guard = crossbeam_epoch::pin();
+            let res = self.search(key, &guard);
+            if res.leaf.key != key {
+                return false;
+            }
+            let gparent = res.gparent;
+            let parent = res.parent;
+            let leaf_word = ptr_to_word(res.leaf as *const Node);
+            let parent_word = ptr_to_word(parent as *const Node);
+            // Ancestor-first locking: grandparent, then parent.
+            let _glock = gparent.lock.lock();
+            let _plock = parent.lock.lock();
+            if gparent.marked.load(Ordering::Acquire) || parent.marked.load(Ordering::Acquire) {
+                self.note_retry();
+                continue;
+            }
+            let gslot = match Self::child_slot(gparent, parent_word) {
+                Some(s) => s,
+                None => {
+                    self.note_retry();
+                    continue;
+                }
+            };
+            let sibling = if parent.left.load(Ordering::Acquire) == leaf_word {
+                parent.right.load(Ordering::Acquire)
+            } else if parent.right.load(Ordering::Acquire) == leaf_word {
+                parent.left.load(Ordering::Acquire)
+            } else {
+                self.note_retry();
+                continue;
+            };
+            parent.marked.store(true, Ordering::Release);
+            res.leaf.marked.store(true, Ordering::Release);
+            gslot.store(sibling, Ordering::Release);
+            unsafe {
+                retire(parent_word, &guard);
+                retire(leaf_word, &guard);
+            }
+            return true;
+        }
+    }
+
+    fn get_impl(&self, key: u64) -> Option<u64> {
+        let guard = crossbeam_epoch::pin();
+        let res = self.search(key, &guard);
+        if res.leaf.key == key {
+            Some(res.leaf.val)
+        } else {
+            None
+        }
+    }
+
+    fn stats_impl(&self) -> MapStats {
+        let mut stats = MapStats::default();
+        let root: &Node = unsafe { &*self.root };
+        let mut stack: Vec<(u64, u64)> = vec![(ptr_to_word(root), 0)];
+        while let Some((word, depth)) = stack.pop() {
+            let node = unsafe { &*(word as usize as *const Node) };
+            stats.node_count += 1;
+            stats.approx_bytes += std::mem::size_of::<Node>() as u64;
+            if node.is_leaf() {
+                if node.key < KEY_INF1 {
+                    stats.key_count += 1;
+                    stats.key_sum += node.key as u128;
+                    stats.key_depth_sum += depth;
+                }
+            } else {
+                stack.push((node.left.load(Ordering::Acquire), depth + 1));
+                stack.push((node.right.load(Ordering::Acquire), depth + 1));
+            }
+        }
+        stats
+    }
+
+    /// Quiescent invariant check: external-BST routing property (left subtree
+    /// keys < routing key ≤ right subtree keys) and no reachable marked node.
+    pub fn check_invariants(&self) {
+        // `low` is inclusive, `high` is exclusive (u128 so that the +inf
+        // sentinel leaf has a representable upper bound).
+        fn walk(word: u64, low: u128, high: u128) {
+            let node = unsafe { &*(word as usize as *const Node) };
+            assert!(!node.marked.load(Ordering::Acquire), "reachable node is marked");
+            if node.is_leaf() {
+                let key = node.key as u128;
+                assert!(key >= low && key < high, "leaf {} outside [{low},{high})", node.key);
+                return;
+            }
+            walk(node.left.load(Ordering::Acquire), low, node.key as u128);
+            walk(node.right.load(Ordering::Acquire), node.key as u128, high);
+        }
+        walk(ptr_to_word(unsafe { &*self.root }), 0, u64::MAX as u128 + 1);
+    }
+}
+
+impl ConcurrentMap for TicketBst {
+    fn name(&self) -> &'static str {
+        "ext-bst-locks"
+    }
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        self.get_impl(key).is_some()
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.get_impl(key)
+    }
+    fn stats(&self) -> MapStats {
+        self.stats_impl()
+    }
+}
+
+impl Drop for TicketBst {
+    fn drop(&mut self) {
+        let mut work = vec![ptr_to_word(self.root)];
+        while let Some(word) = work.pop() {
+            if word == NIL {
+                continue;
+            }
+            let ptr = word as usize as *mut Node;
+            let node = unsafe { &*ptr };
+            work.push(node.left.load(Ordering::Acquire));
+            work.push(node.right.load(Ordering::Acquire));
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapapi::stress::{prefill, stress_disjoint_stripes, stress_keysum};
+    use mapapi::suites::*;
+    use std::time::Duration;
+
+    #[test]
+    fn basic_semantics() {
+        check_basic_semantics(&TicketBst::new());
+    }
+
+    #[test]
+    fn ordered_patterns() {
+        let t = TicketBst::new();
+        check_ordered_patterns(&t);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn random_vs_oracle() {
+        let t = TicketBst::new();
+        check_random_against_oracle(&t, 6000, 128, 0xD00D);
+        check_stats_consistency(&t, 128);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stripes_stress() {
+        let t = TicketBst::new();
+        stress_disjoint_stripes(&t, 4, 300);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn keysum_stress_mixed() {
+        let t = TicketBst::new();
+        prefill(&t, 512, 256, 4);
+        stress_keysum(&t, 4, 512, 40, Duration::from_millis(300), 6);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn keysum_stress_update_heavy() {
+        let t = TicketBst::new();
+        prefill(&t, 64, 32, 4);
+        stress_keysum(&t, 4, 64, 100, Duration::from_millis(300), 60);
+        t.check_invariants();
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 1 (micro): per-operation cost of the balanced trees under the
+//! 10%-update workload (PathCAS AVL vs the TM-based AVL trees).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 20_000;
+    let mut g = c.benchmark_group("fig1_avl_vs_tm_10pct_updates");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    for name in ["int-avl-pathcas", "int-avl-norec", "int-avl-tl2", "int-avl-tle"] {
+        let map = bench::prefilled(name, key_range);
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                bench::run_ops(&map, key_range, 10, 1_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 3, top row (micro): unbalanced BSTs at 1%, 10% and 100% updates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 50_000;
+    for pct in [1u32, 10, 100] {
+        let mut g = c.benchmark_group(format!("fig3_unbalanced_{pct}pct_updates"));
+        g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+        for name in ["int-bst-pathcas", "ext-bst-locks", "int-bst-norec"] {
+            let map = bench::prefilled(name, key_range);
+            let mut seed = 0u64;
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    seed += 1;
+                    bench::run_ops(&map, key_range, pct, 1_000, seed)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 (micro): per-operation cost of the 100%-update workload for every
+//! algorithm in the detailed-analysis table; structural metrics are printed
+//! by the fig5_analysis harness binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 50_000;
+    let mut g = c.benchmark_group("fig5_100pct_updates");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    for name in
+        ["int-bst-pathcas", "ext-bst-locks", "int-avl-pathcas", "int-avl-norec", "int-avl-tl2", "int-bst-mcms"]
+    {
+        let map = bench::prefilled(name, key_range);
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                bench::run_ops(&map, key_range, 100, 1_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 6 (micro): PathCAS BST vs MCMS BST under 100% updates and 100%
+//! searches on a 100k-key-range tree (scaled down).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 20_000;
+    for (label, pct) in [("100pct_update", 100u32), ("100pct_search", 0u32)] {
+        let mut g = c.benchmark_group(format!("fig6_mcms_{label}"));
+        g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+        for name in ["int-bst-pathcas", "int-bst-mcms"] {
+            let map = bench::prefilled(name, key_range);
+            let mut seed = 0u64;
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    seed += 1;
+                    bench::run_ops(&map, key_range, pct, 1_000, seed)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 7 (micro): transaction-structured BST vs handcrafted trees at 1%
+//! updates (the role of the elastic-transaction tree is played by the NOrec
+//! BST; see DESIGN.md §4).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 100_000;
+    let mut g = c.benchmark_group("fig7_elastic_1pct_updates");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    for name in ["ext-bst-locks", "int-bst-pathcas", "int-bst-norec"] {
+        let map = bench::prefilled(name, key_range);
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                bench::run_ops(&map, key_range, 1, 1_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! # bench — Criterion benchmarks, one target per table/figure
+//!
+//! Each bench target in `benches/` corresponds to one figure or table of the
+//! paper's evaluation (see DESIGN.md §2).  Criterion measures single-threaded
+//! per-operation cost of each algorithm under that figure's workload mix;
+//! the multi-threaded throughput sweeps that regenerate the actual rows and
+//! series of the figures are produced by the `harness` binaries
+//! (`cargo run --release -p harness --bin fig1_avl_vs_tm`, etc.), because
+//! fixed-duration multi-threaded trials do not fit Criterion's timing model.
+
+use mapapi::ConcurrentMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Perform `ops` operations of a mixed workload (update_percent split between
+/// inserts and deletes, remainder lookups) against `map`.
+pub fn run_ops<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    key_range: u64,
+    update_percent: u32,
+    ops: u64,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    for _ in 0..ops {
+        let key = rng.gen_range(1..=key_range);
+        let roll = rng.gen_range(0..100u32);
+        if roll < update_percent / 2 {
+            if map.insert(key, key) {
+                hits += 1;
+            }
+        } else if roll < update_percent {
+            if map.remove(key) {
+                hits += 1;
+            }
+        } else if map.contains(key) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Prefill helper shared by the bench targets.
+pub fn prefilled(name: &str, key_range: u64) -> Box<dyn ConcurrentMap> {
+    let map = harness::make(name);
+    mapapi::stress::prefill(&map, key_range, key_range / 2, 42);
+    map
+}

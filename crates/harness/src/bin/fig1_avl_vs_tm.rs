@@ -1,0 +1,30 @@
+//! Figure 1: AVL trees using PathCAS vs state-of-the-art transactional
+//! memory. 10% updates, 1M-key trees (scaled by PATHCAS_KEYRANGE_SCALE),
+//! thread sweep; values are millions of operations per second.
+//!
+//! The paper's Intel HTM-assisted variants (int-avl-pathcas+, hynorec,
+//! rhnorec) are not reproducible without HTM; the software algorithms carry
+//! the comparison (see DESIGN.md §4).
+
+use harness::{print_throughput_table, run_trials, Config, Workload};
+
+fn main() {
+    let cfg = Config::from_env();
+    let key_range = cfg.scaled_keyrange(2_000_000);
+    let algos = ["int-avl-pathcas", "int-avl-norec", "int-avl-tl2", "int-avl-tle"];
+    let mut rows = Vec::new();
+    for name in algos {
+        let mut summaries = Vec::new();
+        for &threads in &cfg.threads {
+            let w = Workload::paper(key_range, 10, threads, cfg.duration);
+            let s = run_trials(|| harness::make(name), &w, cfg.trials);
+            summaries.push(s);
+        }
+        rows.push((name.to_string(), summaries));
+    }
+    print_throughput_table(
+        &format!("Figure 1 — AVL on PathCAS vs TM (10% updates, {key_range} keys)"),
+        &cfg.threads,
+        &rows,
+    );
+}

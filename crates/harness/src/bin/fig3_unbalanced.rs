@@ -1,0 +1,30 @@
+//! Figure 3 (top row): unbalanced BSTs at 1%, 10% and 100% updates.
+//!
+//! The paper's AMD runs use 20M-key ranges; PATHCAS_KEYRANGE_SCALE shrinks
+//! them to fit this machine. Of the handcrafted unbalanced baselines, the
+//! ASCY-style ext-bst-locks tree is reproduced; the Ellen et al. and
+//! Natarajan-Mittal lock-free external BSTs are not (DESIGN.md §4).
+
+use harness::{print_throughput_table, run_trials, Config, Workload};
+
+fn main() {
+    let cfg = Config::from_env();
+    let key_range = cfg.scaled_keyrange(20_000_000);
+    let algos = ["int-bst-pathcas", "ext-bst-locks", "int-bst-norec"];
+    for update_percent in [1u32, 10, 100] {
+        let mut rows = Vec::new();
+        for name in algos {
+            let mut summaries = Vec::new();
+            for &threads in &cfg.threads {
+                let w = Workload::paper(key_range, update_percent, threads, cfg.duration);
+                summaries.push(run_trials(|| harness::make(name), &w, cfg.trials));
+            }
+            rows.push((name.to_string(), summaries));
+        }
+        print_throughput_table(
+            &format!("Figure 3 (top) — unbalanced BSTs, {update_percent}% updates, {key_range} keys"),
+            &cfg.threads,
+            &rows,
+        );
+    }
+}

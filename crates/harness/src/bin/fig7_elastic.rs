@@ -1,0 +1,28 @@
+//! Figure 7 / Figure 15: elastic-transaction ("speculation-friendly") tree vs
+//! a handcrafted tree at 1% updates on a large key range. Elastic STM is not
+//! reproduced; its role — a transaction-structured tree losing badly to a
+//! handcrafted tree even in a read-mostly workload — is played by the NOrec
+//! transactional BST, compared against the handcrafted external BST and the
+//! PathCAS BST (DESIGN.md §4).
+
+use harness::{print_throughput_table, run_trials, Config, Workload};
+
+fn main() {
+    let cfg = Config::from_env();
+    let key_range = cfg.scaled_keyrange(20_000_000);
+    let algos = ["ext-bst-locks", "int-bst-pathcas", "int-bst-norec"];
+    let mut rows = Vec::new();
+    for name in algos {
+        let mut summaries = Vec::new();
+        for &threads in &cfg.threads {
+            let w = Workload::paper(key_range, 1, threads, cfg.duration);
+            summaries.push(run_trials(|| harness::make(name), &w, cfg.trials));
+        }
+        rows.push((name.to_string(), summaries));
+    }
+    print_throughput_table(
+        &format!("Figure 7 — transaction-structured tree vs handcrafted trees (1% updates, {key_range} keys)"),
+        &cfg.threads,
+        &rows,
+    );
+}

@@ -1,0 +1,115 @@
+//! # harness — Setbench-style benchmark harness
+//!
+//! Reproduces the experimental methodology of §5 of the PathCAS paper: each
+//! trial pre-fills the structure to half its key range, then runs a timed
+//! mixed workload of uniformly random operations and reports throughput in
+//! millions of operations per second, averaged over several trials with
+//! min/max recorded.
+//!
+//! The per-figure experiment drivers live in `src/bin/` (one binary per
+//! table/figure, see DESIGN.md §2); they share the [`Workload`] /
+//! [`run_trials`] machinery and the [`registry`] of algorithm factories.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod runner;
+
+pub use registry::{make, registry, AlgoFactory};
+pub use runner::{run_trial, run_trials, Summary, TrialResult, Workload};
+
+use std::time::Duration;
+
+/// Global knobs read from the environment so the same binaries scale from a
+/// laptop-class container (the defaults) up to a large server.
+///
+/// * `PATHCAS_THREADS` — comma-separated thread counts (default `1,2,4,8`)
+/// * `PATHCAS_DURATION_MS` — per-trial duration in milliseconds (default 500)
+/// * `PATHCAS_TRIALS` — trials per configuration (default 2)
+/// * `PATHCAS_KEYRANGE_SCALE` — divide the paper's key ranges by this factor
+///   (default 100, i.e. "10M keys" experiments run with 100k keys)
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Duration of each timed trial.
+    pub duration: Duration,
+    /// Number of trials per configuration.
+    pub trials: usize,
+    /// Divisor applied to the paper's key-range sizes.
+    pub keyrange_scale: u64,
+}
+
+impl Config {
+    /// Read the configuration from the environment (see the struct docs).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("PATHCAS_THREADS")
+            .ok()
+            .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect::<Vec<_>>())
+            .filter(|v: &Vec<usize>| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let duration = Duration::from_millis(
+            std::env::var("PATHCAS_DURATION_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(500),
+        );
+        let trials =
+            std::env::var("PATHCAS_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+        let keyrange_scale = std::env::var("PATHCAS_KEYRANGE_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100)
+            .max(1);
+        Config { threads, duration, trials, keyrange_scale }
+    }
+
+    /// Scale one of the paper's key ranges (e.g. 2×10⁷) by the configured
+    /// divisor, keeping at least 1024 keys.
+    pub fn scaled_keyrange(&self, paper_range: u64) -> u64 {
+        (paper_range / self.keyrange_scale).max(1024)
+    }
+}
+
+/// Print a Markdown-style table: one row per algorithm, one column per thread
+/// count, entries in millions of operations per second.
+pub fn print_throughput_table(
+    title: &str,
+    threads: &[usize],
+    rows: &[(String, Vec<Summary>)],
+) {
+    println!("\n## {title}");
+    print!("| algorithm |");
+    for t in threads {
+        print!(" {t} thr |");
+    }
+    println!();
+    print!("|---|");
+    for _ in threads {
+        print!("---|");
+    }
+    println!();
+    for (name, summaries) in rows {
+        print!("| {name} |");
+        for s in summaries {
+            print!(" {:.3} ({:.3}-{:.3}) |", s.avg_mops, s.min_mops, s.max_mops);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = Config::from_env();
+        assert!(!c.threads.is_empty());
+        assert!(c.trials >= 1);
+        assert!(c.scaled_keyrange(20_000_000) >= 1024);
+    }
+
+    #[test]
+    fn scaled_keyrange_has_floor() {
+        let c = Config { threads: vec![1], duration: Duration::from_millis(1), trials: 1, keyrange_scale: 1_000_000_000 };
+        assert_eq!(c.scaled_keyrange(20_000_000), 1024);
+    }
+}

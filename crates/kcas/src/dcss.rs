@@ -1,0 +1,190 @@
+//! Double-compare single-swap (DCSS), the building block of the HFP KCAS
+//! algorithm (Harris, Fraser and Pratt, DISC 2002).
+//!
+//! `DCSS(addr1, exp1, addr2, old2, new2)` atomically checks whether `*addr1
+//! == exp1` and `*addr2 == old2`; if both hold it stores `new2` into `addr2`.
+//! It returns the value it observed at `addr2`.  In KCAS, `addr1` is always
+//! the descriptor's status word and `exp1` is `Undecided`, which prevents a
+//! slow helper from resurrecting a completed KCAS (§3.1 of the paper).
+//!
+//! The implementation is the standard lock-free one: a small descriptor is
+//! installed into `addr2` with a CAS, then the descriptor is *completed* by
+//! reading `addr1` and either committing `new2` or rolling back to `old2`.
+//! Any thread that encounters an installed DCSS descriptor helps complete it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::Guard;
+
+use crate::word::{is_dcss_desc, tag_dcss_ptr, untag_ptr, CasWord};
+
+/// Descriptor for an in-flight DCSS operation.
+///
+/// All fields are immutable after publication; only the containing word is
+/// mutated (installed / committed / rolled back) with CAS.
+pub(crate) struct DcssDescriptor {
+    /// Address of the control word (a KCAS descriptor's status field).
+    addr1: *const AtomicU64,
+    /// Expected value of the control word (KCAS `Undecided` state).
+    exp1: u64,
+    /// The target word being conditionally swapped.
+    addr2: *const CasWord,
+    /// Raw expected value of the target word.
+    old2: u64,
+    /// Raw new value written if the control word matches.
+    new2: u64,
+}
+
+// SAFETY: the raw pointers refer to memory protected by the epoch guards held
+// by every thread participating in the operation (see crate-level docs).
+unsafe impl Send for DcssDescriptor {}
+unsafe impl Sync for DcssDescriptor {}
+
+impl DcssDescriptor {
+    /// Complete an installed DCSS: commit `new2` if the control word still
+    /// holds its expected value, otherwise roll back to `old2`.  Idempotent;
+    /// any number of helpers may race on the final CAS.
+    fn complete(&self, self_word: u64) {
+        // SAFETY: `addr1` points at the status word of a KCAS descriptor that
+        // is kept alive by the epoch guard held by the caller.
+        let control = unsafe { &*self.addr1 }.load(Ordering::SeqCst);
+        let final_value = if control == self.exp1 { self.new2 } else { self.old2 };
+        // SAFETY: `addr2` points at a CasWord inside a node kept alive by the
+        // caller's epoch guard.
+        let target = unsafe { &*self.addr2 };
+        let _ = target.cas_raw(self_word, final_value);
+    }
+}
+
+/// Perform a DCSS. Returns the raw value observed at `addr2`:
+/// the operation succeeded if and only if the returned value equals `old2`
+/// *and* the control word held `exp1` at the linearization point (in the
+/// latter case the caller — KCAS phase 1 — re-examines the descriptor status,
+/// so it does not need to distinguish the two).
+///
+/// The returned raw value is never DCSS-tagged: conflicting DCSS operations
+/// are helped to completion and the installation is retried.
+///
+/// # Safety
+/// The caller must hold `guard` (pinned before any of the involved shared
+/// words were read) for the duration of the call, and `addr1`/`addr2` must
+/// point to live shared memory protected by epoch reclamation.
+pub(crate) unsafe fn dcss(
+    addr1: *const AtomicU64,
+    exp1: u64,
+    addr2: *const CasWord,
+    old2: u64,
+    new2: u64,
+    guard: &Guard,
+) -> u64 {
+    let desc = crossbeam_epoch::Owned::new(DcssDescriptor { addr1, exp1, addr2, old2, new2 })
+        .into_shared(guard);
+    let desc_word = tag_dcss_ptr(desc.as_raw() as usize);
+    let target = unsafe { &*addr2 };
+    let result = loop {
+        match target.cas_raw(old2, desc_word) {
+            Ok(_) => {
+                // Installed: complete it ourselves (helpers may race with us).
+                unsafe { desc.deref() }.complete(desc_word);
+                break old2;
+            }
+            Err(seen) if is_dcss_desc(seen) => {
+                // Another DCSS is in flight on this word: help it, then retry.
+                help_dcss(seen, guard);
+                continue;
+            }
+            Err(seen) => break seen,
+        }
+    };
+    // SAFETY: after `complete`, no address can point at `desc` again (the
+    // only installer is this thread, above).  Helpers that already loaded the
+    // pointer are pinned, so deferred destruction is safe.  If the descriptor
+    // was never installed it is simply unreachable garbage.
+    unsafe { guard.defer_destroy(desc) };
+    result
+}
+
+/// Help an in-flight DCSS whose tagged descriptor word was observed in a
+/// shared word.  Safe to call from any thread holding an epoch guard pinned
+/// before the word was loaded.
+pub(crate) fn help_dcss(raw: u64, _guard: &Guard) {
+    debug_assert!(is_dcss_desc(raw));
+    // SAFETY: the descriptor was observed in a shared word while our guard
+    // was pinned; it cannot be freed until we unpin (see crate-level docs).
+    let desc = unsafe { &*(untag_ptr(raw) as *const DcssDescriptor) };
+    desc.complete(raw);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::encode;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn dcss_succeeds_when_control_matches() {
+        let control = AtomicU64::new(7);
+        let target = CasWord::new(10);
+        let guard = crossbeam_epoch::pin();
+        let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
+        assert_eq!(seen, encode(10));
+        assert_eq!(target.load_quiescent(), 20);
+    }
+
+    #[test]
+    fn dcss_rolls_back_when_control_differs() {
+        let control = AtomicU64::new(8);
+        let target = CasWord::new(10);
+        let guard = crossbeam_epoch::pin();
+        let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
+        // Installation succeeded (target held old2) but the control word did
+        // not match, so the value is rolled back.
+        assert_eq!(seen, encode(10));
+        assert_eq!(target.load_quiescent(), 10);
+    }
+
+    #[test]
+    fn dcss_fails_when_target_differs() {
+        let control = AtomicU64::new(7);
+        let target = CasWord::new(11);
+        let guard = crossbeam_epoch::pin();
+        let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
+        assert_eq!(seen, encode(11));
+        assert_eq!(target.load_quiescent(), 11);
+    }
+
+    #[test]
+    fn dcss_concurrent_counter() {
+        // Many threads DCSS-increment a counter guarded by an always-matching
+        // control word; every increment must be applied exactly once.
+        let control = Arc::new(AtomicU64::new(1));
+        let target = Arc::new(CasWord::new(0));
+        let threads = 4;
+        let per_thread = 2000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let control = Arc::clone(&control);
+                let target = Arc::clone(&target);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        loop {
+                            let guard = crossbeam_epoch::pin();
+                            let cur = crate::read(&target, &guard);
+                            let seen = unsafe {
+                                dcss(&*control as *const _, 1, &*target as *const _, encode(cur), encode(cur + 1), &guard)
+                            };
+                            if seen == encode(cur) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(target.load_quiescent(), threads * per_thread);
+    }
+}

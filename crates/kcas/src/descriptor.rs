@@ -1,0 +1,101 @@
+//! KCAS / PathCAS descriptors.
+//!
+//! A descriptor carries everything a helper needs to finish an in-flight
+//! operation: the set of `⟨addr, old, new⟩` *entries* to be swapped, the set
+//! of `⟨node-version-address, observed-version⟩` *path* pairs to be validated
+//! (empty for a plain KCAS / `exec`), and a status word that decides the
+//! outcome exactly once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::word::CasWord;
+
+/// Status: the operation has not been decided yet.
+pub const UNDECIDED: u64 = 0;
+/// Status: the operation succeeded; helpers write new values.
+pub const SUCCEEDED: u64 = 1;
+/// Status: the operation failed; helpers restore old values.
+pub const FAILED: u64 = 2;
+
+/// One `⟨addr, old, new⟩` triple of a KCAS.  Values are stored in their raw
+/// (tagged) representation so that helpers can CAS them directly.
+#[derive(Clone, Copy)]
+pub(crate) struct Entry {
+    pub(crate) addr: *const CasWord,
+    pub(crate) old_raw: u64,
+    pub(crate) new_raw: u64,
+}
+
+/// One `⟨node, version⟩` pair of a PathCAS path (the read-set).
+#[derive(Clone, Copy)]
+pub(crate) struct PathEntry {
+    pub(crate) ver_addr: *const CasWord,
+    /// Raw (encoded) version value observed by `visit`.
+    pub(crate) seen_raw: u64,
+}
+
+/// A published KCAS / PathCAS descriptor.
+///
+/// The `entries` and `path` slices are immutable after publication; only
+/// `status` changes, and it changes exactly once (from [`UNDECIDED`] to
+/// either [`SUCCEEDED`] or [`FAILED`]).
+pub struct Descriptor {
+    pub(crate) status: AtomicU64,
+    pub(crate) entries: Box<[Entry]>,
+    pub(crate) path: Box<[PathEntry]>,
+}
+
+// SAFETY: the raw pointers inside entries refer to epoch-protected memory;
+// every thread dereferencing them holds an epoch guard pinned from before it
+// could first observe this descriptor (see crate-level documentation).
+unsafe impl Send for Descriptor {}
+unsafe impl Sync for Descriptor {}
+
+impl Descriptor {
+    pub(crate) fn new(entries: Box<[Entry]>, path: Box<[PathEntry]>) -> Self {
+        Descriptor { status: AtomicU64::new(UNDECIDED), entries, path }
+    }
+
+    /// Current status of the operation.
+    #[inline]
+    pub(crate) fn status(&self) -> u64 {
+        self.status.load(Ordering::SeqCst)
+    }
+
+    /// Number of addresses this operation swaps.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of visited nodes this operation validates.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_starts_undecided() {
+        let d = Descriptor::new(Box::new([]), Box::new([]));
+        assert_eq!(d.status(), UNDECIDED);
+        assert_eq!(d.num_entries(), 0);
+        assert_eq!(d.path_len(), 0);
+    }
+
+    #[test]
+    fn status_transitions_once() {
+        let d = Descriptor::new(Box::new([]), Box::new([]));
+        assert!(d
+            .status
+            .compare_exchange(UNDECIDED, SUCCEEDED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok());
+        assert!(d
+            .status
+            .compare_exchange(UNDECIDED, FAILED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err());
+        assert_eq!(d.status(), SUCCEEDED);
+    }
+}

@@ -1,0 +1,429 @@
+//! The KCAS engine: `help`, path validation, `read` (the paper's `KCASRead`)
+//! and the convenience multi-word CAS entry point.
+//!
+//! This is the Harris-Fraser-Pratt KCAS algorithm (§3.1) extended with the
+//! two "red lines" of Algorithm 1: after all addresses have been "locked"
+//! with DCSS, the visited path is validated (Algorithm 2) before the status
+//! is decided.  A descriptor with an empty path behaves exactly like the
+//! original HFP KCAS.
+
+use crossbeam_epoch::Guard;
+
+use crate::descriptor::{Descriptor, Entry, PathEntry, FAILED, SUCCEEDED, UNDECIDED};
+use crate::dcss::{dcss, help_dcss};
+use crate::word::{
+    decode, encode, is_dcss_desc, is_kcas_desc, is_value, tag_kcas_ptr, untag_ptr, CasWord,
+};
+
+/// Read the application value of a word that may be modified by KCAS /
+/// PathCAS operations (the paper's `KCASRead`).
+///
+/// If the word currently holds a descriptor pointer, the corresponding
+/// operation is helped to completion and the read retries, so the returned
+/// value is always a plain application value.
+#[inline]
+pub fn read(word: &CasWord, guard: &Guard) -> u64 {
+    loop {
+        let raw = word.load_raw(std::sync::atomic::Ordering::SeqCst);
+        if is_value(raw) {
+            return decode(raw);
+        }
+        if is_dcss_desc(raw) {
+            help_dcss(raw, guard);
+            continue;
+        }
+        debug_assert!(is_kcas_desc(raw));
+        help_by_word(raw, guard);
+    }
+}
+
+/// Read the raw (possibly descriptor-tagged) contents of a word without
+/// helping.  Used by validation, which treats any descriptor other than its
+/// own as a (possibly spurious) conflict.
+#[inline]
+pub(crate) fn read_raw(word: &CasWord) -> u64 {
+    word.load_raw(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Help the KCAS / PathCAS operation whose tagged descriptor word was
+/// observed in a shared word.
+pub(crate) fn help_by_word(raw: u64, guard: &Guard) {
+    debug_assert!(is_kcas_desc(raw));
+    // SAFETY: the descriptor was observed in a shared word while `guard` was
+    // pinned, so it is protected from reclamation until we unpin.
+    let desc = unsafe { &*(untag_ptr(raw) as *const Descriptor) };
+    help(desc, raw, guard);
+}
+
+/// Validate the visited path of a descriptor (Algorithm 2 of the paper).
+///
+/// Returns `true` only if every visited node still carries the version number
+/// observed by `visit`, is not marked, and is not "locked" by a *different*
+/// operation.  Nodes locked by *this* operation pass validation.
+pub(crate) fn validate_descriptor(desc: &Descriptor, self_word: u64) -> bool {
+    for p in desc.path.iter() {
+        // SAFETY: version words live inside epoch-protected nodes and every
+        // participant holds a guard.
+        let current = read_raw(unsafe { &*p.ver_addr });
+        if current == self_word {
+            // "Locked" for our own PathCAS: the version cannot change under us.
+            continue;
+        }
+        if !is_value(current) {
+            // Locked for a different PathCAS (or a DCSS is in flight):
+            // fail, possibly spuriously — permitted by the semantics (§3.2).
+            return false;
+        }
+        if current != p.seen_raw {
+            return false;
+        }
+        if decode(p.seen_raw) & 1 == 1 {
+            // The node was already marked when it was visited.
+            return false;
+        }
+    }
+    true
+}
+
+/// The help routine (Algorithm 1 of the paper).  Called by the owner of the
+/// operation and by any helper that encounters the descriptor.
+///
+/// Returns `true` if the operation succeeded.
+pub(crate) fn help(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
+    // Phase 1: "lock" every address for this operation.
+    if desc.status() == UNDECIDED {
+        let mut new_status = SUCCEEDED;
+        'entries: for e in desc.entries.iter() {
+            loop {
+                // SAFETY: entry addresses point at epoch-protected CasWords.
+                let seen = unsafe {
+                    dcss(&desc.status as *const _, UNDECIDED, e.addr, e.old_raw, self_word, guard)
+                };
+                if is_kcas_desc(seen) {
+                    if seen == self_word {
+                        // Another helper already locked this address for us.
+                        break;
+                    }
+                    // Locked by a different operation: help it, then retry.
+                    help_by_word(seen, guard);
+                    continue;
+                }
+                if seen != e.old_raw {
+                    // The address no longer holds the expected old value.
+                    new_status = FAILED;
+                    break 'entries;
+                }
+                break;
+            }
+        }
+        // The two "red lines": validate the visited path before deciding.
+        if new_status == SUCCEEDED && !validate_descriptor(desc, self_word) {
+            new_status = FAILED;
+        }
+        let _ = desc.status.compare_exchange(
+            UNDECIDED,
+            new_status,
+            std::sync::atomic::Ordering::SeqCst,
+            std::sync::atomic::Ordering::SeqCst,
+        );
+    }
+
+    // Phase 2: "unlock" every address according to the decided status.
+    let success = desc.status() == SUCCEEDED;
+    for e in desc.entries.iter() {
+        let final_raw = if success { e.new_raw } else { e.old_raw };
+        // SAFETY: as above.
+        let word = unsafe { &*e.addr };
+        let _ = word.cas_raw(self_word, final_raw);
+    }
+    success
+}
+
+/// An owned argument triple for [`kcas`] and the PathCAS builder: change
+/// `addr` from the application value `old` to `new`.
+#[derive(Clone, Copy)]
+pub struct KcasArg<'a> {
+    /// The word to change.
+    pub addr: &'a CasWord,
+    /// Expected current application value.
+    pub old: u64,
+    /// New application value.
+    pub new: u64,
+}
+
+/// An owned visited-node record for PathCAS: the version word of a node and
+/// the (decoded) version value observed when it was visited.
+#[derive(Clone, Copy)]
+pub struct VisitArg<'a> {
+    /// The node's version word.
+    pub ver_addr: &'a CasWord,
+    /// Decoded version value returned by `visit`.
+    pub seen: u64,
+}
+
+/// Build, publish and execute a descriptor from the given entries and path.
+///
+/// Entries are sorted by address (required for the lock-freedom argument of
+/// Appendix C) and exact duplicates are removed.  Returns `true` on success.
+///
+/// The caller must hold `guard` for the whole duration of the enclosing data
+/// structure operation (so that every address passed in refers to live
+/// memory) — this is the same contract as the paper's C++ implementation,
+/// where operations run under a DEBRA guard.
+pub fn execute(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) -> bool {
+    let mut raw_entries: Vec<Entry> = entries
+        .iter()
+        .map(|a| Entry {
+            addr: a.addr as *const CasWord,
+            old_raw: encode(a.old),
+            new_raw: encode(a.new),
+        })
+        .collect();
+    raw_entries.sort_by_key(|e| e.addr as usize);
+    raw_entries.dedup_by(|a, b| {
+        a.addr == b.addr && a.old_raw == b.old_raw && a.new_raw == b.new_raw
+    });
+    debug_assert!(
+        raw_entries.windows(2).all(|w| w[0].addr != w[1].addr),
+        "the same address was added twice with conflicting values"
+    );
+    let raw_path: Vec<PathEntry> = path
+        .iter()
+        .map(|v| PathEntry { ver_addr: v.ver_addr as *const CasWord, seen_raw: encode(v.seen) })
+        .collect();
+
+    let desc = crossbeam_epoch::Owned::new(Descriptor::new(
+        raw_entries.into_boxed_slice(),
+        raw_path.into_boxed_slice(),
+    ))
+    .into_shared(guard);
+    let self_word = tag_kcas_ptr(desc.as_raw() as usize);
+    // SAFETY: we just created the descriptor; it is valid.
+    let result = help(unsafe { desc.deref() }, self_word, guard);
+    // SAFETY: after our own `help` returns, phase 2 has removed `self_word`
+    // from every entry address and the decided status prevents reinstallation,
+    // so no *new* reference to the descriptor can be created. Helpers that
+    // already hold it are pinned. Deferred destruction is therefore safe.
+    unsafe { guard.defer_destroy(desc) };
+    result
+}
+
+/// A plain multi-word compare-and-swap (no path validation), i.e. the HFP
+/// KCAS operation: atomically, if every `addr_i` holds `old_i`, store `new_i`
+/// into every `addr_i` and return `true`; otherwise return `false`.
+#[inline]
+pub fn kcas(entries: &[KcasArg<'_>], guard: &Guard) -> bool {
+    execute(entries, &[], guard)
+}
+
+/// Validate a path without publishing anything: re-read every version word
+/// (helping any in-flight operation it encounters) and check it still equals
+/// the observed version and is unmarked.
+///
+/// Unlike [`validate_descriptor`] this never fails spuriously: encountering a
+/// descriptor helps it and then compares the resolved value.  It is the
+/// building block of validated read-only operations (e.g. `contains`).
+pub fn validate_path(path: &[VisitArg<'_>], guard: &Guard) -> bool {
+    for v in path {
+        let current = read(v.ver_addr, guard);
+        if current != v.seen || v.seen & 1 == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn words(vals: &[u64]) -> Vec<CasWord> {
+        vals.iter().map(|&v| CasWord::new(v)).collect()
+    }
+
+    #[test]
+    fn kcas_succeeds_on_matching_olds() {
+        let ws = words(&[1, 2, 3]);
+        let guard = crossbeam_epoch::pin();
+        let args: Vec<KcasArg> = ws
+            .iter()
+            .enumerate()
+            .map(|(i, w)| KcasArg { addr: w, old: (i + 1) as u64, new: (i + 10) as u64 })
+            .collect();
+        assert!(kcas(&args, &guard));
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(read(w, &guard), (i + 10) as u64);
+        }
+    }
+
+    #[test]
+    fn kcas_fails_and_rolls_back_on_mismatch() {
+        let ws = words(&[1, 2, 3]);
+        let guard = crossbeam_epoch::pin();
+        let args = [
+            KcasArg { addr: &ws[0], old: 1, new: 10 },
+            KcasArg { addr: &ws[1], old: 99, new: 20 }, // wrong old
+            KcasArg { addr: &ws[2], old: 3, new: 30 },
+        ];
+        assert!(!kcas(&args, &guard));
+        assert_eq!(read(&ws[0], &guard), 1);
+        assert_eq!(read(&ws[1], &guard), 2);
+        assert_eq!(read(&ws[2], &guard), 3);
+    }
+
+    #[test]
+    fn empty_kcas_succeeds() {
+        let guard = crossbeam_epoch::pin();
+        assert!(kcas(&[], &guard));
+    }
+
+    #[test]
+    fn path_validation_rejects_changed_version() {
+        let ver = CasWord::new(4);
+        let target = CasWord::new(0);
+        let guard = crossbeam_epoch::pin();
+        // Change the version after it was "visited".
+        let visited = VisitArg { ver_addr: &ver, seen: 4 };
+        ver.store(6);
+        let args = [KcasArg { addr: &target, old: 0, new: 1 }];
+        assert!(!execute(&args, &[visited], &guard));
+        assert_eq!(read(&target, &guard), 0);
+    }
+
+    #[test]
+    fn path_validation_rejects_marked_version() {
+        let ver = CasWord::new(5); // odd = marked
+        let target = CasWord::new(0);
+        let guard = crossbeam_epoch::pin();
+        let visited = VisitArg { ver_addr: &ver, seen: 5 };
+        let args = [KcasArg { addr: &target, old: 0, new: 1 }];
+        assert!(!execute(&args, &[visited], &guard));
+    }
+
+    #[test]
+    fn path_validation_accepts_unchanged_version() {
+        let ver = CasWord::new(4);
+        let target = CasWord::new(0);
+        let guard = crossbeam_epoch::pin();
+        let visited = VisitArg { ver_addr: &ver, seen: 4 };
+        let args = [KcasArg { addr: &target, old: 0, new: 1 }];
+        assert!(execute(&args, &[visited], &guard));
+        assert_eq!(read(&target, &guard), 1);
+    }
+
+    #[test]
+    fn validate_path_standalone() {
+        let v1 = CasWord::new(2);
+        let v2 = CasWord::new(8);
+        let guard = crossbeam_epoch::pin();
+        let path = [VisitArg { ver_addr: &v1, seen: 2 }, VisitArg { ver_addr: &v2, seen: 8 }];
+        assert!(validate_path(&path, &guard));
+        v2.store(10);
+        assert!(!validate_path(&path, &guard));
+    }
+
+    #[test]
+    fn duplicate_identical_entries_are_deduped() {
+        let w = CasWord::new(5);
+        let guard = crossbeam_epoch::pin();
+        let args = [KcasArg { addr: &w, old: 5, new: 6 }, KcasArg { addr: &w, old: 5, new: 6 }];
+        assert!(kcas(&args, &guard));
+        assert_eq!(read(&w, &guard), 6);
+    }
+
+    #[test]
+    fn concurrent_kcas_multi_counter() {
+        // N shared counters; each thread repeatedly KCASes *all* of them from
+        // their current values to current+1. The sum must equal threads *
+        // iterations * n_counters and all counters must end equal.
+        const N: usize = 4;
+        const THREADS: usize = 4;
+        const OPS: usize = 1500;
+        let counters: Arc<Vec<CasWord>> = Arc::new((0..N).map(|_| CasWord::new(0)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    for _ in 0..OPS {
+                        loop {
+                            let guard = crossbeam_epoch::pin();
+                            let olds: Vec<u64> =
+                                counters.iter().map(|c| read(c, &guard)).collect();
+                            let args: Vec<KcasArg> = counters
+                                .iter()
+                                .zip(&olds)
+                                .map(|(c, &o)| KcasArg { addr: c, old: o, new: o + 1 })
+                                .collect();
+                            if kcas(&args, &guard) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let guard = crossbeam_epoch::pin();
+        let first = read(&counters[0], &guard);
+        assert_eq!(first, (THREADS * OPS) as u64);
+        for c in counters.iter() {
+            assert_eq!(read(c, &guard), first);
+        }
+    }
+
+    #[test]
+    fn concurrent_kcas_transfer_preserves_sum() {
+        // Bank-transfer style test: threads move amounts between random pairs
+        // of accounts with 2-word KCAS; the total must be preserved.
+        const ACCOUNTS: usize = 8;
+        const THREADS: usize = 4;
+        const OPS: usize = 2000;
+        let accounts: Arc<Vec<CasWord>> =
+            Arc::new((0..ACCOUNTS).map(|_| CasWord::new(1000)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let accounts = Arc::clone(&accounts);
+                std::thread::spawn(move || {
+                    let mut state = (t as u64 + 1) * 0x9E3779B97F4A7C15;
+                    let mut next = || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..OPS {
+                        let a = (next() % ACCOUNTS as u64) as usize;
+                        let mut b = (next() % ACCOUNTS as u64) as usize;
+                        if a == b {
+                            b = (b + 1) % ACCOUNTS;
+                        }
+                        loop {
+                            let guard = crossbeam_epoch::pin();
+                            let va = read(&accounts[a], &guard);
+                            let vb = read(&accounts[b], &guard);
+                            if va == 0 {
+                                break;
+                            }
+                            let args = [
+                                KcasArg { addr: &accounts[a], old: va, new: va - 1 },
+                                KcasArg { addr: &accounts[b], old: vb, new: vb + 1 },
+                            ];
+                            if kcas(&args, &guard) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let guard = crossbeam_epoch::pin();
+        let total: u64 = accounts.iter().map(|a| read(a, &guard)).sum();
+        assert_eq!(total, (ACCOUNTS as u64) * 1000);
+    }
+}

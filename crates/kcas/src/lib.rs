@@ -1,0 +1,78 @@
+//! # kcas — lock-free DCSS and multi-word CAS (KCAS)
+//!
+//! This crate is the synchronization substrate of the PathCAS reproduction.
+//! It provides:
+//!
+//! * [`CasWord`] — a tagged 64-bit shared word (the paper's `casword<T>`),
+//! * [`read`] — the paper's `KCASRead`: read a word, helping any in-flight
+//!   multi-word operation it encounters,
+//! * [`kcas`] / [`execute`] — the Harris–Fraser–Pratt multi-word CAS,
+//!   optionally extended with a visited-node *path* that is validated before
+//!   the operation is decided (the two "red lines" of Algorithm 1),
+//! * [`validate_path`] — non-publishing validation used by read-only
+//!   operations.
+//!
+//! ## Memory reclamation contract
+//!
+//! Descriptors are allocated per published operation and retired through
+//! [`crossbeam_epoch`] after the owner's help routine returns; at that point
+//! no shared word can point at them anymore (phase 2 removed every
+//! installation and the decided status prevents re-installation), and any
+//! helper that still holds a reference is pinned. Data-structure code built
+//! on this crate must therefore hold an epoch [`Guard`](crossbeam_epoch::Guard)
+//! across each entire operation — exactly the discipline the paper uses with
+//! DEBRA guards (§4.3).
+//!
+//! The paper applies the Arbel-Raviv & Brown descriptor-reuse transformation
+//! to avoid these allocations; we keep allocation + epoch retirement for
+//! clarity (see DESIGN.md §3 for the rationale and the performance caveat).
+
+#![warn(missing_docs)]
+
+mod dcss;
+mod descriptor;
+mod engine;
+pub mod word;
+
+pub use descriptor::Descriptor;
+pub use engine::{execute, kcas, read, validate_path, KcasArg, VisitArg};
+pub use word::{CasWord, MAX_VALUE};
+
+/// Mark bit helpers: the least-significant bit of a node's *logical* version
+/// number indicates that the node has been deleted (§3.3).
+pub mod mark {
+    /// Returns `true` if the (decoded) version value carries the mark bit.
+    #[inline]
+    pub fn is_marked(version: u64) -> bool {
+        version & 1 == 1
+    }
+
+    /// The version value after marking a node (sets the mark bit).
+    #[inline]
+    pub fn marked(version: u64) -> u64 {
+        version | 1
+    }
+
+    /// The version value after an ordinary modification (adds two, preserving
+    /// the mark bit).
+    #[inline]
+    pub fn bumped(version: u64) -> u64 {
+        version + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mark;
+
+    #[test]
+    fn mark_bit_helpers() {
+        assert!(!mark::is_marked(0));
+        assert!(!mark::is_marked(4));
+        assert!(mark::is_marked(1));
+        assert!(mark::is_marked(mark::marked(4)));
+        assert_eq!(mark::bumped(4), 6);
+        assert!(!mark::is_marked(mark::bumped(4)));
+        assert!(mark::is_marked(mark::bumped(mark::marked(2))));
+    }
+}

@@ -1,0 +1,211 @@
+//! Tagged 64-bit words (`CasWord`), the unit of memory that DCSS, KCAS and
+//! PathCAS operate on.
+//!
+//! Every field that may ever be modified by a multi-word operation must be a
+//! [`CasWord`].  The low two bits of the raw word distinguish what it holds:
+//!
+//! | tag (bits 1..0) | meaning                                  |
+//! |-----------------|------------------------------------------|
+//! | `00`            | an application value, stored shifted left by two (62-bit payload) |
+//! | `01`            | a pointer to a KCAS / PathCAS descriptor |
+//! | `10`            | a pointer to a DCSS descriptor           |
+//!
+//! This mirrors the `casword<T>` template of the paper's C++ implementation
+//! (§4, footnote 5): application code only ever sees *decoded* values, and the
+//! helping machinery is hidden behind [`crate::read`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of low bits reserved for tags.
+pub const TAG_BITS: u32 = 2;
+/// Mask selecting the tag bits.
+pub const TAG_MASK: u64 = 0b11;
+/// Tag value for a plain application value.
+pub const TAG_VALUE: u64 = 0b00;
+/// Tag value for a KCAS / PathCAS descriptor pointer.
+pub const TAG_KCAS: u64 = 0b01;
+/// Tag value for a DCSS descriptor pointer.
+pub const TAG_DCSS: u64 = 0b10;
+
+/// The largest application value that can be stored in a [`CasWord`]
+/// (payloads are 62 bits wide).
+pub const MAX_VALUE: u64 = (1u64 << 62) - 1;
+
+/// Encode an application value into its raw tagged representation.
+///
+/// # Panics
+/// Panics in debug builds if `v` exceeds [`MAX_VALUE`].
+#[inline]
+pub fn encode(v: u64) -> u64 {
+    debug_assert!(v <= MAX_VALUE, "value {v} exceeds the 62-bit CasWord payload");
+    v << TAG_BITS
+}
+
+/// Decode a raw tagged representation back into an application value.
+///
+/// # Panics
+/// Panics in debug builds if `raw` is not value-tagged.
+#[inline]
+pub fn decode(raw: u64) -> u64 {
+    debug_assert_eq!(raw & TAG_MASK, TAG_VALUE, "decoding a descriptor-tagged word");
+    raw >> TAG_BITS
+}
+
+/// Returns `true` if the raw word holds a plain application value.
+#[inline]
+pub fn is_value(raw: u64) -> bool {
+    raw & TAG_MASK == TAG_VALUE
+}
+
+/// Returns `true` if the raw word is a KCAS / PathCAS descriptor pointer.
+#[inline]
+pub fn is_kcas_desc(raw: u64) -> bool {
+    raw & TAG_MASK == TAG_KCAS
+}
+
+/// Returns `true` if the raw word is a DCSS descriptor pointer.
+#[inline]
+pub fn is_dcss_desc(raw: u64) -> bool {
+    raw & TAG_MASK == TAG_DCSS
+}
+
+/// Returns `true` if the raw word is any kind of descriptor pointer.
+#[inline]
+pub fn is_descriptor(raw: u64) -> bool {
+    raw & TAG_MASK != TAG_VALUE
+}
+
+/// Tag a raw pointer as a KCAS descriptor word.
+#[inline]
+pub(crate) fn tag_kcas_ptr(ptr: usize) -> u64 {
+    debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "descriptor pointers must be 4-byte aligned");
+    ptr as u64 | TAG_KCAS
+}
+
+/// Tag a raw pointer as a DCSS descriptor word.
+#[inline]
+pub(crate) fn tag_dcss_ptr(ptr: usize) -> u64 {
+    debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "descriptor pointers must be 4-byte aligned");
+    ptr as u64 | TAG_DCSS
+}
+
+/// Strip the tag from a descriptor word, recovering the raw pointer.
+#[inline]
+pub(crate) fn untag_ptr(raw: u64) -> usize {
+    (raw & !TAG_MASK) as usize
+}
+
+/// A 64-bit shared memory word that can be read and modified by DCSS, KCAS
+/// and PathCAS operations.
+///
+/// Application values stored in a `CasWord` are limited to 62 bits
+/// ([`MAX_VALUE`]); this comfortably holds keys, values, version numbers,
+/// heights and pointers on 64-bit platforms.
+///
+/// Reading a `CasWord` that might be concurrently modified by a multi-word
+/// operation must go through [`crate::read`] (the paper's `KCASRead`), which
+/// helps any in-flight operation it encounters.  Plain [`CasWord::load`] is
+/// only appropriate when the caller can tolerate (or wants to observe)
+/// descriptor-tagged raw values.
+#[repr(transparent)]
+#[derive(Debug)]
+pub struct CasWord(pub(crate) AtomicU64);
+
+impl CasWord {
+    /// Create a word holding the application value `v`.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        CasWord(AtomicU64::new(encode(v)))
+    }
+
+    /// Load the raw tagged representation.
+    #[inline]
+    pub fn load_raw(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    /// Load the word assuming it currently holds an application value.
+    ///
+    /// This is a convenience for quiescent (single-threaded) inspection, e.g.
+    /// validation passes and statistics.  Concurrent readers must use
+    /// [`crate::read`] instead.
+    ///
+    /// # Panics
+    /// Panics if the word currently holds a descriptor pointer.
+    #[inline]
+    pub fn load_quiescent(&self) -> u64 {
+        let raw = self.0.load(Ordering::SeqCst);
+        assert!(is_value(raw), "load_quiescent observed a descriptor; the structure is not quiescent");
+        decode(raw)
+    }
+
+    /// Store an application value. Only safe to use before the word is shared
+    /// (e.g. while initialising a node) or during quiescent periods.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(encode(v), Ordering::SeqCst);
+    }
+
+    /// Raw compare-and-swap on the tagged representation.
+    #[inline]
+    pub(crate) fn cas_raw(&self, expected: u64, new: u64) -> Result<u64, u64> {
+        self.0
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Compare-and-swap between two application values.  Exposed for
+    /// single-word fast paths in data structures built on this crate.
+    #[inline]
+    pub fn cas_value(&self, expected: u64, new: u64) -> Result<u64, u64> {
+        self.cas_raw(encode(expected), encode(new))
+            .map(decode)
+            .map_err(|raw| if is_value(raw) { decode(raw) } else { raw })
+    }
+}
+
+impl Default for CasWord {
+    fn default() -> Self {
+        CasWord::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in [0u64, 1, 2, 1 << 20, MAX_VALUE] {
+            assert_eq!(decode(encode(v)), v);
+            assert!(is_value(encode(v)));
+            assert!(!is_descriptor(encode(v)));
+        }
+    }
+
+    #[test]
+    fn tags_are_disjoint() {
+        let ptr = 0x7f00_dead_beef_0usize & !0b11;
+        let k = tag_kcas_ptr(ptr);
+        let d = tag_dcss_ptr(ptr);
+        assert!(is_kcas_desc(k) && !is_dcss_desc(k) && !is_value(k));
+        assert!(is_dcss_desc(d) && !is_kcas_desc(d) && !is_value(d));
+        assert_eq!(untag_ptr(k), ptr);
+        assert_eq!(untag_ptr(d), ptr);
+    }
+
+    #[test]
+    fn word_basic_ops() {
+        let w = CasWord::new(42);
+        assert_eq!(w.load_quiescent(), 42);
+        w.store(7);
+        assert_eq!(w.load_quiescent(), 7);
+        assert!(w.cas_value(7, 9).is_ok());
+        assert_eq!(w.load_quiescent(), 9);
+        assert_eq!(w.cas_value(7, 11), Err(encode(9)).map_err(decode));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CasWord::default().load_quiescent(), 0);
+    }
+}

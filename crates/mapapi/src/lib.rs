@@ -1,0 +1,217 @@
+//! # mapapi — shared interface and validation suites
+//!
+//! Every search structure in this repository — the PathCAS trees, the
+//! handcrafted baselines, the STM trees and the MCMS tree — implements the
+//! [`ConcurrentMap`] trait, so the correctness suites, the stress tests and
+//! the benchmark harness are written once and reused everywhere.
+//!
+//! The stress methodology follows Setbench (Brown et al. [9], §5 of the
+//! PathCAS paper): each thread tracks the sum and count of keys it
+//! successfully inserted minus those it successfully deleted; at quiescence
+//! the structure's own key sum and key count must match the aggregate, which
+//! catches lost updates, duplicated keys, and phantom successes.
+
+#![warn(missing_docs)]
+
+pub mod stress;
+pub mod suites;
+
+/// Keys are 62-bit unsigned integers (they must fit in a `CasWord` payload);
+/// key `0` and the maximum value are reserved for sentinels by several
+/// implementations, so workloads use keys in `1..=MAX_KEY`.
+pub type Key = u64;
+/// Values share the same representation constraints as keys.
+pub type Value = u64;
+
+/// Largest key a workload may use (several trees reserve the extremes for
+/// sentinel nodes).
+pub const MAX_KEY: Key = (1 << 62) - 2;
+
+/// Structural statistics gathered by a quiescent (single-threaded) traversal.
+/// These feed the Figure 5 "detailed analysis" table.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct MapStats {
+    /// Number of keys logically present.
+    pub key_count: u64,
+    /// Sum of the keys logically present.
+    pub key_sum: u128,
+    /// Total number of nodes (including routing/sentinel nodes).
+    pub node_count: u64,
+    /// Sum over all *present keys* of their depth (root = depth 0).
+    pub key_depth_sum: u64,
+    /// Approximate bytes of memory retained by nodes.
+    pub approx_bytes: u64,
+}
+
+impl MapStats {
+    /// Average depth of a present key, the paper's "Avg. Key Depth" column.
+    pub fn avg_key_depth(&self) -> f64 {
+        if self.key_count == 0 {
+            0.0
+        } else {
+            self.key_depth_sum as f64 / self.key_count as f64
+        }
+    }
+}
+
+/// A concurrent ordered map (dictionary) with `u64` keys and values.
+///
+/// `insert` has *insert-if-absent* semantics, like the trees in the paper:
+/// it returns `false` and leaves the map unchanged if the key is already
+/// present.
+pub trait ConcurrentMap: Send + Sync {
+    /// A short, stable identifier used in benchmark output (e.g.
+    /// `int-bst-pathcas`).
+    fn name(&self) -> &'static str;
+
+    /// Insert `key` with `value` if absent. Returns `true` if the key was
+    /// inserted, `false` if it was already present.
+    fn insert(&self, key: Key, value: Value) -> bool;
+
+    /// Remove `key`. Returns `true` if the key was present and removed.
+    fn remove(&self, key: Key) -> bool;
+
+    /// Returns `true` if `key` is present.
+    fn contains(&self, key: Key) -> bool;
+
+    /// Returns the value associated with `key`, if present.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Quiescent structural statistics (not linearizable; call only while no
+    /// other thread is operating on the map).
+    fn stats(&self) -> MapStats;
+}
+
+/// Blanket implementation so harness code can box trait objects.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn insert(&self, key: Key, value: Value) -> bool {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        (**self).remove(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        (**self).contains(key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn stats(&self) -> MapStats {
+        (**self).stats()
+    }
+}
+
+/// Blanket implementation so harness code can hand out `Arc<T>` etc.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn insert(&self, key: Key, value: Value) -> bool {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        (**self).remove(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        (**self).contains(key)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn stats(&self) -> MapStats {
+        (**self).stats()
+    }
+}
+
+/// A reference sequential implementation used by the correctness suites.
+pub mod reference {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// A `Mutex<BTreeMap>`-based [`ConcurrentMap`]: trivially correct, used
+    /// as the oracle in differential tests and as the `tle`-style coarse
+    /// baseline sanity check.
+    #[derive(Default)]
+    pub struct LockedBTreeMap {
+        inner: Mutex<BTreeMap<Key, Value>>,
+    }
+
+    impl LockedBTreeMap {
+        /// Create an empty oracle map.
+        pub fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    impl ConcurrentMap for LockedBTreeMap {
+        fn name(&self) -> &'static str {
+            "locked-btreemap"
+        }
+        fn insert(&self, key: Key, value: Value) -> bool {
+            let mut m = self.inner.lock().unwrap();
+            if m.contains_key(&key) {
+                false
+            } else {
+                m.insert(key, value);
+                true
+            }
+        }
+        fn remove(&self, key: Key) -> bool {
+            self.inner.lock().unwrap().remove(&key).is_some()
+        }
+        fn contains(&self, key: Key) -> bool {
+            self.inner.lock().unwrap().contains_key(&key)
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.inner.lock().unwrap().get(&key).copied()
+        }
+        fn stats(&self) -> MapStats {
+            let m = self.inner.lock().unwrap();
+            MapStats {
+                key_count: m.len() as u64,
+                key_sum: m.keys().map(|&k| k as u128).sum(),
+                node_count: m.len() as u64,
+                key_depth_sum: 0,
+                approx_bytes: (m.len() * 3 * 8) as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::reference::LockedBTreeMap;
+    use super::*;
+
+    #[test]
+    fn oracle_map_basic() {
+        let m = LockedBTreeMap::new();
+        assert!(m.insert(5, 50));
+        assert!(!m.insert(5, 51));
+        assert!(m.contains(5));
+        assert_eq!(m.get(5), Some(50));
+        assert!(m.remove(5));
+        assert!(!m.remove(5));
+        assert!(!m.contains(5));
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let m = LockedBTreeMap::new();
+        for k in 1..=10u64 {
+            m.insert(k, k);
+        }
+        let s = m.stats();
+        assert_eq!(s.key_count, 10);
+        assert_eq!(s.key_sum, 55);
+    }
+
+    #[test]
+    fn avg_depth_handles_empty() {
+        assert_eq!(MapStats::default().avg_key_depth(), 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Multi-threaded stress suites with Setbench-style keysum validation.
+//!
+//! The PathCAS paper validates its implementations by checking consistency
+//! between the final tree contents and the return values of all updates
+//! recorded throughout the experiment (Appendix F: both published lock-free
+//! internal BSTs it examined *fail* this check).  We reproduce that
+//! methodology: every thread accumulates the sum/count of keys whose
+//! insertion it observed succeed minus those whose deletion it observed
+//! succeed; at quiescence the structure must contain exactly that multiset.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ConcurrentMap, Key};
+
+/// Outcome of a stress run, for additional assertions by callers.
+#[derive(Debug, Clone, Copy)]
+pub struct StressOutcome {
+    /// Total operations attempted across all threads.
+    pub total_ops: u64,
+    /// Net number of keys the threads believe are present.
+    pub expected_count: i64,
+    /// Net key sum the threads believe is present.
+    pub expected_sum: i128,
+}
+
+/// Run `threads` worker threads performing a random mix of operations for
+/// `duration`, then validate the final contents against the per-thread
+/// success records.  `update_percent` is split evenly between inserts and
+/// deletes; the rest are `contains`.
+///
+/// Panics (with the map's name) on any inconsistency.
+pub fn stress_keysum<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    threads: usize,
+    key_range: Key,
+    update_percent: u32,
+    duration: Duration,
+    seed: u64,
+) -> StressOutcome {
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+
+    // Account for keys already present (e.g. from a prefill phase).
+    let initial = map.stats();
+
+    #[derive(Default)]
+    struct ThreadRecord {
+        sum: i128,
+        count: i64,
+        ops: u64,
+    }
+
+    let records: Vec<ThreadRecord> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let stop = &stop;
+            let barrier = &barrier;
+            let map = &*map;
+            handles.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9E37));
+                let mut rec = ThreadRecord::default();
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(1..=key_range);
+                    let roll = rng.gen_range(0..100u32);
+                    if roll < update_percent / 2 {
+                        if map.insert(key, key.wrapping_mul(31)) {
+                            rec.sum += key as i128;
+                            rec.count += 1;
+                        }
+                    } else if roll < update_percent {
+                        if map.remove(key) {
+                            rec.sum -= key as i128;
+                            rec.count -= 1;
+                        }
+                    } else {
+                        let _ = map.contains(key);
+                    }
+                    rec.ops += 1;
+                }
+                rec
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
+    });
+
+    let expected_sum: i128 = initial.key_sum as i128 + records.iter().map(|r| r.sum).sum::<i128>();
+    let expected_count: i64 = initial.key_count as i64 + records.iter().map(|r| r.count).sum::<i64>();
+    let total_ops: u64 = records.iter().map(|r| r.ops).sum();
+
+    let s = map.stats();
+    assert!(expected_count >= 0, "{}: negative net key count?!", map.name());
+    assert_eq!(
+        s.key_count as i64,
+        expected_count,
+        "{}: keysum validation failed (count): structure has {} keys, threads recorded {}",
+        map.name(),
+        s.key_count,
+        expected_count
+    );
+    assert_eq!(
+        s.key_sum as i128,
+        expected_sum,
+        "{}: keysum validation failed (sum)",
+        map.name()
+    );
+
+    StressOutcome { total_ops, expected_count, expected_sum }
+}
+
+/// A prefill helper shared by tests and the benchmark harness: inserts
+/// random keys until the map holds `target` keys.
+pub fn prefill<M: ConcurrentMap + ?Sized>(map: &M, key_range: Key, target: u64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present = map.stats().key_count;
+    while present < target {
+        let key = rng.gen_range(1..=key_range);
+        if map.insert(key, key) {
+            present += 1;
+        }
+    }
+}
+
+/// Deterministic multi-threaded smoke test: each thread owns a disjoint key
+/// stripe, inserts it, verifies it, deletes half of it, and verifies again.
+/// Catches gross races without any timing dependence.
+pub fn stress_disjoint_stripes<M: ConcurrentMap + ?Sized>(map: &M, threads: usize, keys_per_thread: u64) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let map = &*map;
+            s.spawn(move || {
+                let base = t as u64 * keys_per_thread + 1;
+                for k in base..base + keys_per_thread {
+                    assert!(map.insert(k, k * 2), "{}: stripe insert {}", map.name(), k);
+                }
+                for k in base..base + keys_per_thread {
+                    assert!(map.contains(k));
+                    assert_eq!(map.get(k), Some(k * 2));
+                }
+                for k in (base..base + keys_per_thread).step_by(2) {
+                    assert!(map.remove(k), "{}: stripe remove {}", map.name(), k);
+                }
+                for k in base..base + keys_per_thread {
+                    let expect = (k - base) % 2 == 1;
+                    assert_eq!(map.contains(k), expect, "{}: stripe post-check {}", map.name(), k);
+                }
+            });
+        }
+    });
+    let total = threads as u64 * keys_per_thread;
+    let s = map.stats();
+    assert_eq!(s.key_count, total / 2, "{}: stripe final count", map.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::LockedBTreeMap;
+
+    #[test]
+    fn oracle_survives_stress() {
+        let m = LockedBTreeMap::new();
+        prefill(&m, 128, 64, 7);
+        let out = stress_keysum(&m, 3, 128, 50, Duration::from_millis(100), 1);
+        assert!(out.total_ops > 0);
+    }
+
+    #[test]
+    fn oracle_survives_stripes() {
+        let m = LockedBTreeMap::new();
+        stress_disjoint_stripes(&m, 4, 100);
+    }
+}

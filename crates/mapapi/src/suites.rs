@@ -1,0 +1,155 @@
+//! Reusable single-threaded correctness suites.
+//!
+//! Every map implementation in the workspace runs the same differential
+//! suites against the [`LockedBTreeMap`](crate::reference::LockedBTreeMap)
+//! oracle, so a new structure gets a meaningful test battery by writing a
+//! handful of one-line tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::reference::LockedBTreeMap;
+use crate::{ConcurrentMap, Key};
+
+/// Basic single-threaded semantics every map must satisfy.
+pub fn check_basic_semantics<M: ConcurrentMap>(map: &M) {
+    assert!(!map.contains(10), "{}: empty map should not contain 10", map.name());
+    assert!(map.insert(10, 100), "{}: first insert must succeed", map.name());
+    assert!(!map.insert(10, 101), "{}: duplicate insert must fail", map.name());
+    assert!(map.contains(10));
+    assert_eq!(map.get(10), Some(100), "{}: value must be the first inserted", map.name());
+    assert!(map.remove(10));
+    assert!(!map.remove(10), "{}: double remove must fail", map.name());
+    assert!(!map.contains(10));
+    assert_eq!(map.get(10), None);
+
+    // Re-insertion after deletion.
+    assert!(map.insert(10, 200));
+    assert_eq!(map.get(10), Some(200));
+
+    // A small batch of distinct keys.
+    for k in [1u64, 5, 3, 7, 2, 9, 4, 8, 6] {
+        assert!(map.insert(k, k * 10), "{}: insert {} failed", map.name(), k);
+    }
+    for k in 1..=9u64 {
+        assert!(map.contains(k), "{}: missing key {}", map.name(), k);
+        assert_eq!(map.get(k), Some(k * 10));
+    }
+    assert!(!map.contains(11));
+}
+
+/// Ascending, descending and alternating insertion/removal orders — the
+/// patterns most likely to exercise degenerate tree shapes and the deletion
+/// cases (leaf, one child, two children).
+pub fn check_ordered_patterns<M: ConcurrentMap>(map: &M) {
+    let n: u64 = 200;
+    for k in 1..=n {
+        assert!(map.insert(k, k));
+    }
+    for k in 1..=n {
+        assert!(map.contains(k));
+    }
+    // Remove odd keys (exercises leaf and one-child deletes).
+    for k in (1..=n).filter(|k| k % 2 == 1) {
+        assert!(map.remove(k), "{}: remove {}", map.name(), k);
+    }
+    for k in 1..=n {
+        assert_eq!(map.contains(k), k % 2 == 0);
+    }
+    // Remove the rest in descending order.
+    for k in (1..=n).rev().filter(|k| k % 2 == 0) {
+        assert!(map.remove(k));
+    }
+    let s = map.stats();
+    assert_eq!(s.key_count, 0, "{}: map should be empty", map.name());
+
+    // Descending insertion.
+    for k in (1..=n).rev() {
+        assert!(map.insert(k, k + 1));
+    }
+    for k in 1..=n {
+        assert_eq!(map.get(k), Some(k + 1));
+    }
+    let s = map.stats();
+    assert_eq!(s.key_count, n);
+    assert_eq!(s.key_sum, (n as u128) * (n as u128 + 1) / 2);
+}
+
+/// Differential test against the oracle with a random operation mix.
+pub fn check_random_against_oracle<M: ConcurrentMap>(map: &M, ops: usize, key_range: Key, seed: u64) {
+    let oracle = LockedBTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..ops {
+        let key = rng.gen_range(1..=key_range);
+        match rng.gen_range(0..3) {
+            0 => {
+                let v = i as u64;
+                assert_eq!(
+                    map.insert(key, v),
+                    oracle.insert(key, v),
+                    "{}: insert({key}) diverged at op {i}",
+                    map.name()
+                );
+            }
+            1 => {
+                assert_eq!(
+                    map.remove(key),
+                    oracle.remove(key),
+                    "{}: remove({key}) diverged at op {i}",
+                    map.name()
+                );
+            }
+            _ => {
+                assert_eq!(
+                    map.contains(key),
+                    oracle.contains(key),
+                    "{}: contains({key}) diverged at op {i}",
+                    map.name()
+                );
+                assert_eq!(map.get(key), oracle.get(key));
+            }
+        }
+    }
+    // Final-state equivalence.
+    let s = map.stats();
+    let o = oracle.stats();
+    assert_eq!(s.key_count, o.key_count, "{}: final key count diverged", map.name());
+    assert_eq!(s.key_sum, o.key_sum, "{}: final key sum diverged", map.name());
+    for key in 1..=key_range {
+        assert_eq!(map.contains(key), oracle.contains(key), "{}: final contains({key})", map.name());
+    }
+}
+
+/// Quick structural sanity check used after stress runs: key count and key
+/// sum reported by `stats()` must be consistent with `contains` over the
+/// whole key range.
+pub fn check_stats_consistency<M: ConcurrentMap>(map: &M, key_range: Key) {
+    let s = map.stats();
+    let mut count = 0u64;
+    let mut sum = 0u128;
+    for key in 1..=key_range {
+        if map.contains(key) {
+            count += 1;
+            sum += key as u128;
+        }
+    }
+    assert_eq!(s.key_count, count, "{}: stats key_count vs contains()", map.name());
+    assert_eq!(s.key_sum, sum, "{}: stats key_sum vs contains()", map.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::LockedBTreeMap;
+
+    #[test]
+    fn oracle_passes_its_own_suites() {
+        let m = LockedBTreeMap::new();
+        check_basic_semantics(&m);
+        let m = LockedBTreeMap::new();
+        check_ordered_patterns(&m);
+        let m = LockedBTreeMap::new();
+        check_random_against_oracle(&m, 2000, 64, 42);
+        check_stats_consistency(&m, 64);
+    }
+}

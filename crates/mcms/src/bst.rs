@@ -1,0 +1,398 @@
+//! An internal BST built with MCMS, used as the comparison point of the
+//! paper's Figure 6.
+//!
+//! Unlike the PathCAS tree, this tree has no version numbers: every update
+//! (and every validated negative search) passes its **entire search path** —
+//! the key and the followed child pointer of every traversed node — to MCMS
+//! as compare-only entries.  On the software path each of those entries gets
+//! descriptor-locked, which is precisely the behaviour the paper identifies
+//! as the reason MCMS trees collapse under concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::Guard;
+use kcas::CasWord;
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+
+use crate::{mcms, mcms_read, McmsArg};
+
+const NIL: u64 = 0;
+const KEY_MIN_SENTINEL: u64 = 0;
+const KEY_MAX_SENTINEL: u64 = kcas::MAX_VALUE;
+
+struct Node {
+    key: CasWord,
+    val: CasWord,
+    left: CasWord,
+    right: CasWord,
+}
+
+impl Node {
+    fn new(key: u64, val: u64) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key: CasWord::new(key),
+            val: CasWord::new(val),
+            left: CasWord::new(NIL),
+            right: CasWord::new(NIL),
+        }))
+    }
+}
+
+#[inline]
+fn ptr_to_word(ptr: *const Node) -> u64 {
+    ptr as usize as u64
+}
+
+#[inline]
+unsafe fn word_to_ref<'g>(word: u64, _guard: &'g Guard) -> &'g Node {
+    unsafe { &*(word as usize as *const Node) }
+}
+
+/// One step of a recorded search path: the traversed node, the key observed
+/// in it, and the child pointer followed out of it (with the value seen).
+struct PathStep<'g> {
+    node: &'g Node,
+    key_seen: u64,
+    child_is_right: bool,
+    child_seen: u64,
+}
+
+struct SearchResult<'g> {
+    found: bool,
+    curr: Option<&'g Node>,
+    parent: &'g Node,
+    path: Vec<PathStep<'g>>,
+}
+
+/// The MCMS-based internal BST (`int-bst-mcms`).
+pub struct McmsBst {
+    max_root: *mut Node,
+    min_root: *mut Node,
+    retries: AtomicU64,
+}
+
+unsafe impl Send for McmsBst {}
+unsafe impl Sync for McmsBst {}
+
+impl Default for McmsBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl McmsBst {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        let min_root = Node::new(KEY_MIN_SENTINEL, 0);
+        let max_root = Node::new(KEY_MAX_SENTINEL, 0);
+        unsafe { (*max_root).left.store(ptr_to_word(min_root)) };
+        McmsBst { max_root, min_root, retries: AtomicU64::new(0) }
+    }
+
+    /// Number of operation restarts.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain traversal that records, for every traversed node, its key and
+    /// the child pointer followed.
+    fn search<'g>(&self, guard: &'g Guard, key: u64) -> SearchResult<'g> {
+        let mut path = Vec::new();
+        let max_root: &Node = unsafe { &*self.max_root };
+        let mut parent = max_root;
+        path.push(PathStep {
+            node: max_root,
+            key_seen: KEY_MAX_SENTINEL,
+            child_is_right: false,
+            child_seen: mcms_read(&max_root.left, guard),
+        });
+        let mut curr: &Node = unsafe { &*self.min_root };
+        loop {
+            let curr_key = mcms_read(&curr.key, guard);
+            if curr_key == key {
+                return SearchResult { found: true, curr: Some(curr), parent, path };
+            }
+            let go_right = key > curr_key;
+            let child = if go_right {
+                mcms_read(&curr.right, guard)
+            } else {
+                mcms_read(&curr.left, guard)
+            };
+            path.push(PathStep { node: curr, key_seen: curr_key, child_is_right: go_right, child_seen: child });
+            if child == NIL {
+                return SearchResult { found: false, curr: None, parent: curr, path };
+            }
+            parent = curr;
+            curr = unsafe { word_to_ref(child, guard) };
+        }
+    }
+
+    /// Compare-only entries covering the entire recorded search path.
+    fn path_compares<'g>(path: &'g [PathStep<'g>]) -> Vec<McmsArg<'g>> {
+        let mut args = Vec::with_capacity(path.len() * 2);
+        for step in path {
+            args.push(McmsArg::Compare { addr: &step.node.key, expected: step.key_seen });
+            let child_word = if step.child_is_right { &step.node.right } else { &step.node.left };
+            args.push(McmsArg::Compare { addr: child_word, expected: step.child_seen });
+        }
+        args
+    }
+
+    fn insert_impl(&self, key: u64, val: u64) -> bool {
+        loop {
+            let guard = crossbeam_epoch::pin();
+            let res = self.search(&guard, key);
+            if res.found {
+                // As in the paper's optimized MCMS tree, inserts that return
+                // false avoid the MCMS entirely.
+                return false;
+            }
+            let parent = res.parent;
+            let parent_key = mcms_read(&parent.key, &guard);
+            let new_node = Node::new(key, val);
+            let ptr_to_change = if key < parent_key { &parent.left } else { &parent.right };
+            let mut args = Self::path_compares(&res.path);
+            // Drop the compare entry for the word we are about to swap (the
+            // last followed child pointer) — the swap already checks it.
+            args.retain(|a| match a {
+                McmsArg::Compare { addr, .. } => !std::ptr::eq(*addr, ptr_to_change as *const CasWord),
+                _ => true,
+            });
+            args.push(McmsArg::Swap { addr: ptr_to_change, old: NIL, new: ptr_to_word(new_node) });
+            if mcms(&args, &guard) {
+                return true;
+            }
+            unsafe { drop(Box::from_raw(new_node)) };
+            self.note_retry();
+        }
+    }
+
+    fn remove_impl(&self, key: u64) -> bool {
+        loop {
+            let guard = crossbeam_epoch::pin();
+            let res = self.search(&guard, key);
+            if !res.found {
+                // Negative result: validate the whole path with a compare-only
+                // MCMS (this is the expensive validated search of Figure 6).
+                let args = Self::path_compares(&res.path);
+                if mcms(&args, &guard) {
+                    return false;
+                }
+                self.note_retry();
+                continue;
+            }
+            let curr = res.curr.expect("found implies node");
+            let curr_word = ptr_to_word(curr as *const Node);
+            let parent = res.parent;
+            let curr_left = mcms_read(&curr.left, &guard);
+            let curr_right = mcms_read(&curr.right, &guard);
+            let mut args = Self::path_compares(&res.path);
+
+            if curr_left == NIL || curr_right == NIL {
+                let child_to_keep = if curr_left == NIL { curr_right } else { curr_left };
+                let parent_left = mcms_read(&parent.left, &guard);
+                let ptr_to_change = if parent_left == curr_word { &parent.left } else { &parent.right };
+                args.retain(|a| match a {
+                    McmsArg::Compare { addr, .. } => !std::ptr::eq(*addr, ptr_to_change as *const CasWord),
+                    _ => true,
+                });
+                // Pin curr's children so no concurrent insert slips below it.
+                args.push(McmsArg::Compare { addr: &curr.left, expected: curr_left });
+                args.push(McmsArg::Compare { addr: &curr.right, expected: curr_right });
+                args.push(McmsArg::Swap { addr: ptr_to_change, old: curr_word, new: child_to_keep });
+                if mcms(&args, &guard) {
+                    unsafe {
+                        guard.defer_unchecked(move || drop(Box::from_raw(curr_word as usize as *mut Node)))
+                    };
+                    return true;
+                }
+                self.note_retry();
+                continue;
+            }
+
+            // Two children: find the successor (recording its path), promote
+            // its key/value into curr and splice it out.
+            let mut succ_path: Vec<PathStep> = Vec::new();
+            let mut succ_p: &Node = curr;
+            let mut succ: &Node = unsafe { word_to_ref(curr_right, &guard) };
+            succ_path.push(PathStep {
+                node: curr,
+                key_seen: key,
+                child_is_right: true,
+                child_seen: curr_right,
+            });
+            loop {
+                let l = mcms_read(&succ.left, &guard);
+                if l == NIL {
+                    break;
+                }
+                succ_path.push(PathStep {
+                    node: succ,
+                    key_seen: mcms_read(&succ.key, &guard),
+                    child_is_right: false,
+                    child_seen: l,
+                });
+                succ_p = succ;
+                succ = unsafe { word_to_ref(l, &guard) };
+            }
+            let succ_word = ptr_to_word(succ as *const Node);
+            let succ_key = mcms_read(&succ.key, &guard);
+            let succ_val = mcms_read(&succ.val, &guard);
+            let succ_r = mcms_read(&succ.right, &guard);
+            let curr_val = mcms_read(&curr.val, &guard);
+            let succ_p_right = mcms_read(&succ_p.right, &guard);
+            let splice_ptr = if succ_p_right == succ_word { &succ_p.right } else { &succ_p.left };
+
+            args.extend(Self::path_compares(&succ_path));
+            // Remove compare entries that conflict with swapped addresses.
+            args.retain(|a| match a {
+                McmsArg::Compare { addr, .. } => {
+                    !std::ptr::eq(*addr, splice_ptr as *const CasWord)
+                        && !std::ptr::eq(*addr, &curr.key as *const CasWord)
+                        && !std::ptr::eq(*addr, &curr.val as *const CasWord)
+                }
+                _ => true,
+            });
+            args.push(McmsArg::Swap { addr: splice_ptr, old: succ_word, new: succ_r });
+            args.push(McmsArg::Swap { addr: &curr.key, old: key, new: succ_key });
+            args.push(McmsArg::Swap { addr: &curr.val, old: curr_val, new: succ_val });
+            args.push(McmsArg::Compare { addr: &succ.key, expected: succ_key });
+            args.push(McmsArg::Compare { addr: &succ.right, expected: succ_r });
+            args.push(McmsArg::Compare { addr: &succ.left, expected: NIL });
+            if mcms(&args, &guard) {
+                unsafe {
+                    guard.defer_unchecked(move || drop(Box::from_raw(succ_word as usize as *mut Node)))
+                };
+                return true;
+            }
+            self.note_retry();
+        }
+    }
+
+    fn get_impl(&self, key: u64) -> Option<u64> {
+        loop {
+            let guard = crossbeam_epoch::pin();
+            let res = self.search(&guard, key);
+            if let Some(curr) = res.curr {
+                // Positive searches avoid MCMS (the paper's optimization).
+                return Some(mcms_read(&curr.val, &guard));
+            }
+            // Negative searches validate the path with a compare-only MCMS —
+            // this is what makes MCMS searches write to the whole path.
+            let args = Self::path_compares(&res.path);
+            if mcms(&args, &guard) {
+                return None;
+            }
+            self.note_retry();
+        }
+    }
+
+    fn stats_impl(&self) -> MapStats {
+        let mut stats = MapStats {
+            node_count: 2,
+            approx_bytes: 2 * std::mem::size_of::<Node>() as u64,
+            ..Default::default()
+        };
+        let root = unsafe { (*self.min_root).right.load_quiescent() };
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        if root != NIL {
+            stack.push((root, 0));
+        }
+        while let Some((word, depth)) = stack.pop() {
+            let node = unsafe { &*(word as usize as *const Node) };
+            stats.node_count += 1;
+            stats.approx_bytes += std::mem::size_of::<Node>() as u64;
+            stats.key_count += 1;
+            stats.key_sum += node.key.load_quiescent() as u128;
+            stats.key_depth_sum += depth;
+            let l = node.left.load_quiescent();
+            let r = node.right.load_quiescent();
+            if l != NIL {
+                stack.push((l, depth + 1));
+            }
+            if r != NIL {
+                stack.push((r, depth + 1));
+            }
+        }
+        stats
+    }
+}
+
+impl ConcurrentMap for McmsBst {
+    fn name(&self) -> &'static str {
+        "int-bst-mcms"
+    }
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        self.get_impl(key).is_some()
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.get_impl(key)
+    }
+    fn stats(&self) -> MapStats {
+        self.stats_impl()
+    }
+}
+
+impl Drop for McmsBst {
+    fn drop(&mut self) {
+        let mut work = vec![ptr_to_word(self.max_root)];
+        while let Some(word) = work.pop() {
+            if word == NIL {
+                continue;
+            }
+            let ptr = word as usize as *mut Node;
+            let node = unsafe { &*ptr };
+            work.push(node.left.load_quiescent());
+            work.push(node.right.load_quiescent());
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapapi::stress::{prefill, stress_disjoint_stripes, stress_keysum};
+    use mapapi::suites::*;
+    use std::time::Duration;
+
+    #[test]
+    fn basic_semantics() {
+        check_basic_semantics(&McmsBst::new());
+    }
+
+    #[test]
+    fn ordered_patterns() {
+        check_ordered_patterns(&McmsBst::new());
+    }
+
+    #[test]
+    fn random_vs_oracle() {
+        let t = McmsBst::new();
+        check_random_against_oracle(&t, 5000, 128, 0x31337);
+        check_stats_consistency(&t, 128);
+    }
+
+    #[test]
+    fn stripes_stress() {
+        let t = McmsBst::new();
+        stress_disjoint_stripes(&t, 4, 200);
+    }
+
+    #[test]
+    fn keysum_stress() {
+        let t = McmsBst::new();
+        prefill(&t, 256, 128, 9);
+        stress_keysum(&t, 4, 256, 50, Duration::from_millis(250), 8);
+    }
+}

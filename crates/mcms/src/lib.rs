@@ -1,0 +1,110 @@
+//! # mcms — Multi-Compare Multi-Swap and the MCMS internal BST
+//!
+//! MCMS (Timnat, Herlihy & Petrank, Euro-Par 2015) extends KCAS with entries
+//! that are *compared but not swapped*.  Without HTM (which is unavailable
+//! here, and on the paper's AMD machine), every compared address is still
+//! "locked" with a descriptor on the software path — so an MCMS-based search
+//! tree writes to **every node on the search path, including the root**, in
+//! updates *and* in validated searches.  The paper (§5.1, Figure 6) shows
+//! that this turns into a global contention bottleneck; this crate exists to
+//! reproduce that comparison against PathCAS.
+//!
+//! The primitive is implemented directly on the [`kcas`] engine: a
+//! compare-only entry is a `⟨addr, v, v⟩` triple, exactly the emulation the
+//! PathCAS paper describes in §3.2.
+
+#![warn(missing_docs)]
+
+pub mod bst;
+
+pub use bst::McmsBst;
+
+use crossbeam_epoch::Guard;
+use kcas::{CasWord, KcasArg};
+
+/// One MCMS argument: either compare-and-swap or compare-only.
+#[derive(Clone, Copy)]
+pub enum McmsArg<'a> {
+    /// Atomically change `addr` from `old` to `new`.
+    Swap {
+        /// The word to change.
+        addr: &'a CasWord,
+        /// Expected current value.
+        old: u64,
+        /// New value.
+        new: u64,
+    },
+    /// Require that `addr` still holds `expected`, without changing it.
+    Compare {
+        /// The word to check.
+        addr: &'a CasWord,
+        /// Required value.
+        expected: u64,
+    },
+}
+
+/// Execute an MCMS operation: succeeds (returning `true`) only if every
+/// compared address holds its expected value and every swapped address holds
+/// its old value; in that case all swaps are applied atomically.
+pub fn mcms(args: &[McmsArg<'_>], guard: &Guard) -> bool {
+    let entries: Vec<KcasArg<'_>> = args
+        .iter()
+        .map(|a| match *a {
+            McmsArg::Swap { addr, old, new } => KcasArg { addr, old, new },
+            McmsArg::Compare { addr, expected } => KcasArg { addr, old: expected, new: expected },
+        })
+        .collect();
+    kcas::kcas(&entries, guard)
+}
+
+/// Read a word that may be under an in-flight MCMS (identical to `KCASRead`).
+pub fn mcms_read(word: &CasWord, guard: &Guard) -> u64 {
+    kcas::read(word, guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_only_entries_gate_the_swap() {
+        let gatekeeper = CasWord::new(7);
+        let target = CasWord::new(1);
+        let guard = crossbeam_epoch::pin();
+        // Wrong expectation on the compared word: nothing changes.
+        assert!(!mcms(
+            &[
+                McmsArg::Compare { addr: &gatekeeper, expected: 8 },
+                McmsArg::Swap { addr: &target, old: 1, new: 2 },
+            ],
+            &guard
+        ));
+        assert_eq!(mcms_read(&target, &guard), 1);
+        // Correct expectation: the swap applies, the compared word is intact.
+        assert!(mcms(
+            &[
+                McmsArg::Compare { addr: &gatekeeper, expected: 7 },
+                McmsArg::Swap { addr: &target, old: 1, new: 2 },
+            ],
+            &guard
+        ));
+        assert_eq!(mcms_read(&target, &guard), 2);
+        assert_eq!(mcms_read(&gatekeeper, &guard), 7);
+    }
+
+    #[test]
+    fn pure_compare_operation_acts_as_validation() {
+        let a = CasWord::new(1);
+        let b = CasWord::new(2);
+        let guard = crossbeam_epoch::pin();
+        assert!(mcms(
+            &[McmsArg::Compare { addr: &a, expected: 1 }, McmsArg::Compare { addr: &b, expected: 2 }],
+            &guard
+        ));
+        b.store(3);
+        assert!(!mcms(
+            &[McmsArg::Compare { addr: &a, expected: 1 }, McmsArg::Compare { addr: &b, expected: 2 }],
+            &guard
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! # pathcas-ds — data structures built on the PathCAS primitive
+//!
+//! This crate contains the data structures described in the paper:
+//!
+//! * [`bst::PathCasBst`] — the lock-free *internal* unbalanced binary search
+//!   tree of §4 (`int-bst-pathcas`),
+//! * [`avl::PathCasAvl`] — the relaxed internal AVL tree of §4.2 / Appendix D
+//!   (`int-avl-pathcas`), using Bougé-style local rebalancing steps,
+//! * the additional structures listed in the conclusion (§6) as
+//!   straightforward applications of the same recipe: a sorted
+//!   [`list::PathCasList`], a [`stack::PathCasStack`], a
+//!   [`queue::PathCasQueue`] and a fixed-bucket [`hashmap::PathCasHashMap`],
+//!
+//! All of them follow the same construction: *visit* every node read during
+//! the traversal, *add* the words to be modified (always including a version
+//! bump of every modified node, with the mark bit set for removed nodes), and
+//! commit with `vexec`.
+
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod bst;
+pub mod hashmap;
+pub mod list;
+pub mod node;
+pub mod queue;
+pub mod stack;
+
+
+pub use avl::PathCasAvl;
+pub use bst::PathCasBst;
+pub use hashmap::PathCasHashMap;
+pub use list::PathCasList;
+pub use queue::PathCasQueue;
+pub use stack::PathCasStack;
+
+
+
+
+

@@ -1,0 +1,305 @@
+//! A sorted linked-list set/map built with PathCAS — one of the "many data
+//! structures wherein an operation consists of a read phase followed by a
+//! write phase" that the paper's conclusion (§6) describes: visit each node
+//! traversed, then `add` and `vexec` the modifications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_epoch::Guard;
+use kcas::CasWord;
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+use pathcas::PathCasOp;
+
+use crate::node::{ptr_to_word, retire, with_builder, word_to_ref, NIL};
+
+const KEY_HEAD: u64 = 0;
+const KEY_TAIL: u64 = kcas::MAX_VALUE;
+
+struct Node {
+    key: CasWord,
+    val: CasWord,
+    next: CasWord,
+    ver: CasWord,
+}
+
+impl Node {
+    fn new(key: u64, val: u64, next: u64) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key: CasWord::new(key),
+            val: CasWord::new(val),
+            next: CasWord::new(next),
+            ver: CasWord::new(0),
+        }))
+    }
+}
+
+/// A concurrent sorted linked list (`list-pathcas`).
+pub struct PathCasList {
+    head: *mut Node,
+    tail: *mut Node,
+    retries: AtomicU64,
+}
+
+unsafe impl Send for PathCasList {}
+unsafe impl Sync for PathCasList {}
+
+impl Default for PathCasList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Result of a list traversal: the first node with `key >= target` and its
+/// predecessor, with the versions observed when they were visited.
+struct Window<'g> {
+    pred: &'g Node,
+    pred_ver: u64,
+    curr: &'g Node,
+    curr_ver: u64,
+}
+
+impl PathCasList {
+    /// Create an empty list (two sentinel nodes).
+    pub fn new() -> Self {
+        let tail = Node::new(KEY_TAIL, 0, NIL);
+        let head = Node::new(KEY_HEAD, 0, ptr_to_word(tail));
+        PathCasList { head, tail, retries: AtomicU64::new(0) }
+    }
+
+    /// Number of operation restarts.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traverse, visiting the predecessor/current window; earlier nodes are
+    /// not visited (their validation is unnecessary: correctness only depends
+    /// on the window being unchanged and unmarked, as in the lazy list).
+    fn window<'g>(&self, op: &mut PathCasOp<'g>, guard: &'g Guard, key: u64) -> Window<'g> {
+        let mut pred: &Node = unsafe { &*self.head };
+        let mut pred_ver = op.visit(&pred.ver);
+        let mut curr: &Node = unsafe { word_to_ref(op.read(&pred.next), guard) };
+        let mut curr_ver = op.visit(&curr.ver);
+        loop {
+            let curr_key = op.read(&curr.key);
+            if curr_key >= key {
+                return Window { pred, pred_ver, curr, curr_ver };
+            }
+            pred = curr;
+            pred_ver = curr_ver;
+            curr = unsafe { word_to_ref(op.read(&curr.next), guard) };
+            curr_ver = op.visit(&curr.ver);
+        }
+    }
+
+    fn insert_impl(&self, key: u64, val: u64) -> bool {
+        debug_assert!(key > KEY_HEAD && key < KEY_TAIL);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let w = self.window(&mut op, &guard, key);
+                if op.read(&w.curr.key) == key {
+                    if op.validate() {
+                        return Some(false);
+                    }
+                    return None;
+                }
+                if w.pred_ver & 1 == 1 || w.curr_ver & 1 == 1 {
+                    return None;
+                }
+                let curr_word = ptr_to_word(w.curr as *const Node);
+                let new_node = Node::new(key, val, curr_word);
+                op.add(&w.pred.next, curr_word, ptr_to_word(new_node));
+                op.add(&w.pred.ver, w.pred_ver, w.pred_ver + 2);
+                if op.vexec() {
+                    Some(true)
+                } else {
+                    unsafe { drop(Box::from_raw(new_node)) };
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
+    fn remove_impl(&self, key: u64) -> bool {
+        debug_assert!(key > KEY_HEAD && key < KEY_TAIL);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let w = self.window(&mut op, &guard, key);
+                if op.read(&w.curr.key) != key {
+                    if op.validate() {
+                        return Some(false);
+                    }
+                    return None;
+                }
+                if w.pred_ver & 1 == 1 || w.curr_ver & 1 == 1 {
+                    return None;
+                }
+                let curr_word = ptr_to_word(w.curr as *const Node);
+                let next = op.read(&w.curr.next);
+                op.add(&w.pred.next, curr_word, next);
+                op.add(&w.pred.ver, w.pred_ver, w.pred_ver + 2);
+                op.add(&w.curr.ver, w.curr_ver, w.curr_ver + 1); // mark
+                if op.vexec() {
+                    unsafe { retire(w.curr as *const Node, &guard) };
+                    Some(true)
+                } else {
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
+    fn get_impl(&self, key: u64) -> Option<u64> {
+        debug_assert!(key > KEY_HEAD && key < KEY_TAIL);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let w = self.window(&mut op, &guard, key);
+                if op.read(&w.curr.key) == key {
+                    return Some(Some(op.read(&w.curr.val)));
+                }
+                if op.validate() {
+                    return Some(None);
+                }
+                None
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
+    fn stats_impl(&self) -> MapStats {
+        let mut stats = MapStats {
+            node_count: 2,
+            approx_bytes: 2 * std::mem::size_of::<Node>() as u64,
+            ..Default::default()
+        };
+        let mut curr = unsafe { (*self.head).next.load_quiescent() };
+        let mut depth = 0u64;
+        while curr != NIL {
+            let node = unsafe { &*(curr as usize as *const Node) };
+            let key = node.key.load_quiescent();
+            if key == KEY_TAIL {
+                break;
+            }
+            stats.node_count += 1;
+            stats.approx_bytes += std::mem::size_of::<Node>() as u64;
+            stats.key_count += 1;
+            stats.key_sum += key as u128;
+            stats.key_depth_sum += depth;
+            depth += 1;
+            curr = node.next.load_quiescent();
+        }
+        stats
+    }
+
+    /// Quiescent invariant check: strictly increasing keys, no reachable
+    /// marked node.
+    pub fn check_invariants(&self) {
+        let mut prev_key = KEY_HEAD;
+        let mut curr = unsafe { (*self.head).next.load_quiescent() };
+        while curr != NIL {
+            let node = unsafe { &*(curr as usize as *const Node) };
+            let key = node.key.load_quiescent();
+            assert!(key > prev_key, "list order violated: {key} after {prev_key}");
+            assert_eq!(node.ver.load_quiescent() & 1, 0, "reachable list node is marked");
+            prev_key = key;
+            curr = node.next.load_quiescent();
+        }
+        assert_eq!(prev_key, KEY_TAIL, "list does not end at the tail sentinel");
+    }
+}
+
+impl ConcurrentMap for PathCasList {
+    fn name(&self) -> &'static str {
+        "list-pathcas"
+    }
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.insert_impl(key, value)
+    }
+    fn remove(&self, key: Key) -> bool {
+        self.remove_impl(key)
+    }
+    fn contains(&self, key: Key) -> bool {
+        self.get_impl(key).is_some()
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.get_impl(key)
+    }
+    fn stats(&self) -> MapStats {
+        self.stats_impl()
+    }
+}
+
+impl Drop for PathCasList {
+    fn drop(&mut self) {
+        let mut curr = self.head as *mut Node;
+        while !curr.is_null() {
+            let next = unsafe { (*curr).next.load_quiescent() };
+            unsafe { drop(Box::from_raw(curr)) };
+            curr = next as usize as *mut Node;
+        }
+        let _ = self.tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapapi::stress::{prefill, stress_disjoint_stripes, stress_keysum};
+    use mapapi::suites::*;
+    use std::time::Duration;
+
+    #[test]
+    fn basic_semantics() {
+        check_basic_semantics(&PathCasList::new());
+    }
+
+    #[test]
+    fn ordered_patterns() {
+        let l = PathCasList::new();
+        check_ordered_patterns(&l);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn random_vs_oracle() {
+        let l = PathCasList::new();
+        check_random_against_oracle(&l, 4000, 64, 5);
+        check_stats_consistency(&l, 64);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn stripes_stress() {
+        let l = PathCasList::new();
+        stress_disjoint_stripes(&l, 4, 60);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn keysum_stress() {
+        let l = PathCasList::new();
+        prefill(&l, 128, 64, 3);
+        stress_keysum(&l, 4, 128, 60, Duration::from_millis(250), 9);
+        l.check_invariants();
+    }
+}

@@ -1,0 +1,227 @@
+//! A lock-free FIFO queue built on KCAS through the PathCAS interface.
+//!
+//! Multi-word CAS makes the Michael–Scott queue almost trivial: an enqueue
+//! atomically appends the new node *and* swings the tail in one two-word
+//! `exec`, so the queue never has a lagging tail and dequeuers never help.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kcas::CasWord;
+
+use crate::node::{ptr_to_word, retire, with_builder, word_to_ref, NIL};
+
+struct Node {
+    val: u64,
+    next: CasWord,
+}
+
+impl Node {
+    fn new(val: u64) -> *mut Node {
+        Box::into_raw(Box::new(Node { val, next: CasWord::new(NIL) }))
+    }
+}
+
+/// A concurrent FIFO queue of `u64` values (dummy-node design).
+pub struct PathCasQueue {
+    head: CasWord,
+    tail: CasWord,
+    len: AtomicU64,
+}
+
+unsafe impl Send for PathCasQueue {}
+unsafe impl Sync for PathCasQueue {}
+
+impl Default for PathCasQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathCasQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        let dummy = Node::new(0);
+        PathCasQueue {
+            head: CasWord::new(ptr_to_word(dummy)),
+            tail: CasWord::new(ptr_to_word(dummy)),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Append a value to the back of the queue.
+    pub fn enqueue(&self, val: u64) {
+        let node = Node::new(val);
+        loop {
+            let ok = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let tail_word = op.read(&self.tail);
+                let tail: &Node = unsafe { word_to_ref(tail_word, &guard) };
+                // Atomically link the node after the tail and swing the tail.
+                op.add(&tail.next, NIL, ptr_to_word(node));
+                op.add(&self.tail, tail_word, ptr_to_word(node));
+                op.exec()
+            });
+            if ok {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Remove and return the value at the front of the queue, or `None` if it
+    /// is empty.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let result = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let head_word = op.read(&self.head);
+                let head: &Node = unsafe { word_to_ref(head_word, &guard) };
+                let next_word = op.read(&head.next);
+                if next_word == NIL {
+                    return Some(None);
+                }
+                let next: &Node = unsafe { word_to_ref(next_word, &guard) };
+                op.add(&self.head, head_word, next_word);
+                if op.exec() {
+                    let val = next.val;
+                    // The old dummy node is retired; `next` becomes the dummy.
+                    unsafe { retire(head as *const Node, &guard) };
+                    Some(Some(val))
+                } else {
+                    None
+                }
+            });
+            if let Some(r) = result {
+                if r.is_some() {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+                return r;
+            }
+        }
+    }
+
+    /// Best-effort number of enqueued elements.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the queue is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        let guard = crossbeam_epoch::pin();
+        let head_word = kcas::read(&self.head, &guard);
+        let head: &Node = unsafe { word_to_ref(head_word, &guard) };
+        kcas::read(&head.next, &guard) == NIL
+    }
+}
+
+impl Drop for PathCasQueue {
+    fn drop(&mut self) {
+        let mut curr = self.head.load_quiescent();
+        while curr != NIL {
+            let node = curr as usize as *mut Node;
+            curr = unsafe { (*node).next.load_quiescent() };
+            unsafe { drop(Box::from_raw(node)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = PathCasQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        for v in 1..=10u64 {
+            q.enqueue(v);
+        }
+        assert_eq!(q.len(), 10);
+        for v in 1..=10u64 {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // Values from one producer must be dequeued in the order produced.
+        let q = Arc::new(PathCasQueue::new());
+        let producers = 3usize;
+        let per = 4000u64;
+        std::thread::scope(|scope| {
+            for t in 0..producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue(((t as u64) << 32) | i);
+                    }
+                });
+            }
+        });
+        let mut last_seen = vec![None::<u64>; producers];
+        let mut total = 0u64;
+        while let Some(v) = q.dequeue() {
+            let t = (v >> 32) as usize;
+            let i = v & 0xFFFF_FFFF;
+            if let Some(prev) = last_seen[t] {
+                assert!(i > prev, "producer {t} order violated: {i} after {prev}");
+            }
+            last_seen[t] = Some(i);
+            total += 1;
+        }
+        assert_eq!(total, producers as u64 * per);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let q = Arc::new(PathCasQueue::new());
+        let per = 5000u64;
+        let produced: u64 = 2 * per;
+        let consumed = std::thread::scope(|scope| {
+            for t in 0..2u64 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue(t * per + i + 1);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut sum = 0u128;
+                        let mut count = 0u64;
+                        let mut idle = 0;
+                        while idle < 10_000 {
+                            match q.dequeue() {
+                                Some(v) => {
+                                    sum += v as u128;
+                                    count += 1;
+                                    idle = 0;
+                                }
+                                None => idle += 1,
+                            }
+                        }
+                        (sum, count)
+                    })
+                })
+                .collect();
+            consumers.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        let mut total_sum: u128 = consumed.iter().map(|(s, _)| s).sum();
+        let mut total_count: u64 = consumed.iter().map(|(_, c)| c).sum();
+        while let Some(v) = q.dequeue() {
+            total_sum += v as u128;
+            total_count += 1;
+        }
+        assert_eq!(total_count, produced);
+        assert_eq!(total_sum, (produced as u128 * (produced as u128 + 1)) / 2);
+    }
+}

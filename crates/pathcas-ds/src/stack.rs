@@ -1,0 +1,165 @@
+//! A lock-free stack built on the PathCAS/KCAS machinery (§6 mentions stacks
+//! among the structures implemented with the same recipe).  Push and pop are
+//! single-word operations, so they use `exec` without any visited path; the
+//! value of the exercise is that epoch reclamation plus descriptor-based CAS
+//! makes the classic ABA pitfall a non-issue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kcas::CasWord;
+
+use crate::node::{ptr_to_word, retire, with_builder, word_to_ref, NIL};
+
+struct Node {
+    val: u64,
+    next: CasWord,
+}
+
+/// A Treiber-style lock-free stack of `u64` values, synchronized with PathCAS.
+pub struct PathCasStack {
+    top: CasWord,
+    len: AtomicU64,
+}
+
+unsafe impl Send for PathCasStack {}
+unsafe impl Sync for PathCasStack {}
+
+impl Default for PathCasStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathCasStack {
+    /// Create an empty stack.
+    pub fn new() -> Self {
+        PathCasStack { top: CasWord::new(NIL), len: AtomicU64::new(0) }
+    }
+
+    /// Push a value.
+    pub fn push(&self, val: u64) {
+        let node = Box::into_raw(Box::new(Node { val, next: CasWord::new(NIL) }));
+        loop {
+            let pushed = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let top = op.read(&self.top);
+                unsafe { &*node }.next.store(top);
+                op.add(&self.top, top, ptr_to_word(node));
+                op.exec()
+            });
+            if pushed {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Pop the most recently pushed value, or `None` if the stack is empty.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            let result = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let top = op.read(&self.top);
+                if top == NIL {
+                    return Some(None);
+                }
+                let node: &Node = unsafe { word_to_ref(top, &guard) };
+                let next = op.read(&node.next);
+                op.add(&self.top, top, next);
+                if op.exec() {
+                    let val = node.val;
+                    unsafe { retire(node as *const Node, &guard) };
+                    Some(Some(val))
+                } else {
+                    None
+                }
+            });
+            if let Some(r) = result {
+                if r.is_some() {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+                return r;
+            }
+        }
+    }
+
+    /// Best-effort number of elements currently on the stack.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the stack is (momentarily) empty.
+    pub fn is_empty(&self) -> bool {
+        let guard = crossbeam_epoch::pin();
+        kcas::read(&self.top, &guard) == NIL
+    }
+}
+
+impl Drop for PathCasStack {
+    fn drop(&mut self) {
+        let mut curr = self.top.load_quiescent();
+        while curr != NIL {
+            let node = curr as usize as *mut Node;
+            curr = unsafe { (*node).next.load_quiescent() };
+            unsafe { drop(Box::from_raw(node)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order() {
+        let s = PathCasStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        for v in 1..=10u64 {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 10);
+        for v in (1..=10u64).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        let s = Arc::new(PathCasStack::new());
+        let threads = 4;
+        let per = 3000u64;
+        let popped: Vec<u64> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let s = Arc::clone(&s);
+                handles.push(scope.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        s.push(t as u64 * per + i + 1);
+                        if i % 2 == 1 {
+                            if let Some(v) = s.pop() {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut remaining = Vec::new();
+        while let Some(v) = s.pop() {
+            remaining.push(v);
+        }
+        let mut all: Vec<u64> = popped.into_iter().chain(remaining).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, threads as u64 * per, "elements lost or duplicated");
+    }
+}

@@ -1,0 +1,502 @@
+//! The PathCAS operation builder: `start`, `read`, `add`, `visit`,
+//! `validate`, `exec`, `vexec` and the strong (lock-free) `vexec` slow path.
+
+use crossbeam_epoch::Guard;
+use kcas::{CasWord, KcasArg, VisitArg};
+
+use crate::stats::OpStats;
+use crate::{DEFAULT_MAX_ENTRIES, DEFAULT_MAX_PATH, DEFAULT_STRONG_RETRIES};
+
+/// Per-thread, reusable argument accumulation buffers for PathCAS operations.
+///
+/// A builder owns no shared state: it is purely the scratch space described
+/// in §3.3 ("a simple array for our visited nodes").  Read-only operations
+/// (a validated `contains`) never publish a descriptor and never allocate.
+pub struct OpBuilder {
+    entries: Vec<(usize, u64, u64)>,
+    path: Vec<(usize, u64)>,
+    max_entries: usize,
+    max_path: usize,
+    strong_retries: usize,
+    stats: OpStats,
+}
+
+impl Default for OpBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpBuilder {
+    /// Create a builder with the default capacity bounds.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MAX_ENTRIES, DEFAULT_MAX_PATH)
+    }
+
+    /// Create a builder with explicit bounds on the add-set and the read-set
+    /// (the visited path).  Exceeding either bound panics, mirroring the
+    /// assertion in the paper's implementation.
+    pub fn with_capacity(max_entries: usize, max_path: usize) -> Self {
+        OpBuilder {
+            entries: Vec::with_capacity(max_entries.min(256)),
+            path: Vec::with_capacity(max_path.min(1024)),
+            max_entries,
+            max_path,
+            strong_retries: DEFAULT_STRONG_RETRIES,
+            stats: OpStats::default(),
+        }
+    }
+
+    /// Configure how many optimistic retries `vexec_strong` performs before
+    /// switching to the slow path.
+    pub fn set_strong_retries(&mut self, retries: usize) {
+        self.strong_retries = retries;
+    }
+
+    /// Begin gathering arguments for a new PathCAS operation (the paper's
+    /// `start()`), clearing the add-set and the visited path.
+    ///
+    /// The returned [`PathCasOp`] borrows both the builder and the epoch
+    /// guard; every address passed to it must remain valid for at least as
+    /// long as the guard is pinned, which the borrow checker enforces through
+    /// the `'g` lifetime.
+    pub fn start<'g>(&'g mut self, guard: &'g Guard) -> PathCasOp<'g> {
+        self.entries.clear();
+        self.path.clear();
+        PathCasOp { builder: self, guard }
+    }
+
+    /// Statistics accumulated by operations issued through this builder.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Reset accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = OpStats::default();
+    }
+}
+
+/// An in-progress PathCAS operation (between `start` and `exec`/`vexec`).
+pub struct PathCasOp<'g> {
+    builder: &'g mut OpBuilder,
+    guard: &'g Guard,
+}
+
+impl<'g> PathCasOp<'g> {
+    /// Read an address that might be modified by PathCAS (the paper's
+    /// `read`): if a descriptor is encountered, the corresponding operation
+    /// is helped to completion first.
+    #[inline]
+    pub fn read(&self, word: &CasWord) -> u64 {
+        kcas::read(word, self.guard)
+    }
+
+    /// The epoch guard this operation runs under.
+    #[inline]
+    pub fn guard(&self) -> &'g Guard {
+        self.guard
+    }
+
+    /// Add an address to be changed atomically from `old` to `new`.
+    ///
+    /// # Panics
+    /// Panics if the add-set bound is exceeded, or (in debug builds) if the
+    /// same address is added twice with conflicting values.
+    #[inline]
+    pub fn add(&mut self, word: &'g CasWord, old: u64, new: u64) {
+        let addr = word as *const CasWord as usize;
+        if let Some(existing) = self.builder.entries.iter().find(|e| e.0 == addr) {
+            debug_assert!(
+                existing.1 == old && existing.2 == new,
+                "address added twice with conflicting values (undefined behaviour per §3.2)"
+            );
+            return;
+        }
+        assert!(
+            self.builder.entries.len() < self.builder.max_entries,
+            "PathCAS add-set bound ({}) exceeded",
+            self.builder.max_entries
+        );
+        self.builder.entries.push((addr, old, new));
+    }
+
+    /// Visit a node: read its version word (helping if necessary), record it
+    /// in the path, and return the observed version (the mark bit is the
+    /// least-significant bit of the returned value).
+    ///
+    /// # Panics
+    /// Panics if the read-set bound is exceeded (the paper's assertion).
+    #[inline]
+    pub fn visit(&mut self, version_word: &'g CasWord) -> u64 {
+        let seen = kcas::read(version_word, self.guard);
+        assert!(
+            self.builder.path.len() < self.builder.max_path,
+            "PathCAS read-set bound ({}) exceeded",
+            self.builder.max_path
+        );
+        self.builder.path.push((version_word as *const CasWord as usize, seen));
+        seen
+    }
+
+    /// Number of visited nodes so far.
+    pub fn path_len(&self) -> usize {
+        self.builder.path.len()
+    }
+
+    /// Number of added addresses so far.
+    pub fn entry_len(&self) -> usize {
+        self.builder.entries.len()
+    }
+
+    /// Check whether any visited node has changed (or been marked) since it
+    /// was visited.  This is the read-only validation used by `contains`:
+    /// unlike the validation inside `vexec` it never fails spuriously,
+    /// because it helps any operation it encounters before comparing.
+    pub fn validate(&mut self) -> bool {
+        let path = self.path_args();
+        let ok = kcas::validate_path(&path, self.guard);
+        if !ok {
+            self.builder.stats.note_validate_failure();
+        }
+        ok
+    }
+
+    /// Perform the accumulated changes as a plain KCAS, ignoring the visited
+    /// path (the paper's `exec`).
+    pub fn exec(&mut self) -> bool {
+        let entries = self.entry_args();
+        let ok = kcas::execute(&entries, &[], self.guard);
+        self.builder.stats.note_exec(ok);
+        ok
+    }
+
+    /// Perform the accumulated changes only if no visited node has changed
+    /// since it was visited (the paper's `vexec`).  May fail spuriously if a
+    /// visited node is "locked" by another in-flight operation.
+    pub fn vexec(&mut self) -> bool {
+        let entries = self.entry_args();
+        let path = self.path_args_excluding_added();
+        let ok = kcas::execute(&entries, &path, self.guard);
+        self.builder.stats.note_vexec(ok);
+        ok
+    }
+
+    /// The strong `vexec` of §3.5: retry the optimistic `vexec` a bounded
+    /// number of times, then fall back to the lock-free slow path that
+    /// converts every visited `⟨node, version⟩` pair into a compare-only
+    /// `⟨node.ver, v, v⟩` entry and executes one large (sorted) KCAS.
+    ///
+    /// With this variant, a failure implies some added address or visited
+    /// version genuinely changed (property P1), so data structures built on
+    /// it are lock-free.
+    pub fn vexec_strong(&mut self) -> bool {
+        for _ in 0..self.builder.strong_retries {
+            let entries = self.entry_args();
+            let path = self.path_args_excluding_added();
+            if kcas::execute(&entries, &path, self.guard) {
+                self.builder.stats.note_vexec(true);
+                return true;
+            }
+            self.builder.stats.note_vexec(false);
+            // Re-check quickly whether the failure is definitely genuine: if
+            // some added address no longer holds its old value, retrying (or
+            // taking the slow path) cannot help.
+            if self.some_added_address_changed() {
+                return false;
+            }
+        }
+        // Slow path: lock the version words of visited nodes instead of
+        // validating them.
+        self.builder.stats.note_slow_path();
+        let mut entries = self.entry_args();
+        let added: Vec<usize> = self.builder.entries.iter().map(|e| e.0).collect();
+        let compare_only: Vec<KcasArg<'g>> = self
+            .builder
+            .path
+            .iter()
+            .filter(|(addr, _)| !added.contains(addr))
+            .map(|&(addr, seen)| KcasArg {
+                // SAFETY: the address was registered through a `&'g CasWord`,
+                // so it is valid for 'g (which covers this call).
+                addr: unsafe { &*(addr as *const CasWord) },
+                old: seen,
+                new: seen,
+            })
+            .collect();
+        entries.extend_from_slice(&compare_only);
+        let ok = kcas::execute(&entries, &[], self.guard);
+        self.builder.stats.note_exec(ok);
+        ok
+    }
+
+    fn some_added_address_changed(&self) -> bool {
+        self.builder.entries.iter().any(|&(addr, old, _)| {
+            // SAFETY: see `vexec_strong`.
+            let word = unsafe { &*(addr as *const CasWord) };
+            kcas::read(word, self.guard) != old
+        })
+    }
+
+    fn entry_args(&self) -> Vec<KcasArg<'g>> {
+        self.builder
+            .entries
+            .iter()
+            .map(|&(addr, old, new)| KcasArg {
+                // SAFETY: the address was registered through a `&'g CasWord`.
+                addr: unsafe { &*(addr as *const CasWord) },
+                old,
+                new,
+            })
+            .collect()
+    }
+
+    fn path_args(&self) -> Vec<VisitArg<'g>> {
+        self.builder
+            .path
+            .iter()
+            .map(|&(addr, seen)| VisitArg {
+                // SAFETY: as above.
+                ver_addr: unsafe { &*(addr as *const CasWord) },
+                seen,
+            })
+            .collect()
+    }
+
+    /// Path entries whose version word is also in the add-set are dropped:
+    /// the add already both checks the old version and locks the word, so a
+    /// separate compare entry would conflict with it.
+    fn path_args_excluding_added(&self) -> Vec<VisitArg<'g>> {
+        self.builder
+            .path
+            .iter()
+            .filter(|(addr, _)| !self.builder.entries.iter().any(|e| e.0 == *addr))
+            .map(|&(addr, seen)| VisitArg {
+                // SAFETY: as above.
+                ver_addr: unsafe { &*(addr as *const CasWord) },
+                seen,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    struct TwoNodes {
+        ver_a: CasWord,
+        data_a: CasWord,
+        ver_b: CasWord,
+        data_b: CasWord,
+    }
+
+    fn nodes() -> TwoNodes {
+        TwoNodes {
+            ver_a: CasWord::new(0),
+            data_a: CasWord::new(100),
+            ver_b: CasWord::new(0),
+            data_b: CasWord::new(200),
+        }
+    }
+
+    #[test]
+    fn vexec_succeeds_without_interference() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let va = op.visit(&n.ver_a);
+        let d = op.read(&n.data_b);
+        op.add(&n.data_b, d, d + 1);
+        op.add(&n.ver_b, 0, 2);
+        assert_eq!(va, 0);
+        assert!(op.vexec());
+        assert_eq!(kcas::read(&n.data_b, &guard), 201);
+        assert_eq!(kcas::read(&n.ver_b, &guard), 2);
+        // The merely-visited node is untouched.
+        assert_eq!(kcas::read(&n.ver_a, &guard), 0);
+    }
+
+    #[test]
+    fn vexec_fails_if_visited_node_changed() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let _ = op.visit(&n.ver_a);
+        op.add(&n.data_b, 200, 201);
+        // Concurrent modification of the visited node.
+        n.ver_a.store(2);
+        assert!(!op.vexec());
+        assert_eq!(kcas::read(&n.data_b, &guard), 200);
+    }
+
+    #[test]
+    fn vexec_fails_if_visited_node_marked() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let _ = op.visit(&n.ver_a);
+        op.add(&n.data_b, 200, 201);
+        n.ver_a.store(1); // mark
+        assert!(!op.vexec());
+    }
+
+    #[test]
+    fn exec_ignores_visited_nodes() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let _ = op.visit(&n.ver_a);
+        op.add(&n.data_b, 200, 201);
+        n.ver_a.store(2); // would fail vexec
+        assert!(op.exec());
+        assert_eq!(kcas::read(&n.data_b, &guard), 201);
+    }
+
+    #[test]
+    fn validate_detects_changes_and_marks() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        {
+            let mut op = b.start(&guard);
+            let _ = op.visit(&n.ver_a);
+            let _ = op.visit(&n.ver_b);
+            assert!(op.validate());
+        }
+        n.ver_b.store(2);
+        {
+            let mut op = b.start(&guard);
+            let _ = op.visit(&n.ver_a);
+            assert!(op.validate());
+            let _ = op.visit(&n.ver_b);
+            assert!(op.validate()); // re-visited, so current again
+        }
+        {
+            let mut op = b.start(&guard);
+            let _ = op.visit(&n.ver_a);
+            n.ver_a.store(4);
+            assert!(!op.validate());
+        }
+    }
+
+    #[test]
+    fn visited_node_in_add_set_does_not_self_conflict() {
+        // Visiting a node and also adding its version word (a common pattern:
+        // the parent both lies on the path and is modified) must not make the
+        // operation fail against itself.
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let va = op.visit(&n.ver_a);
+        op.add(&n.data_a, 100, 101);
+        op.add(&n.ver_a, va, va + 2);
+        assert!(op.vexec());
+        assert_eq!(kcas::read(&n.ver_a, &guard), 2);
+        assert_eq!(kcas::read(&n.data_a, &guard), 101);
+    }
+
+    #[test]
+    fn strong_vexec_genuine_failure_returns_false() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        op.add(&n.data_a, 100, 101);
+        n.data_a.store(150);
+        assert!(!op.vexec_strong());
+        assert_eq!(kcas::read(&n.data_a, &guard), 150);
+    }
+
+    #[test]
+    fn strong_vexec_slow_path_locks_versions() {
+        // Force the slow path by setting zero optimistic retries; the slow
+        // path should still succeed when nothing conflicts.
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        b.set_strong_retries(0);
+        let guard = crossbeam_epoch::pin();
+        let mut op = b.start(&guard);
+        let va = op.visit(&n.ver_a);
+        op.add(&n.data_b, 200, 201);
+        op.add(&n.ver_b, 0, 2);
+        assert_eq!(va, 0);
+        assert!(op.vexec_strong());
+        assert_eq!(kcas::read(&n.data_b, &guard), 201);
+        assert!(b.stats().slow_path_execs() >= 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let n = nodes();
+        let mut b = OpBuilder::new();
+        let guard = crossbeam_epoch::pin();
+        {
+            let mut op = b.start(&guard);
+            op.add(&n.data_a, 100, 101);
+            assert!(op.vexec());
+        }
+        {
+            let mut op = b.start(&guard);
+            op.add(&n.data_a, 100, 101); // stale old value
+            assert!(!op.vexec());
+        }
+        assert_eq!(b.stats().vexec_attempts(), 2);
+        assert_eq!(b.stats().vexec_failures(), 1);
+        b.reset_stats();
+        assert_eq!(b.stats().vexec_attempts(), 0);
+    }
+
+    #[test]
+    fn concurrent_visit_add_cross_pattern() {
+        // The §3.4 scenario: t1 visits A and adds B, t2 visits B and adds A.
+        // With vexec_strong both threads must make progress overall (the data
+        // words end up reflecting every successful operation exactly once).
+        let shared = Arc::new(nodes());
+        const OPS: u64 = 2000;
+        let mut handles = Vec::new();
+        for who in 0..2 {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let mut b = OpBuilder::new();
+                let mut successes = 0u64;
+                for _ in 0..OPS {
+                    loop {
+                        let guard = crossbeam_epoch::pin();
+                        let mut op = b.start(&guard);
+                        let (visit_ver, add_ver, add_data) = if who == 0 {
+                            (&shared.ver_a, &shared.ver_b, &shared.data_b)
+                        } else {
+                            (&shared.ver_b, &shared.ver_a, &shared.data_a)
+                        };
+                        let vv = op.visit(visit_ver);
+                        if vv & 1 == 1 {
+                            continue;
+                        }
+                        let av = op.read(add_ver);
+                        let d = op.read(add_data);
+                        op.add(add_data, d, d + 1);
+                        op.add(add_ver, av, av + 2);
+                        if op.vexec_strong() {
+                            successes += 1;
+                            break;
+                        }
+                    }
+                }
+                successes
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 2 * OPS);
+        let guard = crossbeam_epoch::pin();
+        let a = kcas::read(&shared.data_a, &guard);
+        let b_ = kcas::read(&shared.data_b, &guard);
+        assert_eq!(a - 100 + b_ - 200, 2 * OPS);
+    }
+}

@@ -1,0 +1,104 @@
+//! Lightweight per-builder (hence per-thread) operation statistics.
+//!
+//! These software-observable counters substitute for the hardware performance
+//! counters the paper reports in Figure 5 / the appendix factor analysis (see
+//! DESIGN.md §4): validation failures and slow-path executions explain the
+//! synchronization cost of PathCAS the same way abort rates explain TM cost.
+
+/// Counters accumulated by a single [`crate::OpBuilder`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    vexec_attempts: u64,
+    vexec_failures: u64,
+    exec_attempts: u64,
+    exec_failures: u64,
+    validate_failures: u64,
+    slow_path_execs: u64,
+}
+
+impl OpStats {
+    pub(crate) fn note_vexec(&mut self, ok: bool) {
+        self.vexec_attempts += 1;
+        if !ok {
+            self.vexec_failures += 1;
+        }
+    }
+
+    pub(crate) fn note_exec(&mut self, ok: bool) {
+        self.exec_attempts += 1;
+        if !ok {
+            self.exec_failures += 1;
+        }
+    }
+
+    pub(crate) fn note_validate_failure(&mut self) {
+        self.validate_failures += 1;
+    }
+
+    pub(crate) fn note_slow_path(&mut self) {
+        self.slow_path_execs += 1;
+    }
+
+    /// Total number of `vexec` attempts (including retries).
+    pub fn vexec_attempts(&self) -> u64 {
+        self.vexec_attempts
+    }
+
+    /// Number of `vexec` attempts that failed (genuinely or spuriously).
+    pub fn vexec_failures(&self) -> u64 {
+        self.vexec_failures
+    }
+
+    /// Total number of `exec` attempts (including strong-vexec slow paths).
+    pub fn exec_attempts(&self) -> u64 {
+        self.exec_attempts
+    }
+
+    /// Number of failed `exec` attempts.
+    pub fn exec_failures(&self) -> u64 {
+        self.exec_failures
+    }
+
+    /// Number of read-only `validate` calls that returned false.
+    pub fn validate_failures(&self) -> u64 {
+        self.validate_failures
+    }
+
+    /// Number of times `vexec_strong` fell back to the slow path.
+    pub fn slow_path_execs(&self) -> u64 {
+        self.slow_path_execs
+    }
+
+    /// Merge another statistics record into this one (used by the harness to
+    /// aggregate per-thread counters).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.vexec_attempts += other.vexec_attempts;
+        self.vexec_failures += other.vexec_failures;
+        self.exec_attempts += other.exec_attempts;
+        self.exec_failures += other.exec_failures;
+        self.validate_failures += other.validate_failures;
+        self.slow_path_execs += other.slow_path_execs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = OpStats::default();
+        a.note_vexec(false);
+        a.note_exec(true);
+        a.note_slow_path();
+        let mut b = OpStats::default();
+        b.note_vexec(true);
+        b.note_validate_failure();
+        a.merge(&b);
+        assert_eq!(a.vexec_attempts(), 2);
+        assert_eq!(a.vexec_failures(), 1);
+        assert_eq!(a.exec_attempts(), 1);
+        assert_eq!(a.validate_failures(), 1);
+        assert_eq!(a.slow_path_execs(), 1);
+    }
+}

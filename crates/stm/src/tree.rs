@@ -1,0 +1,528 @@
+//! Transactional internal BST / AVL trees: *sequential* tree code in which
+//! every shared field access goes through a TM runtime.  Instantiated with
+//! [`crate::Norec`], [`crate::Tl2`] or [`crate::Tle`] these are the paper's
+//! `int-bst-norec`, `int-avl-norec`, `int-avl-tl2` and `tle` baselines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+
+use crate::{Abort, Stm, Transaction, TxWord};
+
+const NIL: u64 = 0;
+
+struct Node {
+    key: TxWord,
+    val: TxWord,
+    left: TxWord,
+    right: TxWord,
+    height: TxWord,
+}
+
+impl Node {
+    fn alloc(key: u64, val: u64) -> u64 {
+        Box::into_raw(Box::new(Node {
+            key: TxWord::new(key),
+            val: TxWord::new(val),
+            left: TxWord::new(NIL),
+            right: TxWord::new(NIL),
+            height: TxWord::new(1),
+        })) as usize as u64
+    }
+}
+
+#[inline]
+fn node(word: u64) -> &'static Node {
+    debug_assert_ne!(word, NIL);
+    // SAFETY: nodes are only freed through epoch reclamation after being
+    // unlinked, and every operation holds an epoch guard; the 'static
+    // lifetime is never allowed to escape an operation.
+    unsafe { &*(word as usize as *const Node) }
+}
+
+/// A sequential internal search tree executed under a TM runtime.
+pub struct TxTree<S: Stm> {
+    stm: S,
+    root: TxWord,
+    balanced: bool,
+    retired: AtomicU64,
+}
+
+unsafe impl<S: Stm> Send for TxTree<S> {}
+unsafe impl<S: Stm> Sync for TxTree<S> {}
+
+/// An unbalanced transactional internal BST (e.g. `int-bst-norec`).
+pub struct TxBst<S: Stm>(TxTree<S>);
+/// A transactional internal AVL tree (e.g. `int-avl-norec`, `int-avl-tl2`).
+pub struct TxAvl<S: Stm>(TxTree<S>);
+
+impl<S: Stm> TxBst<S> {
+    /// Create an empty unbalanced transactional BST over the given runtime.
+    pub fn new(stm: S) -> Self {
+        TxBst(TxTree { stm, root: TxWord::new(NIL), balanced: false, retired: AtomicU64::new(0) })
+    }
+    /// The underlying TM runtime (for abort statistics).
+    pub fn stm(&self) -> &S {
+        &self.0.stm
+    }
+}
+
+impl<S: Stm> TxAvl<S> {
+    /// Create an empty transactional AVL tree over the given runtime.
+    pub fn new(stm: S) -> Self {
+        TxAvl(TxTree { stm, root: TxWord::new(NIL), balanced: true, retired: AtomicU64::new(0) })
+    }
+    /// The underlying TM runtime (for abort statistics).
+    pub fn stm(&self) -> &S {
+        &self.0.stm
+    }
+    /// Actual height of the tree (quiescent).
+    pub fn actual_height(&self) -> u64 {
+        self.0.actual_height()
+    }
+}
+
+impl<S: Stm> TxTree<S> {
+    fn insert(&self, key: u64, val: u64) -> bool {
+        let new_word = Node::alloc(key, val);
+        let guard = crossbeam_epoch::pin();
+        let inserted = self.stm.atomically(&mut |tx| {
+            let mut path: Vec<u64> = Vec::new();
+            let root = tx.read(&self.root)?;
+            if root == NIL {
+                tx.write(&self.root, new_word)?;
+                return Ok(true);
+            }
+            let mut curr = root;
+            loop {
+                let n = node(curr);
+                path.push(curr);
+                let k = tx.read(&n.key)?;
+                if k == key {
+                    return Ok(false);
+                }
+                let child_word = if key < k { &n.left } else { &n.right };
+                let child = tx.read(child_word)?;
+                if child == NIL {
+                    tx.write(child_word, new_word)?;
+                    break;
+                }
+                curr = child;
+            }
+            if self.balanced {
+                self.rebalance_path(tx, &path)?;
+            }
+            Ok(true)
+        });
+        if !inserted {
+            // Never published by a committed transaction.
+            unsafe { drop(Box::from_raw(new_word as usize as *mut Node)) };
+        }
+        drop(guard);
+        inserted
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        let guard = crossbeam_epoch::pin();
+        let removed: Option<u64> = self.stm.atomically(&mut |tx| {
+            let mut path: Vec<u64> = Vec::new();
+            let mut curr = tx.read(&self.root)?;
+            // Locate the node containing `key`.
+            while curr != NIL {
+                let n = node(curr);
+                let k = tx.read(&n.key)?;
+                if k == key {
+                    break;
+                }
+                path.push(curr);
+                curr = if key < k { tx.read(&n.left)? } else { tx.read(&n.right)? };
+            }
+            if curr == NIL {
+                return Ok(None);
+            }
+            let target = node(curr);
+            let left = tx.read(&target.left)?;
+            let right = tx.read(&target.right)?;
+            let removed_word;
+            if left != NIL && right != NIL {
+                // Two children: copy the successor's key/value into `curr`,
+                // then splice the successor out.
+                path.push(curr);
+                let mut succ_parent = curr;
+                let mut succ = right;
+                loop {
+                    let s = node(succ);
+                    let l = tx.read(&s.left)?;
+                    if l == NIL {
+                        break;
+                    }
+                    path.push(succ);
+                    succ_parent = succ;
+                    succ = l;
+                }
+                let s = node(succ);
+                let s_key = tx.read(&s.key)?;
+                let s_val = tx.read(&s.val)?;
+                tx.write(&target.key, s_key)?;
+                tx.write(&target.val, s_val)?;
+                let s_right = tx.read(&s.right)?;
+                let sp = node(succ_parent);
+                if tx.read(&sp.left)? == succ {
+                    tx.write(&sp.left, s_right)?;
+                } else {
+                    tx.write(&sp.right, s_right)?;
+                }
+                removed_word = succ;
+            } else {
+                // Leaf or one child: splice `curr` out of its parent (or the
+                // root).
+                let child = if left != NIL { left } else { right };
+                match path.last() {
+                    None => tx.write(&self.root, child)?,
+                    Some(&p) => {
+                        let pn = node(p);
+                        if tx.read(&pn.left)? == curr {
+                            tx.write(&pn.left, child)?;
+                        } else {
+                            tx.write(&pn.right, child)?;
+                        }
+                    }
+                }
+                removed_word = curr;
+            }
+            if self.balanced {
+                self.rebalance_path(tx, &path)?;
+            }
+            Ok(Some(removed_word))
+        });
+        match removed {
+            Some(word) => {
+                self.retired.fetch_add(1, Ordering::Relaxed);
+                unsafe {
+                    guard.defer_unchecked(move || drop(Box::from_raw(word as usize as *mut Node)))
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let _guard = crossbeam_epoch::pin();
+        self.stm.atomically(&mut |tx| {
+            let mut curr = tx.read(&self.root)?;
+            while curr != NIL {
+                let n = node(curr);
+                let k = tx.read(&n.key)?;
+                if k == key {
+                    return Ok(Some(tx.read(&n.val)?));
+                }
+                curr = if key < k { tx.read(&n.left)? } else { tx.read(&n.right)? };
+            }
+            Ok(None)
+        })
+    }
+
+    // --- AVL rebalancing, executed inside the enclosing transaction -------
+
+    fn height(&self, tx: &mut dyn Transaction, word: u64) -> Result<u64, Abort> {
+        if word == NIL {
+            Ok(0)
+        } else {
+            tx.read(&node(word).height)
+        }
+    }
+
+    /// Fix the height / balance of a single node; returns the new root of the
+    /// subtree (different from `word` if a rotation was performed).
+    fn fix_node(&self, tx: &mut dyn Transaction, word: u64) -> Result<u64, Abort> {
+        let n = node(word);
+        let l = tx.read(&n.left)?;
+        let r = tx.read(&n.right)?;
+        let lh = self.height(tx, l)?;
+        let rh = self.height(tx, r)?;
+        let bf = lh as i64 - rh as i64;
+        if bf > 1 {
+            let ln = node(l);
+            let ll = tx.read(&ln.left)?;
+            let lr = tx.read(&ln.right)?;
+            if self.height(tx, ll)? >= self.height(tx, lr)? {
+                self.rotate_right(tx, word)
+            } else {
+                let new_l = self.rotate_left(tx, l)?;
+                tx.write(&n.left, new_l)?;
+                self.rotate_right(tx, word)
+            }
+        } else if bf < -1 {
+            let rn = node(r);
+            let rl = tx.read(&rn.left)?;
+            let rr = tx.read(&rn.right)?;
+            if self.height(tx, rr)? >= self.height(tx, rl)? {
+                self.rotate_left(tx, word)
+            } else {
+                let new_r = self.rotate_right(tx, r)?;
+                tx.write(&n.right, new_r)?;
+                self.rotate_left(tx, word)
+            }
+        } else {
+            tx.write(&n.height, 1 + lh.max(rh))?;
+            Ok(word)
+        }
+    }
+
+    fn rotate_right(&self, tx: &mut dyn Transaction, word: u64) -> Result<u64, Abort> {
+        let n = node(word);
+        let l = tx.read(&n.left)?;
+        let ln = node(l);
+        let lr = tx.read(&ln.right)?;
+        tx.write(&n.left, lr)?;
+        tx.write(&ln.right, word)?;
+        let n_left = tx.read(&n.left)?;
+        let n_right = tx.read(&n.right)?;
+        let nh = 1 + self.height(tx, n_left)?.max(self.height(tx, n_right)?);
+        tx.write(&n.height, nh)?;
+        let l_left = tx.read(&ln.left)?;
+        let lh = 1 + self.height(tx, l_left)?.max(nh);
+        tx.write(&ln.height, lh)?;
+        Ok(l)
+    }
+
+    fn rotate_left(&self, tx: &mut dyn Transaction, word: u64) -> Result<u64, Abort> {
+        let n = node(word);
+        let r = tx.read(&n.right)?;
+        let rn = node(r);
+        let rl = tx.read(&rn.left)?;
+        tx.write(&n.right, rl)?;
+        tx.write(&rn.left, word)?;
+        let n_left = tx.read(&n.left)?;
+        let n_right = tx.read(&n.right)?;
+        let nh = 1 + self.height(tx, n_left)?.max(self.height(tx, n_right)?);
+        tx.write(&n.height, nh)?;
+        let r_right = tx.read(&rn.right)?;
+        let rh = 1 + nh.max(self.height(tx, r_right)?);
+        tx.write(&rn.height, rh)?;
+        Ok(r)
+    }
+
+    /// Walk the recorded search path bottom-up, fixing heights and rotating
+    /// where necessary (classic sequential AVL repair, inside the
+    /// transaction).
+    fn rebalance_path(&self, tx: &mut dyn Transaction, path: &[u64]) -> Result<(), Abort> {
+        for i in (0..path.len()).rev() {
+            let word = path[i];
+            // Skip nodes that were spliced out of the tree by this very
+            // transaction (possible for the last path entry of a delete).
+            let reachable = if i == 0 {
+                tx.read(&self.root)? == word
+            } else {
+                let p = node(path[i - 1]);
+                tx.read(&p.left)? == word || tx.read(&p.right)? == word
+            };
+            if !reachable {
+                continue;
+            }
+            let new_root = self.fix_node(tx, word)?;
+            if new_root != word {
+                if i == 0 {
+                    tx.write(&self.root, new_root)?;
+                } else {
+                    let p = node(path[i - 1]);
+                    if tx.read(&p.left)? == word {
+                        tx.write(&p.left, new_root)?;
+                    } else {
+                        tx.write(&p.right, new_root)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- quiescent inspection ---------------------------------------------
+
+    fn stats(&self) -> MapStats {
+        let mut stats = MapStats::default();
+        let root = self.root.load_quiescent();
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        if root != NIL {
+            stack.push((root, 0));
+        }
+        while let Some((word, depth)) = stack.pop() {
+            let n = node(word);
+            stats.node_count += 1;
+            stats.key_count += 1;
+            stats.key_sum += n.key.load_quiescent() as u128;
+            stats.key_depth_sum += depth;
+            stats.approx_bytes += std::mem::size_of::<Node>() as u64;
+            let l = n.left.load_quiescent();
+            let r = n.right.load_quiescent();
+            if l != NIL {
+                stack.push((l, depth + 1));
+            }
+            if r != NIL {
+                stack.push((r, depth + 1));
+            }
+        }
+        stats
+    }
+
+    fn actual_height(&self) -> u64 {
+        let mut max_depth = 0;
+        let root = self.root.load_quiescent();
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        if root != NIL {
+            stack.push((root, 1));
+        }
+        while let Some((word, depth)) = stack.pop() {
+            max_depth = max_depth.max(depth);
+            let n = node(word);
+            let l = n.left.load_quiescent();
+            let r = n.right.load_quiescent();
+            if l != NIL {
+                stack.push((l, depth + 1));
+            }
+            if r != NIL {
+                stack.push((r, depth + 1));
+            }
+        }
+        max_depth
+    }
+}
+
+impl<S: Stm> Drop for TxTree<S> {
+    fn drop(&mut self) {
+        let mut work = vec![self.root.load_quiescent()];
+        while let Some(word) = work.pop() {
+            if word == NIL {
+                continue;
+            }
+            let n = node(word);
+            work.push(n.left.load_quiescent());
+            work.push(n.right.load_quiescent());
+            unsafe { drop(Box::from_raw(word as usize as *mut Node)) };
+        }
+    }
+}
+
+macro_rules! impl_map {
+    ($ty:ident, $bst_prefix:expr) => {
+        impl<S: Stm> ConcurrentMap for $ty<S> {
+            fn name(&self) -> &'static str {
+                match (self.0.balanced, self.0.stm.name()) {
+                    (false, "norec") => "int-bst-norec",
+                    (false, "tl2") => "int-bst-tl2",
+                    (false, "tle") => "int-bst-tle",
+                    (true, "norec") => "int-avl-norec",
+                    (true, "tl2") => "int-avl-tl2",
+                    (true, "tle") => "int-avl-tle",
+                    (false, _) => "int-bst-stm",
+                    (true, _) => "int-avl-stm",
+                }
+            }
+            fn insert(&self, key: Key, value: Value) -> bool {
+                self.0.insert(key, value)
+            }
+            fn remove(&self, key: Key) -> bool {
+                self.0.remove(key)
+            }
+            fn contains(&self, key: Key) -> bool {
+                self.0.get(key).is_some()
+            }
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.get(key)
+            }
+            fn stats(&self) -> MapStats {
+                self.0.stats()
+            }
+        }
+    };
+}
+
+impl_map!(TxBst, "int-bst");
+impl_map!(TxAvl, "int-avl");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Norec, Tl2, Tle};
+    use mapapi::stress::{prefill, stress_disjoint_stripes, stress_keysum};
+    use mapapi::suites::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bst_norec_semantics() {
+        let t = TxBst::new(Norec::new());
+        check_basic_semantics(&t);
+        check_ordered_patterns(&TxBst::new(Norec::new()));
+    }
+
+    #[test]
+    fn bst_norec_vs_oracle() {
+        let t = TxBst::new(Norec::new());
+        check_random_against_oracle(&t, 4000, 128, 2);
+        check_stats_consistency(&t, 128);
+    }
+
+    #[test]
+    fn avl_norec_vs_oracle_and_balanced() {
+        let t = TxAvl::new(Norec::new());
+        check_random_against_oracle(&t, 4000, 256, 3);
+        let t = TxAvl::new(Norec::new());
+        for k in 1..=1024u64 {
+            t.insert(k, k);
+        }
+        assert!(t.actual_height() <= 14, "height {}", t.actual_height());
+    }
+
+    #[test]
+    fn avl_tl2_vs_oracle() {
+        let t = TxAvl::new(Tl2::new());
+        check_random_against_oracle(&t, 4000, 128, 4);
+        check_stats_consistency(&t, 128);
+    }
+
+    #[test]
+    fn avl_tle_vs_oracle() {
+        let t = TxAvl::new(Tle::new());
+        check_random_against_oracle(&t, 4000, 128, 5);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(TxBst::new(Norec::new()).name(), "int-bst-norec");
+        assert_eq!(TxAvl::new(Norec::new()).name(), "int-avl-norec");
+        assert_eq!(TxAvl::new(Tl2::new()).name(), "int-avl-tl2");
+        assert_eq!(TxAvl::new(Tle::new()).name(), "int-avl-tle");
+    }
+
+    #[test]
+    fn avl_norec_stress() {
+        let t = TxAvl::new(Norec::new());
+        prefill(&t, 256, 128, 1);
+        stress_keysum(&t, 4, 256, 50, Duration::from_millis(250), 17);
+    }
+
+    #[test]
+    fn avl_tl2_stress() {
+        let t = TxAvl::new(Tl2::new());
+        prefill(&t, 256, 128, 1);
+        stress_keysum(&t, 4, 256, 50, Duration::from_millis(250), 19);
+    }
+
+    #[test]
+    fn bst_tle_stripes() {
+        let t = TxBst::new(Tle::new());
+        stress_disjoint_stripes(&t, 4, 200);
+    }
+
+    #[test]
+    fn abort_counters_move_under_contention() {
+        let t = std::sync::Arc::new(TxAvl::new(Norec::new()));
+        prefill(&*t, 64, 32, 1);
+        stress_keysum(&*t, 4, 64, 100, Duration::from_millis(200), 23);
+        assert!(t.stm().commits() > 0);
+        // Aborts are likely but not guaranteed on a single-core box, so only
+        // check the counter is readable.
+        let _ = t.stm().aborts();
+    }
+}

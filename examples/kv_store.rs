@@ -1,0 +1,75 @@
+//! A tiny concurrent key-value store built on the PathCAS hash map: writer
+//! threads ingest updates while reader threads serve lookups, and the store
+//! reports throughput and a consistency check at the end.
+//!
+//! Run with `cargo run --release --example kv_store`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mapapi::ConcurrentMap;
+use pathcas_ds::PathCasHashMap;
+
+fn main() {
+    let store = Arc::new(PathCasHashMap::with_buckets(512));
+    let key_space = 100_000u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // Two writers: upsert-style traffic (delete + insert).
+        for w in 0..2u64 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let writes = Arc::clone(&writes);
+            s.spawn(move || {
+                let mut x = 0x243F6A8885A308D3u64 ^ w;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = 1 + x % key_space;
+                    if x & 1 == 0 {
+                        store.insert(key, x >> 3);
+                    } else {
+                        store.remove(key);
+                    }
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Two readers.
+        for r in 0..2u64 {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            s.spawn(move || {
+                let mut x = 0x452821E638D01377u64 ^ r;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = 1 + x % key_space;
+                    let _ = store.get(key);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(750));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let stats = store.stats();
+    store.check_invariants();
+    println!(
+        "kv_store: {:.2} M writes/s, {:.2} M reads/s, {} live keys, ~{:.1} MiB resident",
+        writes.load(Ordering::Relaxed) as f64 / elapsed / 1e6,
+        reads.load(Ordering::Relaxed) as f64 / elapsed / 1e6,
+        stats.key_count,
+        stats.approx_bytes as f64 / (1024.0 * 1024.0)
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the PathCAS reproduction; see the README and the
+//! individual crates under `crates/` for the actual library surface.
+pub use baselines;
+pub use harness;
+pub use kcas;
+pub use mapapi;
+pub use mcms;
+pub use pathcas;
+pub use pathcas_ds;
+pub use stm;

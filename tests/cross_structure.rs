@@ -1,0 +1,62 @@
+//! Cross-crate integration tests: every algorithm registered in the harness —
+//! the PathCAS trees, the handcrafted baseline, the TM trees and the MCMS
+//! tree — is run through the same correctness and stress suites, exactly the
+//! Setbench-style validation methodology the paper uses (§5, Appendix F).
+
+use std::time::Duration;
+
+use harness::registry;
+use mapapi::stress::{prefill, stress_disjoint_stripes, stress_keysum};
+use mapapi::suites::*;
+
+#[test]
+fn every_algorithm_passes_basic_semantics() {
+    for factory in registry() {
+        let map = (factory.build)();
+        check_basic_semantics(&map);
+    }
+}
+
+#[test]
+fn every_algorithm_matches_the_oracle() {
+    for factory in registry() {
+        let map = (factory.build)();
+        check_random_against_oracle(&map, 3000, 96, 0x5EED ^ factory.name.len() as u64);
+        check_stats_consistency(&map, 96);
+    }
+}
+
+#[test]
+fn every_algorithm_passes_ordered_patterns() {
+    for factory in registry() {
+        let map = (factory.build)();
+        check_ordered_patterns(&map);
+    }
+}
+
+#[test]
+fn every_algorithm_survives_disjoint_stripes() {
+    for factory in registry() {
+        let map = (factory.build)();
+        stress_disjoint_stripes(&map, 4, 120);
+    }
+}
+
+#[test]
+fn every_algorithm_passes_keysum_validation_under_contention() {
+    for factory in registry() {
+        let map = (factory.build)();
+        prefill(&map, 256, 128, 7);
+        stress_keysum(&map, 4, 256, 50, Duration::from_millis(150), 0xFACE);
+    }
+}
+
+#[test]
+fn harness_trials_run_on_every_algorithm() {
+    let w = harness::Workload::paper(512, 20, 2, Duration::from_millis(40));
+    for factory in registry() {
+        let map = (factory.build)();
+        let r = harness::run_trial(&map, &w);
+        assert!(r.total_ops > 0, "{} performed no operations", factory.name);
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests of the PathCAS primitive's semantics across crates:
+//! the §3.2 interface contract, the §3.4 linearization behaviour observable
+//! from outside, and property P1 of §3.5 (strong vexec only fails when
+//! another operation succeeded).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kcas::CasWord;
+use pathcas::OpBuilder;
+
+struct Cell {
+    ver: CasWord,
+    data: CasWord,
+}
+
+impl Cell {
+    fn new(v: u64) -> Self {
+        Cell { ver: CasWord::new(0), data: CasWord::new(v) }
+    }
+}
+
+#[test]
+fn vexec_is_atomic_across_many_words() {
+    // N cells; every operation reads all cells, visits them, and increments
+    // them all together — observers must never see a partially applied
+    // update (all cells always hold equal values).
+    const CELLS: usize = 6;
+    const THREADS: usize = 4;
+    const OPS: usize = 800;
+    let cells: Arc<Vec<Cell>> = Arc::new((0..CELLS).map(|_| Cell::new(0)).collect());
+    let violations = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cells = Arc::clone(&cells);
+            s.spawn(move || {
+                let mut builder = OpBuilder::new();
+                for _ in 0..OPS {
+                    loop {
+                        let guard = crossbeam_epoch::pin();
+                        let mut op = builder.start(&guard);
+                        let mut vals = Vec::new();
+                        let mut vers = Vec::new();
+                        for c in cells.iter() {
+                            vers.push(op.visit(&c.ver));
+                            vals.push(op.read(&c.data));
+                        }
+                        if vers.iter().any(|v| v & 1 == 1) {
+                            continue;
+                        }
+                        for (c, (&v, &ver)) in cells.iter().zip(vals.iter().zip(vers.iter())) {
+                            op.add(&c.data, v, v + 1);
+                            op.add(&c.ver, ver, ver + 2);
+                        }
+                        if op.vexec_strong() {
+                            break;
+                        }
+                    }
+                }
+                let _ = t;
+            });
+        }
+        // A reader thread checks snapshot consistency with validated reads.
+        let cells_r = Arc::clone(&cells);
+        let violations_r = Arc::clone(&violations);
+        s.spawn(move || {
+            let mut builder = OpBuilder::new();
+            for _ in 0..4000 {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let mut vals = Vec::new();
+                for c in cells_r.iter() {
+                    let _ = op.visit(&c.ver);
+                    vals.push(op.read(&c.data));
+                }
+                if op.validate() && vals.windows(2).any(|w| w[0] != w[1]) {
+                    violations_r.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+
+    assert_eq!(violations.load(Ordering::Relaxed), 0, "validated reader saw a torn multi-word update");
+    let guard = crossbeam_epoch::pin();
+    let expected = (THREADS * OPS) as u64;
+    for c in cells.iter() {
+        assert_eq!(kcas::read(&c.data, &guard), expected);
+    }
+}
+
+#[test]
+fn exec_skips_validation_but_vexec_does_not() {
+    let a = Cell::new(1);
+    let b = Cell::new(2);
+    let mut builder = OpBuilder::new();
+    let guard = crossbeam_epoch::pin();
+
+    // vexec fails if a visited node changed...
+    let mut op = builder.start(&guard);
+    let _ = op.visit(&a.ver);
+    op.add(&b.data, 2, 3);
+    a.ver.store(2);
+    assert!(!op.vexec());
+
+    // ...but exec with the same arguments succeeds.
+    let mut op = builder.start(&guard);
+    let _ = op.visit(&a.ver);
+    op.add(&b.data, 2, 3);
+    assert!(op.exec());
+    assert_eq!(kcas::read(&b.data, &guard), 3);
+}
+
+#[test]
+fn strong_vexec_failure_implies_another_success() {
+    // Property P1: with only "reasonable" operations, when a strong vexec
+    // fails, some other operation has succeeded in the meantime.  We check
+    // the observable consequence: total successes equal total data increments.
+    const THREADS: usize = 4;
+    const OPS: usize = 3000;
+    let cell = Arc::new(Cell::new(0));
+    let successes = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let cell = Arc::clone(&cell);
+            let successes = Arc::clone(&successes);
+            s.spawn(move || {
+                let mut builder = OpBuilder::new();
+                for _ in 0..OPS {
+                    let guard = crossbeam_epoch::pin();
+                    let mut op = builder.start(&guard);
+                    let ver = op.visit(&cell.ver);
+                    if ver & 1 == 1 {
+                        continue;
+                    }
+                    let v = op.read(&cell.data);
+                    op.add(&cell.data, v, v + 1);
+                    op.add(&cell.ver, ver, ver + 2);
+                    if op.vexec_strong() {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let guard = crossbeam_epoch::pin();
+    assert_eq!(kcas::read(&cell.data, &guard), successes.load(Ordering::Relaxed));
+    assert!(successes.load(Ordering::Relaxed) > 0);
+}

@@ -1,0 +1,94 @@
+//! Property-based differential tests: arbitrary operation sequences applied
+//! to the PathCAS structures and to a `BTreeMap` model must agree on every
+//! return value and on the final contents.
+
+use std::collections::BTreeMap;
+
+use mapapi::ConcurrentMap;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Contains(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..=key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v & 0xFFFF_FFFF)),
+        (1..=key_range).prop_map(Op::Remove),
+        (1..=key_range).prop_map(Op::Contains),
+        (1..=key_range).prop_map(Op::Get),
+    ]
+}
+
+fn run_differential<M: ConcurrentMap>(map: &M, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, v) => {
+                let expected = if model.contains_key(&k) {
+                    false
+                } else {
+                    model.insert(k, v);
+                    true
+                };
+                assert_eq!(map.insert(k, v), expected, "{}: insert({k}) at step {i}", map.name());
+            }
+            Op::Remove(k) => {
+                assert_eq!(map.remove(k), model.remove(&k).is_some(), "{}: remove({k}) at step {i}", map.name());
+            }
+            Op::Contains(k) => {
+                assert_eq!(map.contains(k), model.contains_key(&k), "{}: contains({k}) at step {i}", map.name());
+            }
+            Op::Get(k) => {
+                assert_eq!(map.get(k), model.get(&k).copied(), "{}: get({k}) at step {i}", map.name());
+            }
+        }
+    }
+    let stats = map.stats();
+    assert_eq!(stats.key_count, model.len() as u64, "{}: final size", map.name());
+    assert_eq!(stats.key_sum, model.keys().map(|&k| k as u128).sum::<u128>(), "{}: final key sum", map.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pathcas_bst_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        run_differential(&pathcas_ds::PathCasBst::new(), &ops);
+    }
+
+    #[test]
+    fn pathcas_avl_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        let tree = pathcas_ds::PathCasAvl::new();
+        run_differential(&tree, &ops);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn pathcas_list_matches_model(ops in proptest::collection::vec(op_strategy(32), 1..300)) {
+        let list = pathcas_ds::PathCasList::new();
+        run_differential(&list, &ops);
+        list.check_invariants();
+    }
+
+    #[test]
+    fn ticket_bst_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        let tree = baselines::TicketBst::new();
+        run_differential(&tree, &ops);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn mcms_bst_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
+        run_differential(&mcms::McmsBst::new(), &ops);
+    }
+
+    #[test]
+    fn stm_avl_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
+        run_differential(&stm::TxAvl::new(stm::Norec::new()), &ops);
+    }
+}
