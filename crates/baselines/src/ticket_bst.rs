@@ -72,7 +72,7 @@ fn ptr_to_word(ptr: *const Node) -> u64 {
 }
 
 #[inline]
-unsafe fn word_to_ref<'g>(word: u64, _guard: &'g Guard) -> &'g Node {
+unsafe fn word_to_ref(word: u64, _guard: &Guard) -> &Node {
     unsafe { &*(word as usize as *const Node) }
 }
 
@@ -142,7 +142,7 @@ impl TicketBst {
 
     /// Which child word of `parent` currently points at `child_word`?
     /// Returns `None` if neither does (validation failure).
-    fn child_slot<'g>(parent: &'g Node, child_word: u64) -> Option<&'g AtomicU64> {
+    fn child_slot(parent: &Node, child_word: u64) -> Option<&AtomicU64> {
         if parent.left.load(Ordering::Acquire) == child_word {
             Some(&parent.left)
         } else if parent.right.load(Ordering::Acquire) == child_word {

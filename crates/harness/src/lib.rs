@@ -8,7 +8,8 @@
 //!
 //! The per-figure experiment drivers live in `src/bin/` (one binary per
 //! table/figure, see DESIGN.md §2); they share the [`Workload`] /
-//! [`run_trials`] machinery and the [`registry`] of algorithm factories.
+//! [`run_trials`] machinery and the [`registry`](mod@registry) of algorithm
+//! factories.
 
 #![warn(missing_docs)]
 

@@ -37,8 +37,8 @@ pub(crate) struct PathEntry {
 /// A published KCAS / PathCAS descriptor.
 ///
 /// The `entries` and `path` slices are immutable after publication; only
-/// `status` changes, and it changes exactly once (from [`UNDECIDED`] to
-/// either [`SUCCEEDED`] or [`FAILED`]).
+/// `status` changes, and it changes exactly once (from `UNDECIDED` to
+/// either `SUCCEEDED` or `FAILED`).
 pub struct Descriptor {
     pub(crate) status: AtomicU64,
     pub(crate) entries: Box<[Entry]>,

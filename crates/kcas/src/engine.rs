@@ -220,7 +220,7 @@ pub fn kcas(entries: &[KcasArg<'_>], guard: &Guard) -> bool {
 /// (helping any in-flight operation it encounters) and check it still equals
 /// the observed version and is unmarked.
 ///
-/// Unlike [`validate_descriptor`] this never fails spuriously: encountering a
+/// Unlike the internal descriptor validation this never fails spuriously: encountering a
 /// descriptor helps it and then compares the resolved value.  It is the
 /// building block of validated read-only operations (e.g. `contains`).
 pub fn validate_path(path: &[VisitArg<'_>], guard: &Guard) -> bool {
@@ -387,7 +387,7 @@ mod tests {
             .map(|t| {
                 let accounts = Arc::clone(&accounts);
                 std::thread::spawn(move || {
-                    let mut state = (t as u64 + 1) * 0x9E3779B97F4A7C15;
+                    let mut state = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
                     let mut next = || {
                         state ^= state << 13;
                         state ^= state >> 7;

@@ -104,7 +104,7 @@ pub(crate) fn untag_ptr(raw: u64) -> usize {
 ///
 /// Reading a `CasWord` that might be concurrently modified by a multi-word
 /// operation must go through [`crate::read`] (the paper's `KCASRead`), which
-/// helps any in-flight operation it encounters.  Plain [`CasWord::load`] is
+/// helps any in-flight operation it encounters.  Plain [`CasWord::load_raw`] is
 /// only appropriate when the caller can tolerate (or wants to observe)
 /// descriptor-tagged raw values.
 #[repr(transparent)]
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn tags_are_disjoint() {
-        let ptr = 0x7f00_dead_beef_0usize & !0b11;
+        let ptr = 0x0007_f00d_eadb_eef0_usize & !0b11;
         let k = tag_kcas_ptr(ptr);
         let d = tag_dcss_ptr(ptr);
         assert!(is_kcas_desc(k) && !is_dcss_desc(k) && !is_value(k));
@@ -201,7 +201,7 @@ mod tests {
         assert_eq!(w.load_quiescent(), 7);
         assert!(w.cas_value(7, 9).is_ok());
         assert_eq!(w.load_quiescent(), 9);
-        assert_eq!(w.cas_value(7, 11), Err(encode(9)).map_err(decode));
+        assert_eq!(w.cas_value(7, 11), Err(decode(encode(9))));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`ConcurrentMap`] trait, so the correctness suites, the stress tests and
 //! the benchmark harness are written once and reused everywhere.
 //!
-//! The stress methodology follows Setbench (Brown et al. [9], §5 of the
+//! The stress methodology follows Setbench (Brown et al. \[9\], §5 of the
 //! PathCAS paper): each thread tracks the sum and count of keys it
 //! successfully inserted minus those it successfully deleted; at quiescence
 //! the structure's own key sum and key count must match the aggregate, which
@@ -153,11 +153,11 @@ pub mod reference {
         }
         fn insert(&self, key: Key, value: Value) -> bool {
             let mut m = self.inner.lock().unwrap();
-            if m.contains_key(&key) {
-                false
-            } else {
-                m.insert(key, value);
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(value);
                 true
+            } else {
+                false
             }
         }
         fn remove(&self, key: Key) -> bool {

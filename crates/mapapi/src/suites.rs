@@ -1,7 +1,7 @@
 //! Reusable single-threaded correctness suites.
 //!
 //! Every map implementation in the workspace runs the same differential
-//! suites against the [`LockedBTreeMap`](crate::reference::LockedBTreeMap)
+//! suites against the [`LockedBTreeMap`]
 //! oracle, so a new structure gets a meaningful test battery by writing a
 //! handful of one-line tests.
 

@@ -44,7 +44,7 @@ fn ptr_to_word(ptr: *const Node) -> u64 {
 }
 
 #[inline]
-unsafe fn word_to_ref<'g>(word: u64, _guard: &'g Guard) -> &'g Node {
+unsafe fn word_to_ref(word: u64, _guard: &Guard) -> &Node {
     unsafe { &*(word as usize as *const Node) }
 }
 

@@ -32,7 +32,7 @@ impl PathCasHashMap {
     #[inline]
     fn bucket(&self, key: Key) -> &PathCasList {
         // Fibonacci hashing spreads consecutive keys across buckets.
-        let h = (key as u128 * 0x9E37_79B9_7F4A_7C15u128 >> 64) as u64;
+        let h = ((key as u128 * 0x9E37_79B9_7F4A_7C15u128) >> 64) as u64;
         &self.buckets[(h % self.buckets.len() as u64) as usize]
     }
 

@@ -251,7 +251,7 @@ impl ConcurrentMap for PathCasList {
 
 impl Drop for PathCasList {
     fn drop(&mut self) {
-        let mut curr = self.head as *mut Node;
+        let mut curr = self.head;
         while !curr.is_null() {
             let next = unsafe { (*curr).next.load_quiescent() };
             unsafe { drop(Box::from_raw(curr)) };

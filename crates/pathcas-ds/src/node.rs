@@ -23,7 +23,7 @@ pub fn ptr_to_word<T>(ptr: *const T) -> u64 {
 /// pinned, and the data structure must only retire nodes through the same
 /// epoch collector — both are invariants of every structure in this crate.
 #[inline]
-pub unsafe fn word_to_ref<'g, T>(word: u64, _guard: &'g Guard) -> &'g T {
+pub unsafe fn word_to_ref<T>(word: u64, _guard: &Guard) -> &T {
     debug_assert_ne!(word, NIL, "dereferencing NIL");
     unsafe { &*(word as usize as *const T) }
 }

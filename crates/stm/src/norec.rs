@@ -124,13 +124,10 @@ impl Stm for Norec {
         let mut backoff = 0u32;
         loop {
             let mut tx = NorecTx::begin(self);
-            match body(&mut tx) {
-                Ok(result) => {
-                    if tx.commit().is_ok() {
-                        return result;
-                    }
+            if let Ok(result) = body(&mut tx) {
+                if tx.commit().is_ok() {
+                    return result;
                 }
-                Err(Abort) => {}
             }
             self.stats.note_abort();
             // Bounded exponential backoff to reduce livelock under contention.

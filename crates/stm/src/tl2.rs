@@ -161,13 +161,10 @@ impl Stm for Tl2 {
         let mut backoff = 0u32;
         loop {
             let mut tx = Tl2Tx::begin(self);
-            match body(&mut tx) {
-                Ok(result) => {
-                    if tx.commit().is_ok() {
-                        return result;
-                    }
+            if let Ok(result) = body(&mut tx) {
+                if tx.commit().is_ok() {
+                    return result;
                 }
-                Err(Abort) => {}
             }
             self.stats.note_abort();
             backoff = (backoff + 1).min(10);

@@ -29,11 +29,11 @@ fn run_differential<M: ConcurrentMap>(map: &M, ops: &[Op]) {
     for (i, op) in ops.iter().enumerate() {
         match *op {
             Op::Insert(k, v) => {
-                let expected = if model.contains_key(&k) {
-                    false
-                } else {
-                    model.insert(k, v);
+                let expected = if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
                     true
+                } else {
+                    false
                 };
                 assert_eq!(map.insert(k, v), expected, "{}: insert({k}) at step {i}", map.name());
             }

@@ -1,0 +1,170 @@
+//! Vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this shim keeps the
+//! workspace's bench targets compiling and running with the same source:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! the group knobs (`sample_size`, `measurement_time`, `warm_up_time`) and
+//! [`Bencher::iter`]. Instead of criterion's full statistical machinery it
+//! runs a warm-up phase followed by timed samples and reports the mean and
+//! min/max time per iteration on stdout — enough to compare algorithms by
+//! eye, not enough for publication-grade confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, one per bench target.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmark functions.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to take per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for measurement of each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before measurement of each benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Warm up: run the routine until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+        // Measure: `sample_size` samples within the measurement budget.
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let sample_deadline = Instant::now() + budget_per_sample;
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            while Instant::now() < sample_deadline {
+                f(&mut b);
+            }
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+            }
+        }
+        if samples.is_empty() {
+            println!("{}/{id}: no samples (routine never ran)", self.name);
+            return self;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{id}: {:>12.1} ns/iter (min {:.1}, max {:.1}, {} samples)",
+            self.name,
+            mean,
+            min,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; times calls to [`iter`](Bencher::iter).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `routine`, accumulating into the current sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function `$name` that runs each `$target` against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

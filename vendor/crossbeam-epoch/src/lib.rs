@@ -1,0 +1,385 @@
+//! Vendored stand-in for [`crossbeam-epoch`](https://crates.io/crates/crossbeam-epoch).
+//!
+//! The build environment for this repository has no network access, so the
+//! real crate cannot be fetched. This shim implements the subset of the API
+//! the workspace uses — [`pin`], [`Guard`], [`Owned`], [`Shared`],
+//! [`Guard::defer_destroy`] and [`Guard::defer_unchecked`] — on top of a
+//! small but *real* epoch-based reclamation scheme (three-epoch EBR in the
+//! style of Fraser's thesis):
+//!
+//! * a global epoch counter advances by 2 (the low bit of a participant's
+//!   announcement word is its "pinned" flag);
+//! * every thread registers a participant record in a global lock-free list
+//!   and announces the epoch it is pinned in;
+//! * the global epoch only advances when every pinned participant has
+//!   announced the current epoch;
+//! * garbage retired while pinned in epoch `e` is freed by its owning thread
+//!   once the global epoch has advanced twice past `e` (so every thread that
+//!   could have observed the retired pointer has unpinned).
+//!
+//! Deferred closures are owned and executed by the retiring thread only, so
+//! they need not be `Send`; garbage still unreclaimed when a thread exits is
+//! leaked (the real crate migrates it to a global queue — the workloads in
+//! this workspace retire bounded garbage per thread, so the simpler policy
+//! is fine).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// A participant's announcement word: `epoch | PINNED` while pinned, `0`
+/// while quiescent. Epochs start at 2 so `0` is never a valid pinned value.
+const PINNED: usize = 1;
+
+/// Global epoch. Advances by 2; the low bit is reserved for [`PINNED`] in
+/// participant announcements.
+static GLOBAL_EPOCH: AtomicUsize = AtomicUsize::new(2);
+
+/// Head of the global participant list (push-only; records are leaked when
+/// threads exit, which bounds the list by the peak thread count).
+static PARTICIPANTS: AtomicPtr<Participant> = AtomicPtr::new(std::ptr::null_mut());
+
+/// How many pins happen between attempts to advance the global epoch and
+/// collect expired garbage.
+const PINS_PER_COLLECT: usize = 64;
+
+struct Participant {
+    /// `epoch | PINNED` while the owning thread is pinned, 0 otherwise.
+    state: AtomicUsize,
+    next: *const Participant,
+}
+
+/// One epoch's worth of deferred destructors, owned by the retiring thread.
+struct Bag {
+    /// The epoch the owning thread was pinned in when the items were retired.
+    epoch: usize,
+    items: Vec<Box<dyn FnOnce()>>,
+}
+
+struct LocalHandle {
+    participant: &'static Participant,
+    /// Re-entrant pin depth; the participant is announced only at depth 0->1.
+    pin_depth: Cell<usize>,
+    /// Epoch announced by the current outermost pin.
+    local_epoch: Cell<usize>,
+    /// Retired garbage, oldest epoch first.
+    bags: RefCell<VecDeque<Bag>>,
+    pins: Cell<usize>,
+}
+
+impl LocalHandle {
+    fn register() -> LocalHandle {
+        let record = Box::into_raw(Box::new(Participant {
+            state: AtomicUsize::new(0),
+            next: std::ptr::null(),
+        }));
+        let mut head = PARTICIPANTS.load(Ordering::Acquire);
+        loop {
+            // Not yet published: writing through the raw pointer is exclusive.
+            unsafe { (*record).next = head };
+            match PARTICIPANTS.compare_exchange(
+                head,
+                record,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        LocalHandle {
+            // Leaked and never removed from the list, hence 'static.
+            participant: unsafe { &*record },
+            pin_depth: Cell::new(0),
+            local_epoch: Cell::new(0),
+            bags: RefCell::new(VecDeque::new()),
+            pins: Cell::new(0),
+        }
+    }
+
+    fn pin(&self) {
+        let depth = self.pin_depth.get();
+        self.pin_depth.set(depth + 1);
+        if depth > 0 {
+            return;
+        }
+        // Announce the current global epoch, re-checking that it was still
+        // current after the announcement became visible (SeqCst store) so the
+        // epoch can advance at most once concurrently with the announcement —
+        // the safety margin below absorbs that race.
+        loop {
+            let epoch = GLOBAL_EPOCH.load(Ordering::SeqCst);
+            self.participant.state.store(epoch | PINNED, Ordering::SeqCst);
+            if GLOBAL_EPOCH.load(Ordering::SeqCst) == epoch {
+                self.local_epoch.set(epoch);
+                break;
+            }
+        }
+        let pins = self.pins.get() + 1;
+        self.pins.set(pins);
+        if pins % PINS_PER_COLLECT == 0 {
+            try_advance();
+            self.collect();
+        }
+    }
+
+    fn unpin(&self) {
+        let depth = self.pin_depth.get();
+        debug_assert!(depth > 0, "unpin without matching pin");
+        self.pin_depth.set(depth - 1);
+        if depth == 1 {
+            self.participant.state.store(0, Ordering::SeqCst);
+        }
+    }
+
+    fn defer(&self, f: Box<dyn FnOnce()>) {
+        debug_assert!(self.pin_depth.get() > 0, "defer while unpinned");
+        let epoch = self.local_epoch.get();
+        let mut bags = self.bags.borrow_mut();
+        match bags.back_mut() {
+            Some(bag) if bag.epoch == epoch => bag.items.push(f),
+            _ => bags.push_back(Bag { epoch, items: vec![f] }),
+        }
+    }
+
+    /// Run the destructors of every bag old enough that no thread can still
+    /// hold a reference: the global epoch must have advanced at least twice
+    /// (+4) past the bag's epoch; we require +6 for an extra margin against
+    /// the announcement race documented in `pin`.
+    fn collect(&self) {
+        let global = GLOBAL_EPOCH.load(Ordering::SeqCst);
+        loop {
+            let bag = {
+                let mut bags = self.bags.borrow_mut();
+                match bags.front() {
+                    Some(front) if global >= front.epoch + 6 => bags.pop_front(),
+                    _ => None,
+                }
+            };
+            match bag {
+                Some(bag) => {
+                    for f in bag.items {
+                        f();
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Advance the global epoch if every pinned participant has announced the
+/// current one. A single failed scan simply leaves the epoch where it is —
+/// some later pin will retry.
+fn try_advance() {
+    let global = GLOBAL_EPOCH.load(Ordering::SeqCst);
+    let mut cursor = PARTICIPANTS.load(Ordering::Acquire) as *const Participant;
+    while let Some(p) = unsafe { cursor.as_ref() } {
+        let state = p.state.load(Ordering::SeqCst);
+        if state & PINNED != 0 && state & !PINNED != global {
+            return;
+        }
+        cursor = p.next;
+    }
+    let _ = GLOBAL_EPOCH.compare_exchange(
+        global,
+        global + 2,
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
+}
+
+thread_local! {
+    static LOCAL: LocalHandle = LocalHandle::register();
+}
+
+/// Pin the current thread, protecting every shared pointer loaded while the
+/// returned [`Guard`] is alive from reclamation. Re-entrant.
+pub fn pin() -> Guard {
+    LOCAL.with(|local| local.pin());
+    Guard { _not_send: PhantomData }
+}
+
+/// A witness that the current thread is pinned. Dropping the guard unpins
+/// (when the outermost of nested guards is dropped).
+pub struct Guard {
+    /// Guards are tied to the pinning thread's local state.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Guard {
+    /// Defer dropping of a heap-allocated object until no thread can hold a
+    /// reference to it anymore.
+    ///
+    /// # Safety
+    /// The pointed-to object must have been allocated with `Box` (via
+    /// [`Owned`]), must not be reachable from shared memory by the time the
+    /// epoch advances twice, and must not be destroyed twice.
+    pub unsafe fn defer_destroy<T>(&self, shared: Shared<'_, T>) {
+        let ptr = shared.ptr.as_ptr();
+        unsafe {
+            self.defer_unchecked(move || {
+                drop(Box::from_raw(ptr));
+            });
+        }
+    }
+
+    /// Defer an arbitrary closure until no thread pinned at the current epoch
+    /// can be running anymore. The closure runs on the retiring thread.
+    ///
+    /// # Safety
+    /// The closure must be safe to run at any later point on this thread
+    /// (typically it frees memory unreachable from shared state), and must
+    /// not access borrowed data that could be dropped before it runs.
+    pub unsafe fn defer_unchecked<F, R>(&self, f: F)
+    where
+        F: FnOnce() -> R,
+    {
+        let boxed: Box<dyn FnOnce() + '_> = Box::new(move || {
+            let _ = f();
+        });
+        // Erase the closure's lifetime: the caller promises (by the unsafe
+        // contract) that whatever it captures outlives the deferral.
+        let boxed: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(boxed) };
+        LOCAL.with(|local| local.defer(boxed));
+    }
+
+    /// Flush and collect what garbage can be collected now. Provided for API
+    /// parity; collection also happens automatically every few pins.
+    pub fn flush(&self) {
+        try_advance();
+        LOCAL.with(|local| local.collect());
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        LOCAL.with(|local| local.unpin());
+    }
+}
+
+/// An owned heap allocation that can be published into the shared domain.
+pub struct Owned<T> {
+    ptr: NonNull<T>,
+}
+
+impl<T> Owned<T> {
+    /// Allocate `value` on the heap.
+    pub fn new(value: T) -> Owned<T> {
+        Owned {
+            ptr: NonNull::from(Box::leak(Box::new(value))),
+        }
+    }
+
+    /// Convert into a [`Shared`] pointer valid for the guard's lifetime,
+    /// relinquishing ownership (the allocation must eventually be freed with
+    /// [`Guard::defer_destroy`] or intentionally leaked).
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared { ptr, _marker: PhantomData }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        // An Owned that was never published is simply deallocated.
+        unsafe { drop(Box::from_raw(self.ptr.as_ptr())) }
+    }
+}
+
+/// A shared pointer valid while the guard it was created under is alive.
+pub struct Shared<'g, T> {
+    ptr: NonNull<T>,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The raw pointer.
+    pub fn as_raw(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// Dereference the shared pointer.
+    ///
+    /// # Safety
+    /// The pointer must still reference a live object (guaranteed while the
+    /// creating operation's guard is held and the object is not yet retired).
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.ptr.as_ptr() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn pin_is_reentrant() {
+        let g1 = pin();
+        let g2 = pin();
+        drop(g1);
+        drop(g2);
+    }
+
+    #[test]
+    fn deferred_destructors_eventually_run() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counter;
+        impl Drop for Counter {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        for _ in 0..10 * PINS_PER_COLLECT {
+            let guard = pin();
+            let shared = Owned::new(Counter).into_shared(&guard);
+            unsafe { guard.defer_destroy(shared) };
+        }
+        // Give the collector a few more chances with no outstanding garbage.
+        for _ in 0..10 * PINS_PER_COLLECT {
+            let guard = pin();
+            guard.flush();
+        }
+        assert!(DROPS.load(Ordering::SeqCst) > 0, "no garbage was ever collected");
+    }
+
+    #[test]
+    fn concurrent_pin_unpin_and_retire() {
+        let stop = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0usize;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let guard = pin();
+                        let shared = Owned::new(n).into_shared(&guard);
+                        assert_eq!(unsafe { *shared.deref() }, n);
+                        unsafe { guard.defer_destroy(shared) };
+                        n = n.wrapping_add(1);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

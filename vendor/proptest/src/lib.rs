@@ -1,0 +1,193 @@
+//! Vendored stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access, so this shim reimplements
+//! the slice of the proptest API this workspace's differential tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * strategies for integer ranges, tuples of strategies, [`any`], and
+//!   [`collection::vec`],
+//! * the [`prop_oneof!`] and [`proptest!`] macros,
+//! * [`ProptestConfig::with_cases`] and a deterministic [`TestRunner`].
+//!
+//! Differences from the real crate, deliberately accepted for a hermetic
+//! build: **no shrinking** (a failing case reports its seed and full input
+//! instead of a minimal one), no persistence files, and case generation uses
+//! a fixed per-test seed sequence so failures reproduce exactly across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy producing `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical "anything" strategy. (Subset of `proptest::arbitrary`.)
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types that have a default full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_oneof, proptest};
+}
+
+/// Choose uniformly between several strategies with the same value type.
+///
+/// (The real macro also accepts `weight => strategy` arms; the unweighted
+/// form is all this workspace uses.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pattern in strategy) { body }` item
+/// becomes a `#[test]` that runs `body` for each generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $arg:pat in $strategy:expr $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = $strategy;
+                let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                runner.run(&strategy, |$arg| $body);
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Cmd {
+        Put(u64),
+        Del(u64),
+    }
+
+    fn cmd() -> impl Strategy<Value = Cmd> {
+        prop_oneof![
+            (1..=16u64).prop_map(Cmd::Put),
+            (1..=16u64).prop_map(Cmd::Del),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(cmd(), 1..40)) {
+            assert!((1..40).contains(&v.len()));
+            for c in &v {
+                match *c {
+                    Cmd::Put(k) | Cmd::Del(k) => assert!((1..=16).contains(&k)),
+                }
+            }
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (1..=9u64, any::<u64>())) {
+            assert!((1..=9).contains(&pair.0));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let strategy = cmd();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(200), "union");
+        let mut put = false;
+        let mut del = false;
+        runner.run(&strategy, |c| match c {
+            Cmd::Put(_) => put = true,
+            Cmd::Del(_) => del = true,
+        });
+        assert!(put && del);
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic case generation and the runner behind the
+//! [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration. Only the knobs this workspace uses are present.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: SplitMix64, seeded per test and per case so
+/// every failure reproduces exactly across runs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runs a strategy's cases against a test body.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner whose seed sequence is derived from the test's name,
+    /// so distinct tests see distinct (but stable) inputs.
+    pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+        // FNV-1a over the name gives a stable per-test base seed.
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner { config, base_seed: seed }
+    }
+
+    /// Run `body` once per generated case. Panics from the body propagate
+    /// after the failing case number and seed are printed to stderr (there is
+    /// no shrinking in this shim).
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value),
+    {
+        for case in 0..self.config.cases {
+            let seed = self.base_seed ^ (case as u64).wrapping_mul(0xA24BAED4963EE407);
+            let mut rng = TestRng::new(seed);
+            let value = strategy.generate(&mut rng);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(value)
+            }));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest (vendored shim): case {}/{} failed, rng seed {seed:#x} \
+                     (no shrinking; rerun reproduces this case deterministically)",
+                    case + 1,
+                    self.config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
