@@ -1,0 +1,56 @@
+//! Single-threaded per-operation cost of the pooled (descriptor-reuse)
+//! KCAS publish path vs the legacy allocate-and-epoch-retire baseline, on
+//! the same 4-word-KCAS workload the `bench_descriptor_reuse` harness
+//! binary sweeps multi-threaded (DESIGN.md §3).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcas::{CasWord, KcasArg};
+
+const WORDS: usize = 1024;
+const K: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let words: Vec<CasWord> = (0..WORDS).map(|_| CasWord::new(0)).collect();
+    let mut g = c.benchmark_group("descriptor_reuse_kcas4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    let mut seed = 0x5EEDu64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut one_op = move |alloc: bool| {
+        let guard = crossbeam_epoch::pin();
+        let mut idx = [0usize; K];
+        for i in 0..K {
+            loop {
+                let cand = (next() % WORDS as u64) as usize;
+                if !idx[..i].contains(&cand) {
+                    idx[i] = cand;
+                    break;
+                }
+            }
+        }
+        let mut args = [KcasArg { addr: &words[0], old: 0, new: 0 }; K];
+        for (arg, &i) in args.iter_mut().zip(idx.iter()) {
+            let old = kcas::read(&words[i], &guard);
+            *arg = KcasArg { addr: &words[i], old, new: old + 1 };
+        }
+        if alloc {
+            kcas::execute_alloc(&args, &[], &guard)
+        } else {
+            kcas::execute(&args, &[], &guard)
+        }
+    };
+    g.bench_function("reuse", |b| b.iter(|| one_op(false)));
+    g.bench_function("alloc", |b| b.iter(|| one_op(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod registry;
 pub mod runner;
 

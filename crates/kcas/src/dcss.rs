@@ -4,56 +4,45 @@
 //! `DCSS(addr1, exp1, addr2, old2, new2)` atomically checks whether `*addr1
 //! == exp1` and `*addr2 == old2`; if both hold it stores `new2` into `addr2`.
 //! It returns the value it observed at `addr2`.  In KCAS, `addr1` is always
-//! the descriptor's status word and `exp1` is `Undecided`, which prevents a
-//! slow helper from resurrecting a completed KCAS (§3.1 of the paper).
+//! the descriptor's status word and `exp1` is the `(seqno, Undecided)`
+//! packing, which prevents a slow helper from resurrecting a completed or
+//! recycled KCAS (§3.1 of the paper, plus the seqno refinement of the
+//! descriptor-reuse transformation — see [`crate::pool`]).
 //!
-//! The implementation is the standard lock-free one: a small descriptor is
-//! installed into `addr2` with a CAS, then the descriptor is *completed* by
-//! reading `addr1` and either committing `new2` or rolling back to `old2`.
-//! Any thread that encounters an installed DCSS descriptor helps complete it.
+//! The implementation is the standard lock-free one, with descriptor reuse:
+//! the calling thread recycles a [`DcssSlot`](crate::pool) from its fixed
+//! pool instead of heap-allocating, publishes it by CAS-ing the slot's
+//! `(slot, seqno)` word into `addr2`, and *completes* it by reading `addr1`
+//! and either committing `new2` or rolling back to `old2`.  Any thread that
+//! encounters an installed DCSS descriptor word helps complete it, after
+//! validating the seqno.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_epoch::Guard;
 
-use crate::word::{is_dcss_desc, tag_dcss_ptr, untag_ptr, CasWord};
+use crate::pool::{self, DcssSlot};
+use crate::word::{is_dcss_desc, pack_pooled, pooled_seq, pooled_slot, CasWord, MAX_SEQ, TAG_DCSS};
 
-/// Descriptor for an in-flight DCSS operation.
+/// Commit or roll back an installed DCSS: write `new2` into `target` if the
+/// control word still holds `exp1`, otherwise restore `old2`.  Idempotent;
+/// any number of helpers may race on the final CAS, and every CAS carries
+/// the seqno-bearing `desc_word`, so a stale helper's attempt (after the
+/// descriptor was recycled) can never succeed.
 ///
-/// All fields are immutable after publication; only the containing word is
-/// mutated (installed / committed / rolled back) with CAS.
-pub(crate) struct DcssDescriptor {
-    /// Address of the control word (a KCAS descriptor's status field).
-    addr1: *const AtomicU64,
-    /// Expected value of the control word (KCAS `Undecided` state).
-    exp1: u64,
-    /// The target word being conditionally swapped.
-    addr2: *const CasWord,
-    /// Raw expected value of the target word.
-    old2: u64,
-    /// Raw new value written if the control word matches.
-    new2: u64,
-}
-
-// SAFETY: the raw pointers refer to memory protected by the epoch guards held
-// by every thread participating in the operation (see crate-level docs).
-unsafe impl Send for DcssDescriptor {}
-unsafe impl Sync for DcssDescriptor {}
-
-impl DcssDescriptor {
-    /// Complete an installed DCSS: commit `new2` if the control word still
-    /// holds its expected value, otherwise roll back to `old2`.  Idempotent;
-    /// any number of helpers may race on the final CAS.
-    fn complete(&self, self_word: u64) {
-        // SAFETY: `addr1` points at the status word of a KCAS descriptor that
-        // is kept alive by the epoch guard held by the caller.
-        let control = unsafe { &*self.addr1 }.load(Ordering::SeqCst);
-        let final_value = if control == self.exp1 { self.new2 } else { self.old2 };
-        // SAFETY: `addr2` points at a CasWord inside a node kept alive by the
-        // caller's epoch guard.
-        let target = unsafe { &*self.addr2 };
-        let _ = target.cas_raw(self_word, final_value);
-    }
+/// # Safety
+/// `addr1` must point at a live control word (a pooled KCAS slot's `seqstat`
+/// — static memory — or a boxed descriptor's status word protected by the
+/// caller's epoch guard) and `target` at a live `CasWord`.  Callers obtain
+/// both either from their own arguments (the installing thread) or from slot
+/// fields validated against `desc_word`'s seqno after reading.
+unsafe fn complete(addr1: *const AtomicU64, exp1: u64, target: *const CasWord, old2: u64, new2: u64, desc_word: u64) {
+    // SAFETY: per the function contract.
+    let control = unsafe { &*addr1 }.load(Ordering::SeqCst);
+    let final_value = if control == exp1 { new2 } else { old2 };
+    // SAFETY: per the function contract.
+    let target = unsafe { &*target };
+    let _ = target.cas_raw(desc_word, final_value);
 }
 
 /// Perform a DCSS. Returns the raw value observed at `addr2`:
@@ -65,10 +54,16 @@ impl DcssDescriptor {
 /// The returned raw value is never DCSS-tagged: conflicting DCSS operations
 /// are helped to completion and the installation is retried.
 ///
+/// The operation publishes no allocation: it recycles the calling thread's
+/// next [`DcssSlot`] following the seqno protocol of [`crate::pool`] —
+/// bump the seqno (invalidating stalled helpers of the slot's previous
+/// operation), write the five fields, then install the `(slot, seqno)` word.
+///
 /// # Safety
 /// The caller must hold `guard` (pinned before any of the involved shared
 /// words were read) for the duration of the call, and `addr1`/`addr2` must
-/// point to live shared memory protected by epoch reclamation.
+/// point to live shared memory (epoch-protected, or static in the case of a
+/// pooled slot's status word).
 pub(crate) unsafe fn dcss(
     addr1: *const AtomicU64,
     exp1: u64,
@@ -77,42 +72,73 @@ pub(crate) unsafe fn dcss(
     new2: u64,
     guard: &Guard,
 ) -> u64 {
-    let desc = crossbeam_epoch::Owned::new(DcssDescriptor { addr1, exp1, addr2, old2, new2 })
-        .into_shared(guard);
-    let desc_word = tag_dcss_ptr(desc.as_raw() as usize);
-    let target = unsafe { &*addr2 };
-    let result = loop {
-        match target.cas_raw(old2, desc_word) {
-            Ok(_) => {
-                // Installed: complete it ourselves (helpers may race with us).
-                unsafe { desc.deref() }.complete(desc_word);
-                break old2;
+    pool::with_dcss_slot(|idx, slot| {
+        let seq = slot.seq.load(Ordering::SeqCst) + 1;
+        debug_assert!(seq <= MAX_SEQ, "DCSS slot seqno overflow");
+        // Invalidate stalled helpers of this slot's previous operation
+        // *before* overwriting its fields (pool module docs, step 1).
+        slot.seq.store(seq, Ordering::Release);
+        slot.addr1.store(addr1 as usize, Ordering::Release);
+        slot.exp1.store(exp1, Ordering::Release);
+        slot.addr2.store(addr2 as usize, Ordering::Release);
+        slot.old2.store(old2, Ordering::Release);
+        slot.new2.store(new2, Ordering::Release);
+        let desc_word = pack_pooled(TAG_DCSS, idx, seq);
+        // SAFETY: `addr2` is live per the function contract.
+        let target = unsafe { &*addr2 };
+        loop {
+            match target.cas_raw(old2, desc_word) {
+                Ok(_) => {
+                    // Installed: complete it ourselves (helpers may race).
+                    // SAFETY: `addr1`/`addr2` are live per the contract.
+                    unsafe { complete(addr1, exp1, addr2, old2, new2, desc_word) };
+                    break old2;
+                }
+                Err(seen) if is_dcss_desc(seen) => {
+                    // Another DCSS is in flight on this word: help it, retry.
+                    help_dcss(seen, guard);
+                    continue;
+                }
+                Err(seen) => break seen,
             }
-            Err(seen) if is_dcss_desc(seen) => {
-                // Another DCSS is in flight on this word: help it, then retry.
-                help_dcss(seen, guard);
-                continue;
-            }
-            Err(seen) => break seen,
         }
-    };
-    // SAFETY: after `complete`, no address can point at `desc` again (the
-    // only installer is this thread, above).  Helpers that already loaded the
-    // pointer are pinned, so deferred destruction is safe.  If the descriptor
-    // was never installed it is simply unreachable garbage.
-    unsafe { guard.defer_destroy(desc) };
-    result
+        // No retirement: after `complete` the descriptor word is permanently
+        // gone from `addr2` (it was installed at most once and the final CAS
+        // removed it), so the slot can be recycled by the next operation.
+    })
 }
 
-/// Help an in-flight DCSS whose tagged descriptor word was observed in a
-/// shared word.  Safe to call from any thread holding an epoch guard pinned
-/// before the word was loaded.
+/// Help an in-flight DCSS whose `(slot, seqno)` descriptor word was observed
+/// in a shared word.  Safe to call from any thread holding an epoch guard
+/// pinned before the word was loaded.
+///
+/// If the slot's seqno no longer matches the word, the operation is already
+/// complete and its descriptor word removed from shared memory, so there is
+/// nothing to do.
 pub(crate) fn help_dcss(raw: u64, _guard: &Guard) {
     debug_assert!(is_dcss_desc(raw));
-    // SAFETY: the descriptor was observed in a shared word while our guard
-    // was pinned; it cannot be freed until we unpin (see crate-level docs).
-    let desc = unsafe { &*(untag_ptr(raw) as *const DcssDescriptor) };
-    desc.complete(raw);
+    let seq = pooled_seq(raw);
+    let slot: &'static DcssSlot = pool::dcss_slot(pooled_slot(raw));
+    if slot.seq.load(Ordering::SeqCst) != seq {
+        return;
+    }
+    let addr1 = slot.addr1.load(Ordering::Acquire) as *const AtomicU64;
+    let exp1 = slot.exp1.load(Ordering::Acquire);
+    let addr2 = slot.addr2.load(Ordering::Acquire) as *const CasWord;
+    let old2 = slot.old2.load(Ordering::Acquire);
+    let new2 = slot.new2.load(Ordering::Acquire);
+    if slot.seq.load(Ordering::SeqCst) != seq {
+        // The slot was recycled while we read its fields; the mix we hold
+        // may be torn, so it must not be acted upon.  The operation `raw`
+        // referred to is complete.
+        return;
+    }
+    // SAFETY: the seqno was re-validated after the field reads, so the five
+    // values form the consistent field set of the operation `raw` was
+    // published for.  `addr1` is either a pooled slot's seqstat (static) or
+    // a boxed descriptor's status kept alive by our epoch guard (pinned
+    // before `raw` was loaded); `addr2` is an epoch-protected CasWord.
+    unsafe { complete(addr1, exp1, addr2, old2, new2, raw) };
 }
 
 #[cfg(test)]
@@ -152,6 +178,23 @@ mod tests {
         let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
         assert_eq!(seen, encode(11));
         assert_eq!(target.load_quiescent(), 11);
+    }
+
+    #[test]
+    fn dcss_reuses_slots_without_allocating_descriptors() {
+        let control = AtomicU64::new(1);
+        let target = CasWord::new(0);
+        let before = crate::pool::local_pool_stats();
+        let ops = 100u64;
+        for i in 0..ops {
+            let guard = crossbeam_epoch::pin();
+            let seen = unsafe { dcss(&control, 1, &target, encode(i), encode(i + 1), &guard) };
+            assert_eq!(seen, encode(i));
+        }
+        let after = crate::pool::local_pool_stats();
+        assert_eq!(before.dcss_slots, after.dcss_slots, "no new slots appear");
+        let bumps: u64 = after.dcss_seqs.iter().sum::<u64>() - before.dcss_seqs.iter().sum::<u64>();
+        assert_eq!(bumps, ops, "every DCSS recycles a pooled slot exactly once");
     }
 
     #[test]

@@ -1,21 +1,34 @@
-//! KCAS / PathCAS descriptors.
+//! The heap-allocated (legacy) KCAS / PathCAS descriptor and the status
+//! constants shared with the pooled fast path.
 //!
-//! A descriptor carries everything a helper needs to finish an in-flight
-//! operation: the set of `⟨addr, old, new⟩` *entries* to be swapped, the set
-//! of `⟨node-version-address, observed-version⟩` *path* pairs to be validated
-//! (empty for a plain KCAS / `exec`), and a status word that decides the
-//! outcome exactly once.
+//! The default hot path publishes operations through reusable per-thread
+//! descriptor slots ([`crate::pool`]) and never touches this type.  The
+//! boxed descriptor remains for two purposes (DESIGN.md §3):
+//!
+//! * the **overflow fallback** — operations whose add-set or visited path
+//!   exceeds a pooled slot's fixed capacity;
+//! * the **benchmark baseline** — [`crate::execute_alloc`] lets the
+//!   descriptor-reuse speedup be measured against the old
+//!   allocate-and-epoch-retire scheme on identical workloads.
+//!
+//! A boxed descriptor carries everything a helper needs to finish an
+//! in-flight operation: the set of `⟨addr, old, new⟩` *entries* to be
+//! swapped, the set of `⟨node-version-address, observed-version⟩` *path*
+//! pairs to be validated, and a status word that decides the outcome exactly
+//! once.  Entries and path are immutable after publication, which is why —
+//! unlike a pooled slot — reading them requires no seqno validation, only
+//! epoch protection.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::word::CasWord;
 
 /// Status: the operation has not been decided yet.
-pub const UNDECIDED: u64 = 0;
+pub(crate) const UNDECIDED: u64 = 0;
 /// Status: the operation succeeded; helpers write new values.
-pub const SUCCEEDED: u64 = 1;
+pub(crate) const SUCCEEDED: u64 = 1;
 /// Status: the operation failed; helpers restore old values.
-pub const FAILED: u64 = 2;
+pub(crate) const FAILED: u64 = 2;
 
 /// One `⟨addr, old, new⟩` triple of a KCAS.  Values are stored in their raw
 /// (tagged) representation so that helpers can CAS them directly.
@@ -34,12 +47,12 @@ pub(crate) struct PathEntry {
     pub(crate) seen_raw: u64,
 }
 
-/// A published KCAS / PathCAS descriptor.
+/// A published heap-allocated KCAS / PathCAS descriptor.
 ///
 /// The `entries` and `path` slices are immutable after publication; only
 /// `status` changes, and it changes exactly once (from `UNDECIDED` to
 /// either `SUCCEEDED` or `FAILED`).
-pub struct Descriptor {
+pub(crate) struct Descriptor {
     pub(crate) status: AtomicU64,
     pub(crate) entries: Box<[Entry]>,
     pub(crate) path: Box<[PathEntry]>,
@@ -61,16 +74,6 @@ impl Descriptor {
     pub(crate) fn status(&self) -> u64 {
         self.status.load(Ordering::SeqCst)
     }
-
-    /// Number of addresses this operation swaps.
-    pub fn num_entries(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Number of visited nodes this operation validates.
-    pub fn path_len(&self) -> usize {
-        self.path.len()
-    }
 }
 
 #[cfg(test)]
@@ -81,8 +84,8 @@ mod tests {
     fn descriptor_starts_undecided() {
         let d = Descriptor::new(Box::new([]), Box::new([]));
         assert_eq!(d.status(), UNDECIDED);
-        assert_eq!(d.num_entries(), 0);
-        assert_eq!(d.path_len(), 0);
+        assert!(d.entries.is_empty());
+        assert!(d.path.is_empty());
     }
 
     #[test]

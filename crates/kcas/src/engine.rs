@@ -1,30 +1,45 @@
 //! The KCAS engine: `help`, path validation, `read` (the paper's `KCASRead`)
-//! and the convenience multi-word CAS entry point.
+//! and the multi-word CAS entry points.
 //!
 //! This is the Harris-Fraser-Pratt KCAS algorithm (§3.1) extended with the
 //! two "red lines" of Algorithm 1: after all addresses have been "locked"
 //! with DCSS, the visited path is validated (Algorithm 2) before the status
 //! is decided.  A descriptor with an empty path behaves exactly like the
 //! original HFP KCAS.
+//!
+//! Operations publish through reusable per-thread descriptor slots
+//! ([`crate::pool`]) — the Arbel-Raviv & Brown reuse transformation the
+//! paper applies — so the success path performs **zero heap allocations**.
+//! Two situations use the legacy heap-allocated descriptor instead: an
+//! operation too large for a slot (capacity [`SLOT_ENTRY_CAP`] /
+//! [`SLOT_PATH_CAP`]), and explicit calls to [`execute_alloc`], the
+//! benchmark baseline.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering;
 
 use crossbeam_epoch::Guard;
 
 use crate::descriptor::{Descriptor, Entry, PathEntry, FAILED, SUCCEEDED, UNDECIDED};
 use crate::dcss::{dcss, help_dcss};
+use crate::pool::{
+    self, pack_seqstat, seqstat_seq, seqstat_status, KcasSlot, SLOT_ENTRY_CAP, SLOT_PATH_CAP,
+};
 use crate::word::{
-    decode, encode, is_dcss_desc, is_kcas_desc, is_value, tag_kcas_ptr, untag_ptr, CasWord,
+    decode, encode, is_any_kcas_desc, is_dcss_desc, is_kcas_boxed, is_value, pack_pooled,
+    pooled_seq, pooled_slot, tag_boxed_kcas_ptr, untag_ptr, CasWord, MAX_SEQ, TAG_KCAS,
 };
 
 /// Read the application value of a word that may be modified by KCAS /
 /// PathCAS operations (the paper's `KCASRead`).
 ///
-/// If the word currently holds a descriptor pointer, the corresponding
+/// If the word currently holds a descriptor reference, the corresponding
 /// operation is helped to completion and the read retries, so the returned
 /// value is always a plain application value.
 #[inline]
 pub fn read(word: &CasWord, guard: &Guard) -> u64 {
     loop {
-        let raw = word.load_raw(std::sync::atomic::Ordering::SeqCst);
+        let raw = word.load_raw(Ordering::SeqCst);
         if is_value(raw) {
             return decode(raw);
         }
@@ -32,7 +47,7 @@ pub fn read(word: &CasWord, guard: &Guard) -> u64 {
             help_dcss(raw, guard);
             continue;
         }
-        debug_assert!(is_kcas_desc(raw));
+        debug_assert!(is_any_kcas_desc(raw));
         help_by_word(raw, guard);
     }
 }
@@ -42,64 +57,78 @@ pub fn read(word: &CasWord, guard: &Guard) -> u64 {
 /// own as a (possibly spurious) conflict.
 #[inline]
 pub(crate) fn read_raw(word: &CasWord) -> u64 {
-    word.load_raw(std::sync::atomic::Ordering::SeqCst)
+    word.load_raw(Ordering::SeqCst)
 }
 
-/// Help the KCAS / PathCAS operation whose tagged descriptor word was
-/// observed in a shared word.
+/// Help the KCAS / PathCAS operation whose descriptor word was observed in a
+/// shared word — pooled or boxed, according to the tag.
 pub(crate) fn help_by_word(raw: u64, guard: &Guard) {
-    debug_assert!(is_kcas_desc(raw));
-    // SAFETY: the descriptor was observed in a shared word while `guard` was
-    // pinned, so it is protected from reclamation until we unpin.
-    let desc = unsafe { &*(untag_ptr(raw) as *const Descriptor) };
-    help(desc, raw, guard);
-}
-
-/// Validate the visited path of a descriptor (Algorithm 2 of the paper).
-///
-/// Returns `true` only if every visited node still carries the version number
-/// observed by `visit`, is not marked, and is not "locked" by a *different*
-/// operation.  Nodes locked by *this* operation pass validation.
-pub(crate) fn validate_descriptor(desc: &Descriptor, self_word: u64) -> bool {
-    for p in desc.path.iter() {
-        // SAFETY: version words live inside epoch-protected nodes and every
-        // participant holds a guard.
-        let current = read_raw(unsafe { &*p.ver_addr });
-        if current == self_word {
-            // "Locked" for our own PathCAS: the version cannot change under us.
-            continue;
-        }
-        if !is_value(current) {
-            // Locked for a different PathCAS (or a DCSS is in flight):
-            // fail, possibly spuriously — permitted by the semantics (§3.2).
-            return false;
-        }
-        if current != p.seen_raw {
-            return false;
-        }
-        if decode(p.seen_raw) & 1 == 1 {
-            // The node was already marked when it was visited.
-            return false;
-        }
+    debug_assert!(is_any_kcas_desc(raw));
+    if is_kcas_boxed(raw) {
+        // SAFETY: the boxed descriptor was observed in a shared word while
+        // `guard` was pinned, so it is protected from reclamation until we
+        // unpin.
+        let desc = unsafe { &*(untag_ptr(raw) as *const Descriptor) };
+        help_boxed(desc, raw, guard);
+    } else {
+        let slot = pool::kcas_slot(pooled_slot(raw));
+        // A `None` return means the slot was recycled: the operation `raw`
+        // named is complete and uninstalled, so the caller's re-read will
+        // observe a different value.
+        let _ = help_pooled(slot, pooled_seq(raw), raw, guard);
     }
-    true
 }
 
-/// The help routine (Algorithm 1 of the paper).  Called by the owner of the
-/// operation and by any helper that encounters the descriptor.
+// ---------------------------------------------------------------------------
+// Pooled (descriptor-reuse) path
+// ---------------------------------------------------------------------------
+
+/// Help the pooled operation published as `self_word` (= `(slot, seq)`).
+/// Called by the owner and by any helper that encounters the word.
 ///
-/// Returns `true` if the operation succeeded.
-pub(crate) fn help(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
-    // Phase 1: "lock" every address for this operation.
-    if desc.status() == UNDECIDED {
+/// Returns `None` if the slot's seqno no longer matches `seq` — the
+/// operation is already decided, fully uninstalled, and its slot recycled —
+/// and `Some(success)` otherwise.  The owner always receives `Some`, because
+/// only the owning thread recycles a slot.
+///
+/// Every field read from the slot is validated by re-reading the seqno
+/// *before the value is acted upon* (dereferenced or handed to a CAS); see
+/// the protocol in [`crate::pool`].  All CASes carry `self_word`, whose
+/// embedded seqno guarantees stale attempts can never succeed.
+pub(crate) fn help_pooled(
+    slot: &'static KcasSlot,
+    seq: u64,
+    self_word: u64,
+    guard: &Guard,
+) -> Option<bool> {
+    let undecided = pack_seqstat(seq, UNDECIDED);
+    let ss = slot.seqstat.load(Ordering::SeqCst);
+    if seqstat_seq(ss) != seq {
+        return None;
+    }
+    if seqstat_status(ss) == UNDECIDED {
+        // Phase 1: "lock" every address for this operation.
+        let n = slot.len.load(Ordering::Acquire);
+        let path_len = slot.path_len.load(Ordering::Acquire);
+        if seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) != seq {
+            return None;
+        }
         let mut new_status = SUCCEEDED;
-        'entries: for e in desc.entries.iter() {
+        'entries: for i in 0..n {
             loop {
-                // SAFETY: entry addresses point at epoch-protected CasWords.
+                let addr = slot.addrs[i].load(Ordering::Acquire) as *const CasWord;
+                let old_raw = slot.olds[i].load(Ordering::Acquire);
+                if seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) != seq {
+                    return None;
+                }
+                // SAFETY: the seqno re-check above proves `addr`/`old_raw`
+                // belong to this operation, and entry addresses point at
+                // epoch-protected CasWords (crate-level contract).  The
+                // control word is this slot's seqstat — static memory.
                 let seen = unsafe {
-                    dcss(&desc.status as *const _, UNDECIDED, e.addr, e.old_raw, self_word, guard)
+                    dcss(&slot.seqstat as *const _, undecided, addr, old_raw, self_word, guard)
                 };
-                if is_kcas_desc(seen) {
+                if is_any_kcas_desc(seen) {
                     if seen == self_word {
                         // Another helper already locked this address for us.
                         break;
@@ -108,7 +137,7 @@ pub(crate) fn help(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
                     help_by_word(seen, guard);
                     continue;
                 }
-                if seen != e.old_raw {
+                if seen != old_raw {
                     // The address no longer holds the expected old value.
                     new_status = FAILED;
                     break 'entries;
@@ -117,18 +146,185 @@ pub(crate) fn help(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
             }
         }
         // The two "red lines": validate the visited path before deciding.
-        if new_status == SUCCEEDED && !validate_descriptor(desc, self_word) {
+        if new_status == SUCCEEDED {
+            match validate_pooled(slot, seq, path_len, self_word) {
+                None => return None,
+                Some(ok) => {
+                    if !ok {
+                        new_status = FAILED;
+                    }
+                }
+            }
+        }
+        // The expected value embeds the seqno, so this can never decide a
+        // recycled descriptor's newer operation.
+        let _ = slot.seqstat.compare_exchange(
+            undecided,
+            pack_seqstat(seq, new_status),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    // Phase 2: "unlock" every address according to the decided status.
+    let ss = slot.seqstat.load(Ordering::SeqCst);
+    if seqstat_seq(ss) != seq {
+        return None;
+    }
+    let success = seqstat_status(ss) == SUCCEEDED;
+    let n = slot.len.load(Ordering::Acquire);
+    if seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) != seq {
+        return None;
+    }
+    for i in 0..n {
+        let addr = slot.addrs[i].load(Ordering::Acquire) as *const CasWord;
+        let final_raw = if success {
+            slot.news[i].load(Ordering::Acquire)
+        } else {
+            slot.olds[i].load(Ordering::Acquire)
+        };
+        if seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) != seq {
+            // Recycled mid-loop: the owner finished phase 2 before reusing
+            // the slot, so every remaining unlock already happened.
+            return None;
+        }
+        // SAFETY: seqno re-validated after the field reads (entry addresses
+        // are epoch-protected CasWords per the crate contract).
+        let word = unsafe { &*addr };
+        let _ = word.cas_raw(self_word, final_raw);
+    }
+    Some(success)
+}
+
+/// Validate the visited path of a pooled descriptor (Algorithm 2).
+///
+/// Returns `Some(true)` only if every visited node still carries the version
+/// observed by `visit`, is not marked, and is not "locked" by a *different*
+/// operation; `Some(false)` on a validation failure; `None` if the slot was
+/// recycled (the operation is already decided).
+fn validate_pooled(slot: &'static KcasSlot, seq: u64, path_len: usize, self_word: u64) -> Option<bool> {
+    for i in 0..path_len {
+        let ver_addr = slot.ver_addrs[i].load(Ordering::Acquire) as *const CasWord;
+        let seen_raw = slot.seens[i].load(Ordering::Acquire);
+        if seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) != seq {
+            return None;
+        }
+        // SAFETY: seqno re-validated after the field reads; version words
+        // live inside epoch-protected nodes and every participant holds a
+        // guard.
+        let current = read_raw(unsafe { &*ver_addr });
+        if current == self_word {
+            // "Locked" for our own PathCAS: the version cannot change under us.
+            continue;
+        }
+        if !is_value(current) {
+            // Locked for a different PathCAS (or a DCSS is in flight):
+            // fail, possibly spuriously — permitted by the semantics (§3.2).
+            return Some(false);
+        }
+        if current != seen_raw {
+            return Some(false);
+        }
+        if decode(seen_raw) & 1 == 1 {
+            // The node was already marked when it was visited.
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Publish `entries`/`path` through the calling thread's next pooled slot
+/// and run the operation to completion.  `entries` must already be sorted by
+/// address and deduplicated.
+fn publish_pooled(entries: &[RawEntry], path: &[RawVisit], guard: &Guard) -> bool {
+    debug_assert!(entries.len() <= SLOT_ENTRY_CAP && path.len() <= SLOT_PATH_CAP);
+    pool::with_kcas_slot(|idx, slot| {
+        let seq = seqstat_seq(slot.seqstat.load(Ordering::SeqCst)) + 1;
+        debug_assert!(seq <= MAX_SEQ, "KCAS slot seqno overflow");
+        // Invalidate stalled helpers of the slot's previous operation
+        // *before* overwriting its fields (pool module docs, step 1).
+        slot.seqstat.store(pack_seqstat(seq, UNDECIDED), Ordering::SeqCst);
+        slot.len.store(entries.len(), Ordering::Release);
+        for (i, e) in entries.iter().enumerate() {
+            slot.addrs[i].store(e.addr as usize, Ordering::Release);
+            slot.olds[i].store(encode(e.old), Ordering::Release);
+            slot.news[i].store(encode(e.new), Ordering::Release);
+        }
+        slot.path_len.store(path.len(), Ordering::Release);
+        for (i, v) in path.iter().enumerate() {
+            slot.ver_addrs[i].store(v.ver_addr as usize, Ordering::Release);
+            slot.seens[i].store(encode(v.seen), Ordering::Release);
+        }
+        let self_word = pack_pooled(TAG_KCAS, idx, seq);
+        help_pooled(slot, seq, self_word, guard)
+            .expect("only the owning thread recycles a slot, and it is running this operation")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Boxed (legacy / fallback) path
+// ---------------------------------------------------------------------------
+
+/// Validate the visited path of a boxed descriptor (Algorithm 2).
+fn validate_boxed(desc: &Descriptor, self_word: u64) -> bool {
+    for p in desc.path.iter() {
+        // SAFETY: version words live inside epoch-protected nodes and every
+        // participant holds a guard.
+        let current = read_raw(unsafe { &*p.ver_addr });
+        if current == self_word {
+            continue;
+        }
+        if !is_value(current) {
+            return false;
+        }
+        if current != p.seen_raw {
+            return false;
+        }
+        if decode(p.seen_raw) & 1 == 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The help routine for boxed descriptors (Algorithm 1, original form: the
+/// descriptor's slices are immutable after publication, so no seqno
+/// validation is needed — only epoch protection).
+pub(crate) fn help_boxed(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
+    if desc.status() == UNDECIDED {
+        let mut new_status = SUCCEEDED;
+        'entries: for e in desc.entries.iter() {
+            loop {
+                // SAFETY: entry addresses point at epoch-protected CasWords;
+                // the control word is the descriptor's own status field.
+                let seen = unsafe {
+                    dcss(&desc.status as *const _, UNDECIDED, e.addr, e.old_raw, self_word, guard)
+                };
+                if is_any_kcas_desc(seen) {
+                    if seen == self_word {
+                        break;
+                    }
+                    help_by_word(seen, guard);
+                    continue;
+                }
+                if seen != e.old_raw {
+                    new_status = FAILED;
+                    break 'entries;
+                }
+                break;
+            }
+        }
+        if new_status == SUCCEEDED && !validate_boxed(desc, self_word) {
             new_status = FAILED;
         }
         let _ = desc.status.compare_exchange(
             UNDECIDED,
             new_status,
-            std::sync::atomic::Ordering::SeqCst,
-            std::sync::atomic::Ordering::SeqCst,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
         );
     }
 
-    // Phase 2: "unlock" every address according to the decided status.
     let success = desc.status() == SUCCEEDED;
     for e in desc.entries.iter() {
         let final_raw = if success { e.new_raw } else { e.old_raw };
@@ -139,8 +335,41 @@ pub(crate) fn help(desc: &Descriptor, self_word: u64, guard: &Guard) -> bool {
     success
 }
 
-/// An owned argument triple for [`kcas`] and the PathCAS builder: change
-/// `addr` from the application value `old` to `new`.
+/// Publish `entries`/`path` through a fresh heap-allocated descriptor,
+/// retired through the epoch collector after the owner's help returns.
+/// `entries` must already be sorted by address and deduplicated.
+fn publish_boxed(entries: &[RawEntry], path: &[RawVisit], guard: &Guard) -> bool {
+    let raw_entries: Vec<Entry> = entries
+        .iter()
+        .map(|e| Entry { addr: e.addr, old_raw: encode(e.old), new_raw: encode(e.new) })
+        .collect();
+    let raw_path: Vec<PathEntry> = path
+        .iter()
+        .map(|v| PathEntry { ver_addr: v.ver_addr, seen_raw: encode(v.seen) })
+        .collect();
+    let desc = crossbeam_epoch::Owned::new(Descriptor::new(
+        raw_entries.into_boxed_slice(),
+        raw_path.into_boxed_slice(),
+    ))
+    .into_shared(guard);
+    let self_word = tag_boxed_kcas_ptr(desc.as_raw() as usize);
+    // SAFETY: we just created the descriptor; it is valid.
+    let result = help_boxed(unsafe { desc.deref() }, self_word, guard);
+    // SAFETY: after our own `help_boxed` returns, phase 2 has removed
+    // `self_word` from every entry address and the decided status prevents
+    // reinstallation, so no *new* reference to the descriptor can be
+    // created. Helpers that already hold it are pinned. Deferred destruction
+    // is therefore safe.
+    unsafe { guard.defer_destroy(desc) };
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// An argument triple for [`kcas`] and the PathCAS builder: change `addr`
+/// from the application value `old` to `new`.
 #[derive(Clone, Copy)]
 pub struct KcasArg<'a> {
     /// The word to change.
@@ -151,8 +380,8 @@ pub struct KcasArg<'a> {
     pub new: u64,
 }
 
-/// An owned visited-node record for PathCAS: the version word of a node and
-/// the (decoded) version value observed when it was visited.
+/// A visited-node record for PathCAS: the version word of a node and the
+/// (decoded) version value observed when it was visited.
 #[derive(Clone, Copy)]
 pub struct VisitArg<'a> {
     /// The node's version word.
@@ -161,51 +390,160 @@ pub struct VisitArg<'a> {
     pub seen: u64,
 }
 
-/// Build, publish and execute a descriptor from the given entries and path.
+/// The raw-pointer form of [`KcasArg`], for callers (like `pathcas`'s
+/// reusable builder) that accumulate arguments in long-lived scratch buffers
+/// where a borrow-based type cannot express the lifetimes.  Values are
+/// decoded application values, exactly as in [`KcasArg`].
+#[derive(Clone, Copy, Debug)]
+pub struct RawEntry {
+    /// The word to change.
+    pub addr: *const CasWord,
+    /// Expected current application value.
+    pub old: u64,
+    /// New application value.
+    pub new: u64,
+}
+
+/// The raw-pointer form of [`VisitArg`]; see [`RawEntry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RawVisit {
+    /// The node's version word.
+    pub ver_addr: *const CasWord,
+    /// Decoded version value returned by `visit`.
+    pub seen: u64,
+}
+
+/// Sort `entries` by address and drop duplicate addresses in place,
+/// returning the deduplicated length.  Sorting is required for the
+/// lock-freedom argument of Appendix C; adding the same address twice with
+/// conflicting values is undefined behaviour per §3.2 (asserted in debug
+/// builds, first entry wins in release builds).
+fn sort_dedup(entries: &mut [RawEntry]) -> usize {
+    entries.sort_unstable_by_key(|e| e.addr as usize);
+    let mut kept = 0;
+    for i in 0..entries.len() {
+        if kept > 0 && entries[i].addr == entries[kept - 1].addr {
+            debug_assert!(
+                entries[i].old == entries[kept - 1].old
+                    && entries[i].new == entries[kept - 1].new,
+                "the same address was added twice with conflicting values"
+            );
+            continue;
+        }
+        entries[kept] = entries[i];
+        kept += 1;
+    }
+    kept
+}
+
+/// Copy up to `CAP` items produced by `fill` into an uninitialized stack
+/// buffer and hand the initialized prefix to `then`.
+#[inline]
+fn with_stack_entries<R>(
+    count: usize,
+    fill: impl Fn(usize) -> RawEntry,
+    then: impl FnOnce(&mut [RawEntry]) -> R,
+) -> R {
+    debug_assert!(count <= SLOT_ENTRY_CAP);
+    let mut buf = [const { MaybeUninit::<RawEntry>::uninit() }; SLOT_ENTRY_CAP];
+    for (i, item) in buf.iter_mut().enumerate().take(count) {
+        item.write(fill(i));
+    }
+    // SAFETY: the first `count` elements were just initialized.
+    let init = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<RawEntry>(), count) };
+    then(init)
+}
+
+/// Build, publish and execute an operation from the given entries and path.
 ///
 /// Entries are sorted by address (required for the lock-freedom argument of
 /// Appendix C) and exact duplicates are removed.  Returns `true` on success.
+///
+/// Operations that fit a pooled slot ([`SLOT_ENTRY_CAP`] entries,
+/// [`SLOT_PATH_CAP`] path pairs — every operation the paper's structures
+/// issue does) are published through the calling thread's reusable
+/// descriptor pool and perform **no heap allocation**; larger operations
+/// fall back to a heap-allocated descriptor.
 ///
 /// The caller must hold `guard` for the whole duration of the enclosing data
 /// structure operation (so that every address passed in refers to live
 /// memory) — this is the same contract as the paper's C++ implementation,
 /// where operations run under a DEBRA guard.
 pub fn execute(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) -> bool {
-    let mut raw_entries: Vec<Entry> = entries
-        .iter()
-        .map(|a| Entry {
-            addr: a.addr as *const CasWord,
-            old_raw: encode(a.old),
-            new_raw: encode(a.new),
-        })
-        .collect();
-    raw_entries.sort_by_key(|e| e.addr as usize);
-    raw_entries.dedup_by(|a, b| {
-        a.addr == b.addr && a.old_raw == b.old_raw && a.new_raw == b.new_raw
-    });
-    debug_assert!(
-        raw_entries.windows(2).all(|w| w[0].addr != w[1].addr),
-        "the same address was added twice with conflicting values"
-    );
-    let raw_path: Vec<PathEntry> = path
-        .iter()
-        .map(|v| PathEntry { ver_addr: v.ver_addr as *const CasWord, seen_raw: encode(v.seen) })
-        .collect();
+    if entries.len() <= SLOT_ENTRY_CAP && path.len() <= SLOT_PATH_CAP {
+        with_stack_entries(
+            entries.len(),
+            |i| RawEntry { addr: entries[i].addr, old: entries[i].old, new: entries[i].new },
+            |buf| {
+                let n = sort_dedup(buf);
+                let mut path_buf = [const { MaybeUninit::<RawVisit>::uninit() }; SLOT_PATH_CAP];
+                for (i, v) in path.iter().enumerate() {
+                    path_buf[i].write(RawVisit { ver_addr: v.ver_addr, seen: v.seen });
+                }
+                // SAFETY: the first `path.len()` elements were just initialized.
+                let path_init = unsafe {
+                    std::slice::from_raw_parts(path_buf.as_ptr().cast::<RawVisit>(), path.len())
+                };
+                publish_pooled(&buf[..n], path_init, guard)
+            },
+        )
+    } else {
+        let mut raw: Vec<RawEntry> = entries
+            .iter()
+            .map(|a| RawEntry { addr: a.addr, old: a.old, new: a.new })
+            .collect();
+        let n = sort_dedup(&mut raw);
+        let raw_path: Vec<RawVisit> =
+            path.iter().map(|v| RawVisit { ver_addr: v.ver_addr, seen: v.seen }).collect();
+        publish_boxed(&raw[..n], &raw_path, guard)
+    }
+}
 
-    let desc = crossbeam_epoch::Owned::new(Descriptor::new(
-        raw_entries.into_boxed_slice(),
-        raw_path.into_boxed_slice(),
-    ))
-    .into_shared(guard);
-    let self_word = tag_kcas_ptr(desc.as_raw() as usize);
-    // SAFETY: we just created the descriptor; it is valid.
-    let result = help(unsafe { desc.deref() }, self_word, guard);
-    // SAFETY: after our own `help` returns, phase 2 has removed `self_word`
-    // from every entry address and the decided status prevents reinstallation,
-    // so no *new* reference to the descriptor can be created. Helpers that
-    // already hold it are pinned. Deferred destruction is therefore safe.
-    unsafe { guard.defer_destroy(desc) };
-    result
+/// [`execute`] over pre-accumulated raw argument buffers — the zero-copy
+/// entry point used by `pathcas`'s reusable per-thread builder.
+///
+/// Semantics are identical to [`execute`] (sorting, deduplication, pooled
+/// fast path with boxed fallback).
+///
+/// # Safety
+/// Every `addr` in `entries` and every `ver_addr` in `path` must point to a
+/// live [`CasWord`] and remain valid for the duration of the call — i.e. the
+/// words must be protected by the epoch `guard` the caller holds (or be
+/// owned by the caller), exactly as if they had been passed by reference
+/// through [`KcasArg`] / [`VisitArg`].
+pub unsafe fn execute_raw(entries: &[RawEntry], path: &[RawVisit], guard: &Guard) -> bool {
+    if entries.len() <= SLOT_ENTRY_CAP && path.len() <= SLOT_PATH_CAP {
+        with_stack_entries(
+            entries.len(),
+            |i| entries[i],
+            |buf| {
+                let n = sort_dedup(buf);
+                publish_pooled(&buf[..n], path, guard)
+            },
+        )
+    } else {
+        let mut raw = entries.to_vec();
+        let n = sort_dedup(&mut raw);
+        publish_boxed(&raw[..n], path, guard)
+    }
+}
+
+/// [`execute`] through the legacy allocate-and-epoch-retire descriptor path,
+/// regardless of operation size.
+///
+/// This is **not** the hot path: it exists so the descriptor-reuse speedup
+/// can be measured against the old scheme on identical workloads (the
+/// `bench_descriptor_reuse` harness binary and DESIGN.md §3), and as the
+/// code path oversized operations fall back to.  Correctness is identical
+/// to [`execute`], and both kinds of operation interoperate freely on the
+/// same words.
+pub fn execute_alloc(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) -> bool {
+    let mut raw: Vec<RawEntry> =
+        entries.iter().map(|a| RawEntry { addr: a.addr, old: a.old, new: a.new }).collect();
+    let n = sort_dedup(&mut raw);
+    let raw_path: Vec<RawVisit> =
+        path.iter().map(|v| RawVisit { ver_addr: v.ver_addr, seen: v.seen }).collect();
+    publish_boxed(&raw[..n], &raw_path, guard)
 }
 
 /// A plain multi-word compare-and-swap (no path validation), i.e. the HFP
@@ -224,13 +562,23 @@ pub fn kcas(entries: &[KcasArg<'_>], guard: &Guard) -> bool {
 /// descriptor helps it and then compares the resolved value.  It is the
 /// building block of validated read-only operations (e.g. `contains`).
 pub fn validate_path(path: &[VisitArg<'_>], guard: &Guard) -> bool {
-    for v in path {
+    path.iter().all(|v| {
         let current = read(v.ver_addr, guard);
-        if current != v.seen || v.seen & 1 == 1 {
-            return false;
-        }
-    }
-    true
+        current == v.seen && v.seen & 1 == 0
+    })
+}
+
+/// [`validate_path`] over a pre-accumulated raw buffer; see [`execute_raw`].
+///
+/// # Safety
+/// Every `ver_addr` in `path` must point to a live [`CasWord`] protected by
+/// the epoch `guard` the caller holds (or owned by the caller).
+pub unsafe fn validate_path_raw(path: &[RawVisit], guard: &Guard) -> bool {
+    path.iter().all(|v| {
+        // SAFETY: per the function contract.
+        let current = read(unsafe { &*v.ver_addr }, guard);
+        current == v.seen && v.seen & 1 == 0
+    })
 }
 
 #[cfg(test)]
@@ -276,6 +624,58 @@ mod tests {
     fn empty_kcas_succeeds() {
         let guard = crossbeam_epoch::pin();
         assert!(kcas(&[], &guard));
+    }
+
+    #[test]
+    fn successive_operations_recycle_the_same_slots() {
+        let ws = words(&[0, 0]);
+        let before = crate::pool::local_pool_stats();
+        let ops = 60u64;
+        for i in 0..ops {
+            let guard = crossbeam_epoch::pin();
+            let args = [
+                KcasArg { addr: &ws[0], old: i, new: i + 1 },
+                KcasArg { addr: &ws[1], old: i, new: i + 1 },
+            ];
+            assert!(kcas(&args, &guard));
+        }
+        let after = crate::pool::local_pool_stats();
+        assert_eq!(before.kcas_slots, after.kcas_slots);
+        let bumps: u64 = after.kcas_seqs.iter().sum::<u64>() - before.kcas_seqs.iter().sum::<u64>();
+        assert_eq!(bumps, ops, "every KCAS publishes by recycling one pooled slot");
+    }
+
+    #[test]
+    fn alloc_baseline_matches_pooled_semantics() {
+        let ws = words(&[1, 2]);
+        let guard = crossbeam_epoch::pin();
+        let ok = [KcasArg { addr: &ws[0], old: 1, new: 5 }, KcasArg { addr: &ws[1], old: 2, new: 6 }];
+        assert!(execute_alloc(&ok, &[], &guard));
+        assert_eq!(read(&ws[0], &guard), 5);
+        let bad = [KcasArg { addr: &ws[0], old: 99, new: 7 }];
+        assert!(!execute_alloc(&bad, &[], &guard));
+        assert_eq!(read(&ws[0], &guard), 5);
+        // Path validation works identically through the boxed path.
+        let ver = CasWord::new(4);
+        let visited = VisitArg { ver_addr: &ver, seen: 4 };
+        assert!(execute_alloc(&[KcasArg { addr: &ws[1], old: 6, new: 8 }], &[visited], &guard));
+        ver.store(6);
+        assert!(!execute_alloc(&[KcasArg { addr: &ws[1], old: 8, new: 9 }], &[visited], &guard));
+    }
+
+    #[test]
+    fn oversized_operations_fall_back_to_boxed() {
+        // More path entries than a pooled slot can hold: must still execute
+        // correctly (through the heap-allocated fallback).
+        let vers: Vec<CasWord> = (0..SLOT_PATH_CAP + 8).map(|_| CasWord::new(2)).collect();
+        let target = CasWord::new(0);
+        let guard = crossbeam_epoch::pin();
+        let path: Vec<VisitArg> = vers.iter().map(|v| VisitArg { ver_addr: v, seen: 2 }).collect();
+        let args = [KcasArg { addr: &target, old: 0, new: 1 }];
+        assert!(execute(&args, &path, &guard));
+        assert_eq!(read(&target, &guard), 1);
+        vers[0].store(4);
+        assert!(!execute(&[KcasArg { addr: &target, old: 1, new: 2 }], &path, &guard));
     }
 
     #[test]

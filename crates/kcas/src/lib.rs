@@ -10,32 +10,56 @@
 //!   optionally extended with a visited-node *path* that is validated before
 //!   the operation is decided (the two "red lines" of Algorithm 1),
 //! * [`validate_path`] — non-publishing validation used by read-only
-//!   operations.
+//!   operations,
+//! * [`execute_raw`] / [`validate_path_raw`] — the same operations over
+//!   pre-accumulated raw argument buffers (used by `pathcas`'s reusable
+//!   per-thread builder so the hot path copies nothing),
+//! * [`execute_alloc`] — the legacy allocating path, kept as the benchmark
+//!   baseline for the descriptor-reuse speedup.
+//!
+//! ## Descriptor reuse (zero allocation on the hot path)
+//!
+//! Following the paper, this crate applies the Arbel-Raviv & Brown
+//! descriptor-reuse transformation (DISC '17): every thread owns a small
+//! fixed pool of KCAS and DCSS descriptor slots ([`pool`]) that it recycles
+//! across operations.  Published descriptor words encode `(slot index,
+//! sequence number)` instead of a pointer, and helpers validate the seqno
+//! before and after every field read, so a recycled descriptor is detected
+//! instead of mis-helped.  The success path of a KCAS therefore performs
+//! **zero heap allocations** — the property the `bench_descriptor_reuse`
+//! harness binary measures and the crate's `zero_alloc` integration test
+//! asserts.  See DESIGN.md §3 for the full protocol and its invariants.
+//!
+//! Operations whose add-set or visited path exceeds a pooled slot's fixed
+//! capacity ([`pool::SLOT_ENTRY_CAP`] / [`pool::SLOT_PATH_CAP`]) fall back
+//! transparently to a heap-allocated descriptor retired through
+//! [`crossbeam_epoch`]; both kinds interoperate freely on the same words.
 //!
 //! ## Memory reclamation contract
 //!
-//! Descriptors are allocated per published operation and retired through
-//! [`crossbeam_epoch`] after the owner's help routine returns; at that point
-//! no shared word can point at them anymore (phase 2 removed every
-//! installation and the decided status prevents re-installation), and any
-//! helper that still holds a reference is pinned. Data-structure code built
-//! on this crate must therefore hold an epoch [`Guard`](crossbeam_epoch::Guard)
-//! across each entire operation — exactly the discipline the paper uses with
-//! DEBRA guards (§4.3).
-//!
-//! The paper applies the Arbel-Raviv & Brown descriptor-reuse transformation
-//! to avoid these allocations; we keep allocation + epoch retirement for
-//! clarity (see DESIGN.md §3 for the rationale and the performance caveat).
+//! Pooled descriptor slots live forever (allocated once per thread lifetime,
+//! recycled via seqnos, adopted by later threads on thread exit), so they
+//! need no reclamation.  Heap-allocated fallback descriptors are retired
+//! through [`crossbeam_epoch`] after the owner's help routine returns, as
+//! before.  Data-structure code built on this crate must hold an epoch
+//! [`Guard`](crossbeam_epoch::Guard) across each entire operation — the
+//! addresses inside a published operation must stay dereferenceable for
+//! every potential helper, exactly the discipline the paper uses with DEBRA
+//! guards (§4.3).
 
 #![warn(missing_docs)]
 
 mod dcss;
 mod descriptor;
 mod engine;
+pub mod pool;
 pub mod word;
 
-pub use descriptor::Descriptor;
-pub use engine::{execute, kcas, read, validate_path, KcasArg, VisitArg};
+pub use engine::{
+    execute, execute_alloc, execute_raw, kcas, read, validate_path, validate_path_raw, KcasArg,
+    RawEntry, RawVisit, VisitArg,
+};
+pub use pool::{local_pool_stats, PoolStats};
 pub use word::{CasWord, MAX_VALUE};
 
 /// Mark bit helpers: the least-significant bit of a node's *logical* version

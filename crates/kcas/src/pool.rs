@@ -1,0 +1,417 @@
+//! Per-thread reusable descriptor pools (the Arbel-Raviv & Brown
+//! descriptor-reuse transformation, DISC '17).
+//!
+//! Instead of heap-allocating a fresh descriptor for every published KCAS /
+//! DCSS operation and retiring it through epoch-based reclamation, each
+//! thread owns a small fixed set of descriptor *slots* that it recycles
+//! across operations.  A slot lives forever (it is allocated once, on the
+//! first operation of a thread, and returned to a free list when the thread
+//! exits so a later thread can adopt it), which makes reading a slot's
+//! fields always memory-safe — the only hazard is reading fields that belong
+//! to a *newer* operation than the one a helper meant to help.
+//!
+//! That hazard is handled with sequence numbers:
+//!
+//! * every published descriptor word encodes `(slot index, seqno)`
+//!   (see [`crate::word`]);
+//! * a KCAS slot packs its seqno and its 2-bit status into one atomic word
+//!   (`KcasSlot::seqstat`), so the DCSS control expectation
+//!   `(seqno, UNDECIDED)` can never match a recycled descriptor — this is
+//!   what prevents a stalled helper from resurrecting a completed operation;
+//! * a DCSS slot keeps a plain seqno (`DcssSlot::seq`).
+//!
+//! ## The reuse protocol
+//!
+//! The owner of a slot publishes a new operation in this order:
+//!
+//! 1. **Invalidate**: bump the seqno (store `seqstat = (seq+1, UNDECIDED)`
+//!    resp. `seq = seq+1`).  From this point every helper of the *previous*
+//!    operation fails its seqno validation and aborts; the previous
+//!    operation is necessarily complete, because the owner only reuses a
+//!    slot after its own help routine returned.
+//! 2. **Write** the operation's fields (entries, path).  No thread can be
+//!    reading them under the *new* seqno yet, because the new descriptor
+//!    word has not been installed anywhere.
+//! 3. **Publish** the word `(slot, seq+1)` by installing it into shared
+//!    memory (KCAS phase 1 / the DCSS installation CAS).
+//!
+//! A helper must in turn:
+//!
+//! * validate `slot.seq == word.seq` *after* reading any field and *before*
+//!   acting on it (in particular before dereferencing an address read from
+//!   the slot) — on mismatch it abandons the help: the operation it meant to
+//!   help is already decided and fully uninstalled;
+//! * perform all its CASes with the seqno-carrying word itself, so a CAS
+//!   prepared against a recycled descriptor can never succeed (the stale
+//!   word never reappears in shared memory).
+//!
+//! ## Memory orderings
+//!
+//! Field arrays use release stores and acquire loads.  The KCAS seqno word
+//! (`seqstat`) uses `SeqCst` throughout — it doubles as the DCSS control
+//! word and the decide-CAS target, so it is on the algorithm's linearizing
+//! path anyway.  The DCSS seqno (`seq`) is *stored* with `Release` (it is
+//! bumped once per DCSS, and a full fence there is measurable) and loaded
+//! with `SeqCst` by validators.  Release/acquire suffices for recycling
+//! detection because the owner bumps the seqno *before* rewriting fields:
+//! if a helper's acquire field load observes any value written for a newer
+//! operation, that load synchronizes-with the release store, making the
+//! (program-order earlier) seqno bump visible — so the helper's post-read
+//! seqno validation is guaranteed to detect the recycling.  If every field
+//! load returned old-operation values, the helper acts on a consistent
+//! (merely stale) field set, which is harmless: its CASes carry the stale
+//! seqno-bearing word, which was permanently removed from shared memory
+//! before the slot could be recycled, so they fail by coherence.
+//! Publication in the other direction (owner fields → helper) is ordered by
+//! the installing CAS (a `SeqCst` RMW) that first makes the descriptor word
+//! reachable.
+//!
+//! ## Capacity bounds
+//!
+//! Slots have fixed capacity ([`SLOT_ENTRY_CAP`] / [`SLOT_PATH_CAP`]).
+//! Operations that do not fit (degenerate structures can produce paths of
+//! thousands of visited nodes) transparently fall back to the legacy
+//! heap-allocating path (`TAG_KCAS_BOXED`), which is also kept as the
+//! benchmark baseline; see DESIGN.md §3.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::word::MAX_POOL_SLOTS;
+
+/// Maximum number of `⟨addr, old, new⟩` entries a pooled KCAS descriptor can
+/// hold.  This covers the paper's largest operation (an AVL double rotation
+/// adds fewer than 20 addresses) plus the `vexec_strong` slow path, which
+/// converts up to [`SLOT_PATH_CAP`] visited nodes into compare-only entries.
+pub const SLOT_ENTRY_CAP: usize = 256;
+
+/// Maximum number of visited-path entries a pooled KCAS descriptor can hold.
+/// Balanced structures visit a few dozen nodes at most; operations with
+/// longer paths fall back to the heap-allocating path.
+pub const SLOT_PATH_CAP: usize = 192;
+
+/// Number of KCAS descriptor slots each thread owns (used round-robin).
+pub const KCAS_SLOTS_PER_THREAD: usize = 2;
+
+/// Number of DCSS descriptor slots each thread owns (used round-robin).
+pub const DCSS_SLOTS_PER_THREAD: usize = 2;
+
+/// Number of low bits of [`KcasSlot::seqstat`] holding the operation status.
+const STATUS_BITS: u32 = 2;
+
+/// Pack a seqno and a status into a `seqstat` word.
+#[inline]
+pub(crate) fn pack_seqstat(seq: u64, status: u64) -> u64 {
+    debug_assert!(status <= 0b11);
+    (seq << STATUS_BITS) | status
+}
+
+/// The seqno half of a `seqstat` word.
+#[inline]
+pub(crate) fn seqstat_seq(seqstat: u64) -> u64 {
+    seqstat >> STATUS_BITS
+}
+
+/// The status half of a `seqstat` word.
+#[inline]
+pub(crate) fn seqstat_status(seqstat: u64) -> u64 {
+    seqstat & 0b11
+}
+
+/// A reusable KCAS / PathCAS descriptor slot.
+///
+/// All fields are atomics because helpers may read them concurrently with
+/// the owner recycling the slot; the seqno protocol (module docs) makes such
+/// races benign.  Within one seqno the fields other than `seqstat` are
+/// written only by the owner, before the descriptor word is published.
+pub(crate) struct KcasSlot {
+    /// `(seqno << 2) | status`; the status moves `UNDECIDED →
+    /// SUCCEEDED | FAILED` exactly once per seqno, via CAS.
+    pub(crate) seqstat: AtomicU64,
+    /// Number of live entries.
+    pub(crate) len: AtomicUsize,
+    /// Number of live path entries.
+    pub(crate) path_len: AtomicUsize,
+    /// Entry target addresses (`*const CasWord` as `usize`).
+    pub(crate) addrs: [AtomicUsize; SLOT_ENTRY_CAP],
+    /// Entry expected values (raw tagged representation).
+    pub(crate) olds: [AtomicU64; SLOT_ENTRY_CAP],
+    /// Entry new values (raw tagged representation).
+    pub(crate) news: [AtomicU64; SLOT_ENTRY_CAP],
+    /// Visited-node version-word addresses (`*const CasWord` as `usize`).
+    pub(crate) ver_addrs: [AtomicUsize; SLOT_PATH_CAP],
+    /// Observed version values (raw tagged representation).
+    pub(crate) seens: [AtomicU64; SLOT_PATH_CAP],
+}
+
+impl KcasSlot {
+    fn new_boxed() -> Box<Self> {
+        Box::new(KcasSlot {
+            seqstat: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            path_len: AtomicUsize::new(0),
+            addrs: std::array::from_fn(|_| AtomicUsize::new(0)),
+            olds: std::array::from_fn(|_| AtomicU64::new(0)),
+            news: std::array::from_fn(|_| AtomicU64::new(0)),
+            ver_addrs: std::array::from_fn(|_| AtomicUsize::new(0)),
+            seens: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    }
+}
+
+/// A reusable DCSS descriptor slot (same protocol as [`KcasSlot`], with a
+/// bare seqno because a DCSS has no multi-step status — completion removes
+/// the descriptor word from the target).
+pub(crate) struct DcssSlot {
+    /// Monotonically increasing sequence number; bumped before the fields
+    /// are rewritten for a new operation.
+    pub(crate) seq: AtomicU64,
+    /// Control-word address (`*const AtomicU64` as `usize`).
+    pub(crate) addr1: AtomicUsize,
+    /// Expected control-word value.
+    pub(crate) exp1: AtomicU64,
+    /// Target-word address (`*const CasWord` as `usize`).
+    pub(crate) addr2: AtomicUsize,
+    /// Expected target value (raw tagged representation).
+    pub(crate) old2: AtomicU64,
+    /// New target value (raw tagged representation).
+    pub(crate) new2: AtomicU64,
+}
+
+impl DcssSlot {
+    fn new_boxed() -> Box<Self> {
+        Box::new(DcssSlot {
+            seq: AtomicU64::new(0),
+            addr1: AtomicUsize::new(0),
+            exp1: AtomicU64::new(0),
+            addr2: AtomicUsize::new(0),
+            old2: AtomicU64::new(0),
+            new2: AtomicU64::new(0),
+        })
+    }
+}
+
+// The global slot tables. A slot index that has ever appeared in a published
+// descriptor word maps to a non-null pointer forever (slots are allocated
+// once and never freed; thread exit only returns the *index* to a free list
+// so a later thread can adopt the existing slot, seqno intact).
+static KCAS_TABLE: [AtomicPtr<KcasSlot>; MAX_POOL_SLOTS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
+static DCSS_TABLE: [AtomicPtr<DcssSlot>; MAX_POOL_SLOTS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
+
+static NEXT_KCAS_IDX: AtomicUsize = AtomicUsize::new(0);
+static NEXT_DCSS_IDX: AtomicUsize = AtomicUsize::new(0);
+
+// Indices of slots whose owning thread has exited, available for adoption.
+// Only touched at thread birth/death, never on the operation hot path.
+static KCAS_FREE: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+static DCSS_FREE: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+fn lock_ignoring_poison<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn acquire_kcas_slot() -> (usize, &'static KcasSlot) {
+    let idx = lock_ignoring_poison(&KCAS_FREE)
+        .pop()
+        .unwrap_or_else(|| NEXT_KCAS_IDX.fetch_add(1, Ordering::Relaxed));
+    assert!(
+        idx < MAX_POOL_SLOTS,
+        "KCAS descriptor pool exhausted ({MAX_POOL_SLOTS} slots, {KCAS_SLOTS_PER_THREAD} per thread)"
+    );
+    let existing = KCAS_TABLE[idx].load(Ordering::Acquire);
+    if existing.is_null() {
+        let fresh: &'static KcasSlot = Box::leak(KcasSlot::new_boxed());
+        KCAS_TABLE[idx].store(fresh as *const _ as *mut _, Ordering::Release);
+        (idx, fresh)
+    } else {
+        // SAFETY: table entries, once set, point at leaked (never freed)
+        // slots; the index was handed to exactly this thread.
+        (idx, unsafe { &*existing })
+    }
+}
+
+fn acquire_dcss_slot() -> (usize, &'static DcssSlot) {
+    let idx = lock_ignoring_poison(&DCSS_FREE)
+        .pop()
+        .unwrap_or_else(|| NEXT_DCSS_IDX.fetch_add(1, Ordering::Relaxed));
+    assert!(
+        idx < MAX_POOL_SLOTS,
+        "DCSS descriptor pool exhausted ({MAX_POOL_SLOTS} slots, {DCSS_SLOTS_PER_THREAD} per thread)"
+    );
+    let existing = DCSS_TABLE[idx].load(Ordering::Acquire);
+    if existing.is_null() {
+        let fresh: &'static DcssSlot = Box::leak(DcssSlot::new_boxed());
+        DCSS_TABLE[idx].store(fresh as *const _ as *mut _, Ordering::Release);
+        (idx, fresh)
+    } else {
+        // SAFETY: as in `acquire_kcas_slot`.
+        (idx, unsafe { &*existing })
+    }
+}
+
+/// Resolve a KCAS slot index read from a published descriptor word.
+///
+/// The pointer is non-null for every index that has ever been published: the
+/// owner registers the slot (with a release store) before the descriptor
+/// word can first be installed, and slots are never freed.
+pub(crate) fn kcas_slot(idx: usize) -> &'static KcasSlot {
+    let ptr = KCAS_TABLE[idx & (MAX_POOL_SLOTS - 1)].load(Ordering::Acquire);
+    assert!(!ptr.is_null(), "descriptor word names an unregistered KCAS slot");
+    // SAFETY: non-null table entries point at leaked slots.
+    unsafe { &*ptr }
+}
+
+/// Resolve a DCSS slot index read from a published descriptor word.
+pub(crate) fn dcss_slot(idx: usize) -> &'static DcssSlot {
+    let ptr = DCSS_TABLE[idx & (MAX_POOL_SLOTS - 1)].load(Ordering::Acquire);
+    assert!(!ptr.is_null(), "descriptor word names an unregistered DCSS slot");
+    // SAFETY: non-null table entries point at leaked slots.
+    unsafe { &*ptr }
+}
+
+/// The calling thread's descriptor pool: a fixed set of KCAS and DCSS slots
+/// used round-robin, registered on first use and returned to the free lists
+/// when the thread exits.
+struct ThreadPool {
+    kcas_idx: [usize; KCAS_SLOTS_PER_THREAD],
+    kcas: [&'static KcasSlot; KCAS_SLOTS_PER_THREAD],
+    next_kcas: Cell<usize>,
+    dcss_idx: [usize; DCSS_SLOTS_PER_THREAD],
+    dcss: [&'static DcssSlot; DCSS_SLOTS_PER_THREAD],
+    next_dcss: Cell<usize>,
+}
+
+impl ThreadPool {
+    fn register() -> Self {
+        let mut kcas_idx = [0usize; KCAS_SLOTS_PER_THREAD];
+        let mut kcas: [Option<&'static KcasSlot>; KCAS_SLOTS_PER_THREAD] =
+            [None; KCAS_SLOTS_PER_THREAD];
+        for i in 0..KCAS_SLOTS_PER_THREAD {
+            let (idx, slot) = acquire_kcas_slot();
+            kcas_idx[i] = idx;
+            kcas[i] = Some(slot);
+        }
+        let mut dcss_idx = [0usize; DCSS_SLOTS_PER_THREAD];
+        let mut dcss: [Option<&'static DcssSlot>; DCSS_SLOTS_PER_THREAD] =
+            [None; DCSS_SLOTS_PER_THREAD];
+        for i in 0..DCSS_SLOTS_PER_THREAD {
+            let (idx, slot) = acquire_dcss_slot();
+            dcss_idx[i] = idx;
+            dcss[i] = Some(slot);
+        }
+        ThreadPool {
+            kcas_idx,
+            kcas: kcas.map(|s| s.expect("slot acquired")),
+            next_kcas: Cell::new(0),
+            dcss_idx,
+            dcss: dcss.map(|s| s.expect("slot acquired")),
+            next_dcss: Cell::new(0),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Return the slot *indices*; the slots themselves (and their current
+        // seqnos) stay in the table so stale helpers of this thread's last
+        // operations still validate correctly against the adopting thread's
+        // future seqnos.
+        lock_ignoring_poison(&KCAS_FREE).extend(self.kcas_idx);
+        lock_ignoring_poison(&DCSS_FREE).extend(self.dcss_idx);
+    }
+}
+
+thread_local! {
+    static POOL: ThreadPool = ThreadPool::register();
+}
+
+/// Run `f` with the calling thread's next KCAS slot (round-robin).
+pub(crate) fn with_kcas_slot<R>(f: impl FnOnce(usize, &'static KcasSlot) -> R) -> R {
+    POOL.with(|p| {
+        let i = p.next_kcas.get();
+        p.next_kcas.set((i + 1) % KCAS_SLOTS_PER_THREAD);
+        f(p.kcas_idx[i], p.kcas[i])
+    })
+}
+
+/// Run `f` with the calling thread's next DCSS slot (round-robin).
+pub(crate) fn with_dcss_slot<R>(f: impl FnOnce(usize, &'static DcssSlot) -> R) -> R {
+    POOL.with(|p| {
+        let i = p.next_dcss.get();
+        p.next_dcss.set((i + 1) % DCSS_SLOTS_PER_THREAD);
+        f(p.dcss_idx[i], p.dcss[i])
+    })
+}
+
+/// A diagnostic snapshot of the calling thread's descriptor pool, for tests
+/// and benchmarks (e.g. asserting that operations recycle slots instead of
+/// allocating).
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Global table indices of this thread's KCAS slots.
+    pub kcas_slots: Vec<usize>,
+    /// Current sequence number of each KCAS slot (one publish = one bump).
+    pub kcas_seqs: Vec<u64>,
+    /// Global table indices of this thread's DCSS slots.
+    pub dcss_slots: Vec<usize>,
+    /// Current sequence number of each DCSS slot (one DCSS = one bump).
+    pub dcss_seqs: Vec<u64>,
+}
+
+/// Snapshot the calling thread's descriptor pool (registering it if this
+/// thread has not performed an operation yet).
+pub fn local_pool_stats() -> PoolStats {
+    POOL.with(|p| PoolStats {
+        kcas_slots: p.kcas_idx.to_vec(),
+        kcas_seqs: p.kcas.iter().map(|s| seqstat_seq(s.seqstat.load(Ordering::SeqCst))).collect(),
+        dcss_slots: p.dcss_idx.to_vec(),
+        dcss_seqs: p.dcss.iter().map(|s| s.seq.load(Ordering::SeqCst)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqstat_packing_roundtrip() {
+        for seq in [0u64, 1, 7, 1 << 40] {
+            for status in [0u64, 1, 2] {
+                let ss = pack_seqstat(seq, status);
+                assert_eq!(seqstat_seq(ss), seq);
+                assert_eq!(seqstat_status(ss), status);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_pool_registers_distinct_slots() {
+        let stats = local_pool_stats();
+        assert_eq!(stats.kcas_slots.len(), KCAS_SLOTS_PER_THREAD);
+        assert_eq!(stats.dcss_slots.len(), DCSS_SLOTS_PER_THREAD);
+        let mut k = stats.kcas_slots.clone();
+        k.dedup();
+        assert_eq!(k.len(), KCAS_SLOTS_PER_THREAD, "KCAS slot indices must be distinct");
+    }
+
+    #[test]
+    fn exited_threads_slots_are_adopted() {
+        // The second thread starts after the first exited, so it adopts (at
+        // least some of) the same table indices from the free list.  Other
+        // unit tests run concurrently in this binary and may snatch the
+        // returned indices between our two spawns, so accept success on any
+        // of several attempts instead of demanding it on the first.
+        for attempt in 0..20 {
+            let first = std::thread::spawn(local_pool_stats).join().unwrap();
+            let second = std::thread::spawn(local_pool_stats).join().unwrap();
+            if second.kcas_slots.iter().any(|s| first.kcas_slots.contains(s)) {
+                return;
+            }
+            let _ = attempt;
+        }
+        panic!("no slot adoption observed in 20 attempts — free list is not recycling indices");
+    }
+}

@@ -7,8 +7,27 @@
 //! | tag (bits 1..0) | meaning                                  |
 //! |-----------------|------------------------------------------|
 //! | `00`            | an application value, stored shifted left by two (62-bit payload) |
-//! | `01`            | a pointer to a KCAS / PathCAS descriptor |
-//! | `10`            | a pointer to a DCSS descriptor           |
+//! | `01`            | a *pooled* KCAS / PathCAS descriptor reference (slot + seqno) |
+//! | `10`            | a *pooled* DCSS descriptor reference (slot + seqno) |
+//! | `11`            | a pointer to a heap-allocated (legacy) KCAS descriptor |
+//!
+//! Pooled descriptor words do not carry a pointer at all.  They encode the
+//! index of a reusable per-thread descriptor *slot* (see [`crate::pool`])
+//! together with the sequence number the slot had when the operation was
+//! published:
+//!
+//! ```text
+//! bits 63..14 : sequence number (50 bits, monotonically increasing per slot)
+//! bits 13..2  : slot index into the global descriptor table (4096 slots)
+//! bits  1..0  : tag (01 = KCAS slot, 10 = DCSS slot)
+//! ```
+//!
+//! Because the sequence number is part of the word itself, a helper that
+//! still holds a stale descriptor word after the slot has been recycled can
+//! detect the recycling (the slot's current seqno no longer matches) and its
+//! leftover CASes can never succeed (the stale word never reappears in shared
+//! memory).  This is the Arbel-Raviv & Brown descriptor-reuse transformation
+//! (DISC '17) that the paper applies; see DESIGN.md §3.
 //!
 //! This mirrors the `casword<T>` template of the paper's C++ implementation
 //! (§4, footnote 5): application code only ever sees *decoded* values, and the
@@ -22,10 +41,28 @@ pub const TAG_BITS: u32 = 2;
 pub const TAG_MASK: u64 = 0b11;
 /// Tag value for a plain application value.
 pub const TAG_VALUE: u64 = 0b00;
-/// Tag value for a KCAS / PathCAS descriptor pointer.
+/// Tag value for a pooled KCAS / PathCAS descriptor reference.
 pub const TAG_KCAS: u64 = 0b01;
-/// Tag value for a DCSS descriptor pointer.
+/// Tag value for a pooled DCSS descriptor reference.
 pub const TAG_DCSS: u64 = 0b10;
+/// Tag value for a heap-allocated (legacy) KCAS descriptor pointer.
+///
+/// This path is kept as the benchmark baseline for the descriptor-reuse
+/// speedup ([`crate::execute_alloc`]) and as the overflow fallback for
+/// operations larger than a pooled slot's capacity.
+pub const TAG_KCAS_BOXED: u64 = 0b11;
+
+/// Number of bits encoding the slot index of a pooled descriptor word.
+pub const SLOT_INDEX_BITS: u32 = 12;
+/// Size of the global descriptor slot tables (one for KCAS, one for DCSS).
+pub const MAX_POOL_SLOTS: usize = 1 << SLOT_INDEX_BITS;
+/// Bit position where the sequence number starts in a pooled descriptor word.
+const SEQ_SHIFT: u32 = TAG_BITS + SLOT_INDEX_BITS;
+/// The largest sequence number a pooled descriptor word can carry (50 bits).
+///
+/// A slot publishing one operation every nanosecond would take ~36 years to
+/// exhaust this, so wrap-around is not a practical concern.
+pub const MAX_SEQ: u64 = (1u64 << (64 - SEQ_SHIFT)) - 1;
 
 /// The largest application value that can be stored in a [`CasWord`]
 /// (payloads are 62 bits wide).
@@ -57,39 +94,68 @@ pub fn is_value(raw: u64) -> bool {
     raw & TAG_MASK == TAG_VALUE
 }
 
-/// Returns `true` if the raw word is a KCAS / PathCAS descriptor pointer.
+/// Returns `true` if the raw word is a pooled KCAS / PathCAS descriptor
+/// reference.
 #[inline]
 pub fn is_kcas_desc(raw: u64) -> bool {
     raw & TAG_MASK == TAG_KCAS
 }
 
-/// Returns `true` if the raw word is a DCSS descriptor pointer.
+/// Returns `true` if the raw word is a heap-allocated (legacy) KCAS
+/// descriptor pointer.
+#[inline]
+pub fn is_kcas_boxed(raw: u64) -> bool {
+    raw & TAG_MASK == TAG_KCAS_BOXED
+}
+
+/// Returns `true` if the raw word refers to a KCAS / PathCAS descriptor of
+/// either kind (pooled or heap-allocated).
+#[inline]
+pub fn is_any_kcas_desc(raw: u64) -> bool {
+    is_kcas_desc(raw) || is_kcas_boxed(raw)
+}
+
+/// Returns `true` if the raw word is a pooled DCSS descriptor reference.
 #[inline]
 pub fn is_dcss_desc(raw: u64) -> bool {
     raw & TAG_MASK == TAG_DCSS
 }
 
-/// Returns `true` if the raw word is any kind of descriptor pointer.
+/// Returns `true` if the raw word is any kind of descriptor reference.
 #[inline]
 pub fn is_descriptor(raw: u64) -> bool {
     raw & TAG_MASK != TAG_VALUE
 }
 
-/// Tag a raw pointer as a KCAS descriptor word.
+/// Pack a pooled descriptor reference from a tag, slot index and seqno.
 #[inline]
-pub(crate) fn tag_kcas_ptr(ptr: usize) -> u64 {
-    debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "descriptor pointers must be 4-byte aligned");
-    ptr as u64 | TAG_KCAS
+pub(crate) fn pack_pooled(tag: u64, slot: usize, seq: u64) -> u64 {
+    debug_assert!(tag == TAG_KCAS || tag == TAG_DCSS);
+    debug_assert!(slot < MAX_POOL_SLOTS, "slot index {slot} out of range");
+    debug_assert!(seq <= MAX_SEQ, "sequence number overflow");
+    (seq << SEQ_SHIFT) | ((slot as u64) << TAG_BITS) | tag
 }
 
-/// Tag a raw pointer as a DCSS descriptor word.
+/// Slot index of a pooled descriptor word.
 #[inline]
-pub(crate) fn tag_dcss_ptr(ptr: usize) -> u64 {
-    debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "descriptor pointers must be 4-byte aligned");
-    ptr as u64 | TAG_DCSS
+pub(crate) fn pooled_slot(raw: u64) -> usize {
+    ((raw >> TAG_BITS) as usize) & (MAX_POOL_SLOTS - 1)
 }
 
-/// Strip the tag from a descriptor word, recovering the raw pointer.
+/// Sequence number of a pooled descriptor word.
+#[inline]
+pub(crate) fn pooled_seq(raw: u64) -> u64 {
+    raw >> SEQ_SHIFT
+}
+
+/// Tag a raw pointer as a heap-allocated (legacy) KCAS descriptor word.
+#[inline]
+pub(crate) fn tag_boxed_kcas_ptr(ptr: usize) -> u64 {
+    debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "descriptor pointers must be 4-byte aligned");
+    ptr as u64 | TAG_KCAS_BOXED
+}
+
+/// Strip the tag from a boxed descriptor word, recovering the raw pointer.
 #[inline]
 pub(crate) fn untag_ptr(raw: u64) -> usize {
     (raw & !TAG_MASK) as usize
@@ -185,12 +251,27 @@ mod tests {
     #[test]
     fn tags_are_disjoint() {
         let ptr = 0x0007_f00d_eadb_eef0_usize & !0b11;
-        let k = tag_kcas_ptr(ptr);
-        let d = tag_dcss_ptr(ptr);
-        assert!(is_kcas_desc(k) && !is_dcss_desc(k) && !is_value(k));
-        assert!(is_dcss_desc(d) && !is_kcas_desc(d) && !is_value(d));
-        assert_eq!(untag_ptr(k), ptr);
-        assert_eq!(untag_ptr(d), ptr);
+        let k = pack_pooled(TAG_KCAS, 17, 99);
+        let d = pack_pooled(TAG_DCSS, 17, 99);
+        let b = tag_boxed_kcas_ptr(ptr);
+        assert!(is_kcas_desc(k) && !is_dcss_desc(k) && !is_value(k) && !is_kcas_boxed(k));
+        assert!(is_dcss_desc(d) && !is_kcas_desc(d) && !is_value(d) && !is_kcas_boxed(d));
+        assert!(is_kcas_boxed(b) && !is_kcas_desc(b) && !is_dcss_desc(b) && !is_value(b));
+        assert!(is_any_kcas_desc(k) && is_any_kcas_desc(b) && !is_any_kcas_desc(d));
+        assert_eq!(untag_ptr(b), ptr);
+    }
+
+    #[test]
+    fn pooled_words_roundtrip() {
+        for (slot, seq) in [(0usize, 0u64), (1, 1), (4095, MAX_SEQ), (1234, 1 << 40)] {
+            for tag in [TAG_KCAS, TAG_DCSS] {
+                let raw = pack_pooled(tag, slot, seq);
+                assert_eq!(pooled_slot(raw), slot);
+                assert_eq!(pooled_seq(raw), seq);
+                assert_eq!(raw & TAG_MASK, tag);
+                assert!(is_descriptor(raw));
+            }
+        }
     }
 
     #[test]

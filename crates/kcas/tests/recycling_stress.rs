@@ -1,0 +1,239 @@
+//! Stress tests for descriptor recycling under contention (DESIGN.md §3).
+//!
+//! Each thread owns only [`kcas::pool::KCAS_SLOTS_PER_THREAD`] descriptor
+//! slots, so under a contended workload every slot is recycled thousands of
+//! times per second while other threads are actively helping operations
+//! published through it — exactly the scenario the seqno validation
+//! protocol must survive.  The assertions are effect-based: no KCAS effect
+//! may be lost (a success whose writes vanished) or duplicated (a helper
+//! re-applying a completed operation after its descriptor was recycled).
+
+use std::sync::Arc;
+
+use kcas::{CasWord, KcasArg};
+use proptest::prelude::*;
+
+/// Every success increments all `k` words of a single shared group, so the
+/// final value of every word must equal the global success count exactly:
+/// a lost update leaves it short, a resurrected descriptor overshoots it.
+fn hammer_shared_group(threads: usize, ops_per_thread: usize, k: usize) {
+    let words: Arc<Vec<CasWord>> = Arc::new((0..k).map(|_| CasWord::new(0)).collect());
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let words = Arc::clone(&words);
+            std::thread::spawn(move || {
+                let mut successes = 0u64;
+                for _ in 0..ops_per_thread {
+                    let guard = crossbeam_epoch::pin();
+                    let olds: Vec<u64> = words.iter().map(|w| kcas::read(w, &guard)).collect();
+                    let args: Vec<KcasArg> = words
+                        .iter()
+                        .zip(&olds)
+                        .map(|(w, &o)| KcasArg { addr: w, old: o, new: o + 1 })
+                        .collect();
+                    if kcas::kcas(&args, &guard) {
+                        successes += 1;
+                    }
+                }
+                successes
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let guard = crossbeam_epoch::pin();
+    for w in words.iter() {
+        assert_eq!(
+            kcas::read(w, &guard),
+            total,
+            "every word must reflect exactly the {total} successful operations"
+        );
+    }
+}
+
+#[test]
+fn rapid_recycling_loses_and_duplicates_nothing() {
+    // A single 2-word group shared by all threads maximizes both helping
+    // (every conflict installs/helps descriptors) and recycling (every
+    // attempt, failed or not, bumps a slot seqno).
+    hammer_shared_group(8, 4000, 2);
+}
+
+#[test]
+fn wide_operations_recycle_correctly() {
+    hammer_shared_group(4, 1500, 8);
+}
+
+#[test]
+fn recycling_advances_seqnos_not_slots() {
+    // Direct evidence of reuse: a burst of operations advances the calling
+    // thread's slot seqnos by exactly the operation count, and registers no
+    // new slots.
+    let w = CasWord::new(0);
+    let guard = crossbeam_epoch::pin();
+    let _ = kcas::kcas(&[KcasArg { addr: &w, old: 0, new: 1 }], &guard); // warm up
+    let before = kcas::local_pool_stats();
+    let ops = 500u64;
+    let base = kcas::read(&w, &guard);
+    for i in 0..ops {
+        assert!(kcas::kcas(&[KcasArg { addr: &w, old: base + i, new: base + i + 1 }], &guard));
+    }
+    let after = kcas::local_pool_stats();
+    assert_eq!(before.kcas_slots, after.kcas_slots);
+    assert_eq!(
+        after.kcas_seqs.iter().sum::<u64>() - before.kcas_seqs.iter().sum::<u64>(),
+        ops
+    );
+    // Each 1-word KCAS performs exactly one DCSS in phase 1.
+    assert_eq!(
+        after.dcss_seqs.iter().sum::<u64>() - before.dcss_seqs.iter().sum::<u64>(),
+        ops
+    );
+}
+
+#[test]
+fn pooled_and_alloc_descriptors_interoperate_under_contention() {
+    // Half the threads publish through the pooled fast path, half through
+    // the legacy boxed path, all against the same two accounts.  Helpers of
+    // either kind must correctly complete operations of the other kind
+    // (the tag distinguishes them in every shared word).
+    const THREADS: usize = 8;
+    const OPS: usize = 2500;
+    let accounts: Arc<Vec<CasWord>> = Arc::new(vec![CasWord::new(10_000), CasWord::new(10_000)]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let accounts = Arc::clone(&accounts);
+            std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    loop {
+                        let guard = crossbeam_epoch::pin();
+                        let a = kcas::read(&accounts[0], &guard);
+                        let b = kcas::read(&accounts[1], &guard);
+                        if a == 0 {
+                            break;
+                        }
+                        let args = [
+                            KcasArg { addr: &accounts[0], old: a, new: a - 1 },
+                            KcasArg { addr: &accounts[1], old: b, new: b + 1 },
+                        ];
+                        let ok = if t % 2 == 0 {
+                            kcas::kcas(&args, &guard)
+                        } else {
+                            kcas::execute_alloc(&args, &[], &guard)
+                        };
+                        if ok {
+                            break;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let guard = crossbeam_epoch::pin();
+    let total = kcas::read(&accounts[0], &guard) + kcas::read(&accounts[1], &guard);
+    assert_eq!(total, 20_000, "transfers must conserve the total");
+}
+
+#[test]
+fn slots_survive_thread_turnover() {
+    // Threads come and go; their slots return to the free list and are
+    // adopted (seqnos intact) by successors.  Effects must still be exact.
+    let words: Arc<Vec<CasWord>> = Arc::new((0..2).map(|_| CasWord::new(0)).collect());
+    let mut total = 0u64;
+    for _generation in 0..6 {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let words = Arc::clone(&words);
+                std::thread::spawn(move || {
+                    let mut successes = 0u64;
+                    for _ in 0..300 {
+                        let guard = crossbeam_epoch::pin();
+                        let olds: Vec<u64> =
+                            words.iter().map(|w| kcas::read(w, &guard)).collect();
+                        let args: Vec<KcasArg> = words
+                            .iter()
+                            .zip(&olds)
+                            .map(|(w, &o)| KcasArg { addr: w, old: o, new: o + 1 })
+                            .collect();
+                        if kcas::kcas(&args, &guard) {
+                            successes += 1;
+                        }
+                    }
+                    successes
+                })
+            })
+            .collect();
+        total += handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>();
+    }
+    let guard = crossbeam_epoch::pin();
+    for w in words.iter() {
+        assert_eq!(kcas::read(w, &guard), total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized recycling stress: arbitrary thread counts, group widths
+    /// and op counts must never lose or duplicate a KCAS effect.
+    #[test]
+    fn prop_recycling_preserves_exact_effects(
+        (threads, k, ops) in (2usize..5, 2usize..5, 200usize..800)
+    ) {
+        hammer_shared_group(threads, ops, k);
+    }
+
+    /// Randomized transfers between a small account set (pooled path only;
+    /// the interop test above covers the mixed case) conserve the total.
+    #[test]
+    fn prop_transfers_conserve_total(
+        (threads, accounts_n, ops, seed) in (2usize..5, 2usize..6, 100usize..600, any::<u64>())
+    ) {
+        let accounts: Arc<Vec<CasWord>> =
+            Arc::new((0..accounts_n).map(|_| CasWord::new(1000)).collect());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let accounts = Arc::clone(&accounts);
+                let mut state = seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                std::thread::spawn(move || {
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    for _ in 0..ops {
+                        let a = (next() % accounts.len() as u64) as usize;
+                        let mut b = (next() % accounts.len() as u64) as usize;
+                        if a == b {
+                            b = (b + 1) % accounts.len();
+                        }
+                        loop {
+                            let guard = crossbeam_epoch::pin();
+                            let va = kcas::read(&accounts[a], &guard);
+                            let vb = kcas::read(&accounts[b], &guard);
+                            if va == 0 {
+                                break;
+                            }
+                            let args = [
+                                KcasArg { addr: &accounts[a], old: va, new: va - 1 },
+                                KcasArg { addr: &accounts[b], old: vb, new: vb + 1 },
+                            ];
+                            if kcas::kcas(&args, &guard) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let guard = crossbeam_epoch::pin();
+        let total: u64 = accounts.iter().map(|w| kcas::read(w, &guard)).sum();
+        assert_eq!(total, accounts_n as u64 * 1000);
+    }
+}

@@ -1,0 +1,128 @@
+//! Asserts the headline property of the descriptor-reuse transformation
+//! (DESIGN.md §3): once a thread's pools and scratch space are warm, the
+//! success path of a KCAS / PathCAS publish performs **zero** heap
+//! allocations — and the legacy baseline (`execute_alloc`) does not, which
+//! keeps this test honest about what it is measuring.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kcas::{CasWord, KcasArg, VisitArg};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers to `System` for every operation; only adds counting.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// The three phases run inside ONE #[test] so no sibling test (or libtest's
+/// own result printing for one) can allocate concurrently with a measured
+/// window — the counter is process-global.
+#[test]
+fn descriptor_reuse_allocation_contract() {
+    success_path_kcas_performs_zero_heap_allocations();
+    failure_path_is_also_allocation_free();
+    alloc_baseline_does_allocate();
+}
+
+fn success_path_kcas_performs_zero_heap_allocations() {
+    let words: Vec<CasWord> = (0..8).map(|_| CasWord::new(0)).collect();
+    let versions: Vec<CasWord> = (0..4).map(|_| CasWord::new(2)).collect();
+
+    // Warm up: registers this thread's descriptor pool and the epoch
+    // collector's participant record.
+    for i in 0..16u64 {
+        let guard = crossbeam_epoch::pin();
+        let args: Vec<KcasArg> =
+            words.iter().map(|w| KcasArg { addr: w, old: i, new: i + 1 }).collect();
+        assert!(kcas::kcas(&args, &guard));
+    }
+
+    let base = words[0].load_quiescent();
+    let before = allocations();
+    for i in 0..1_000u64 {
+        let guard = crossbeam_epoch::pin();
+        // A 4-word KCAS with a 4-node validated path, entirely on the stack.
+        let args = [
+            KcasArg { addr: &words[0], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[1], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[2], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[3], old: base + i, new: base + i + 1 },
+        ];
+        let path = [
+            VisitArg { ver_addr: &versions[0], seen: 2 },
+            VisitArg { ver_addr: &versions[1], seen: 2 },
+            VisitArg { ver_addr: &versions[2], seen: 2 },
+            VisitArg { ver_addr: &versions[3], seen: 2 },
+        ];
+        assert!(kcas::execute(&args, &path, &guard));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "the pooled KCAS success path must not allocate (got {} allocations over 1000 ops)",
+        after - before
+    );
+}
+
+fn failure_path_is_also_allocation_free() {
+    let w = CasWord::new(7);
+    // Warm up pools.
+    for _ in 0..8 {
+        let guard = crossbeam_epoch::pin();
+        let _ = kcas::kcas(&[KcasArg { addr: &w, old: 0, new: 1 }], &guard);
+    }
+    let before = allocations();
+    for _ in 0..500 {
+        let guard = crossbeam_epoch::pin();
+        // Wrong old value: fails in phase 1 and rolls back.
+        assert!(!kcas::kcas(&[KcasArg { addr: &w, old: 0, new: 1 }], &guard));
+    }
+    assert_eq!(allocations() - before, 0, "failed pooled operations must not allocate either");
+}
+
+fn alloc_baseline_does_allocate() {
+    // Sanity-check the counter: the legacy path must show the allocations
+    // the pooled path eliminated, on the identical workload.
+    let w = CasWord::new(0);
+    for i in 0..8u64 {
+        let guard = crossbeam_epoch::pin();
+        assert!(kcas::execute_alloc(&[KcasArg { addr: &w, old: i, new: i + 1 }], &[], &guard));
+    }
+    let before = allocations();
+    let ops = 100u64;
+    let base = w.load_quiescent();
+    for i in 0..ops {
+        let guard = crossbeam_epoch::pin();
+        let args = [KcasArg { addr: &w, old: base + i, new: base + i + 1 }];
+        assert!(kcas::execute_alloc(&args, &[], &guard));
+    }
+    let delta = allocations() - before;
+    assert!(
+        delta >= ops,
+        "the legacy baseline should allocate at least once per op (got {delta} over {ops} ops)"
+    );
+}

@@ -2,7 +2,7 @@
 //! `validate`, `exec`, `vexec` and the strong (lock-free) `vexec` slow path.
 
 use crossbeam_epoch::Guard;
-use kcas::{CasWord, KcasArg, VisitArg};
+use kcas::{CasWord, RawEntry, RawVisit};
 
 use crate::stats::OpStats;
 use crate::{DEFAULT_MAX_ENTRIES, DEFAULT_MAX_PATH, DEFAULT_STRONG_RETRIES};
@@ -10,11 +10,23 @@ use crate::{DEFAULT_MAX_ENTRIES, DEFAULT_MAX_PATH, DEFAULT_STRONG_RETRIES};
 /// Per-thread, reusable argument accumulation buffers for PathCAS operations.
 ///
 /// A builder owns no shared state: it is purely the scratch space described
-/// in §3.3 ("a simple array for our visited nodes").  Read-only operations
-/// (a validated `contains`) never publish a descriptor and never allocate.
+/// in §3.3 ("a simple array for our visited nodes").  All buffers retain
+/// their capacity across operations, so in steady state an operation issued
+/// through a reused builder performs **no heap allocation** — together with
+/// the descriptor pools in `kcas` this makes the whole update hot path
+/// allocation-free.  Read-only operations (a validated `contains`) never
+/// publish a descriptor at all.
 pub struct OpBuilder {
-    entries: Vec<(usize, u64, u64)>,
-    path: Vec<(usize, u64)>,
+    entries: Vec<RawEntry>,
+    path: Vec<RawVisit>,
+    /// `vexec` scratch: the visited path minus nodes that are also added.
+    path_scratch: Vec<RawVisit>,
+    /// `vexec_strong` slow-path scratch: entries plus compare-only entries.
+    slow_scratch: Vec<RawEntry>,
+    /// Set when the same address is added twice with conflicting values —
+    /// proof that the caller observed inconsistent (concurrently modified)
+    /// state, so the operation is doomed and must fail; see [`PathCasOp::add`].
+    poisoned: bool,
     max_entries: usize,
     max_path: usize,
     strong_retries: usize,
@@ -40,6 +52,9 @@ impl OpBuilder {
         OpBuilder {
             entries: Vec::with_capacity(max_entries.min(256)),
             path: Vec::with_capacity(max_path.min(1024)),
+            path_scratch: Vec::with_capacity(max_path.min(1024)),
+            slow_scratch: Vec::with_capacity(max_entries.min(256)),
+            poisoned: false,
             max_entries,
             max_path,
             strong_retries: DEFAULT_STRONG_RETRIES,
@@ -63,6 +78,7 @@ impl OpBuilder {
     pub fn start<'g>(&'g mut self, guard: &'g Guard) -> PathCasOp<'g> {
         self.entries.clear();
         self.path.clear();
+        self.poisoned = false;
         PathCasOp { builder: self, guard }
     }
 
@@ -100,17 +116,24 @@ impl<'g> PathCasOp<'g> {
 
     /// Add an address to be changed atomically from `old` to `new`.
     ///
+    /// Re-adding the same address with identical values is a no-op.
+    /// Re-adding it with *conflicting* values poisons the operation: under
+    /// concurrency it proves the caller derived its arguments from two
+    /// inconsistent reads of the structure (some other operation committed
+    /// in between), so the operation is doomed and `exec`/`vexec` will
+    /// deterministically return `false` — the standard fail-and-retry
+    /// outcome, instead of the undefined behaviour the paper's §3.2 permits
+    /// here.
+    ///
     /// # Panics
-    /// Panics if the add-set bound is exceeded, or (in debug builds) if the
-    /// same address is added twice with conflicting values.
+    /// Panics if the add-set bound is exceeded (the paper's assertion).
     #[inline]
     pub fn add(&mut self, word: &'g CasWord, old: u64, new: u64) {
-        let addr = word as *const CasWord as usize;
-        if let Some(existing) = self.builder.entries.iter().find(|e| e.0 == addr) {
-            debug_assert!(
-                existing.1 == old && existing.2 == new,
-                "address added twice with conflicting values (undefined behaviour per §3.2)"
-            );
+        let addr = word as *const CasWord;
+        if let Some(existing) = self.builder.entries.iter().find(|e| e.addr == addr) {
+            if existing.old != old || existing.new != new {
+                self.builder.poisoned = true;
+            }
             return;
         }
         assert!(
@@ -118,7 +141,7 @@ impl<'g> PathCasOp<'g> {
             "PathCAS add-set bound ({}) exceeded",
             self.builder.max_entries
         );
-        self.builder.entries.push((addr, old, new));
+        self.builder.entries.push(RawEntry { addr, old, new });
     }
 
     /// Visit a node: read its version word (helping if necessary), record it
@@ -135,7 +158,7 @@ impl<'g> PathCasOp<'g> {
             "PathCAS read-set bound ({}) exceeded",
             self.builder.max_path
         );
-        self.builder.path.push((version_word as *const CasWord as usize, seen));
+        self.builder.path.push(RawVisit { ver_addr: version_word as *const CasWord, seen });
         seen
     }
 
@@ -154,8 +177,10 @@ impl<'g> PathCasOp<'g> {
     /// unlike the validation inside `vexec` it never fails spuriously,
     /// because it helps any operation it encounters before comparing.
     pub fn validate(&mut self) -> bool {
-        let path = self.path_args();
-        let ok = kcas::validate_path(&path, self.guard);
+        // SAFETY: every address in `path` was registered through a
+        // `&'g CasWord` in `visit`, so it is valid for 'g (covering this
+        // call, which runs under the same epoch guard).
+        let ok = unsafe { kcas::validate_path_raw(&self.builder.path, self.guard) };
         if !ok {
             self.builder.stats.note_validate_failure();
         }
@@ -165,8 +190,13 @@ impl<'g> PathCasOp<'g> {
     /// Perform the accumulated changes as a plain KCAS, ignoring the visited
     /// path (the paper's `exec`).
     pub fn exec(&mut self) -> bool {
-        let entries = self.entry_args();
-        let ok = kcas::execute(&entries, &[], self.guard);
+        if self.builder.poisoned {
+            self.builder.stats.note_exec(false);
+            return false;
+        }
+        // SAFETY: every address in `entries` was registered through a
+        // `&'g CasWord` in `add` (see `validate`).
+        let ok = unsafe { kcas::execute_raw(&self.builder.entries, &[], self.guard) };
         self.builder.stats.note_exec(ok);
         ok
     }
@@ -175,9 +205,15 @@ impl<'g> PathCasOp<'g> {
     /// since it was visited (the paper's `vexec`).  May fail spuriously if a
     /// visited node is "locked" by another in-flight operation.
     pub fn vexec(&mut self) -> bool {
-        let entries = self.entry_args();
-        let path = self.path_args_excluding_added();
-        let ok = kcas::execute(&entries, &path, self.guard);
+        if self.builder.poisoned {
+            self.builder.stats.note_vexec(false);
+            return false;
+        }
+        self.builder.refill_path_scratch();
+        // SAFETY: all addresses were registered through `&'g CasWord`s.
+        let ok = unsafe {
+            kcas::execute_raw(&self.builder.entries, &self.builder.path_scratch, self.guard)
+        };
         self.builder.stats.note_vexec(ok);
         ok
     }
@@ -191,10 +227,17 @@ impl<'g> PathCasOp<'g> {
     /// version genuinely changed (property P1), so data structures built on
     /// it are lock-free.
     pub fn vexec_strong(&mut self) -> bool {
+        if self.builder.poisoned {
+            self.builder.stats.note_vexec(false);
+            return false;
+        }
         for _ in 0..self.builder.strong_retries {
-            let entries = self.entry_args();
-            let path = self.path_args_excluding_added();
-            if kcas::execute(&entries, &path, self.guard) {
+            self.builder.refill_path_scratch();
+            // SAFETY: all addresses were registered through `&'g CasWord`s.
+            let ok = unsafe {
+                kcas::execute_raw(&self.builder.entries, &self.builder.path_scratch, self.guard)
+            };
+            if ok {
                 self.builder.stats.note_vexec(true);
                 return true;
             }
@@ -209,74 +252,46 @@ impl<'g> PathCasOp<'g> {
         // Slow path: lock the version words of visited nodes instead of
         // validating them.
         self.builder.stats.note_slow_path();
-        let mut entries = self.entry_args();
-        let added: Vec<usize> = self.builder.entries.iter().map(|e| e.0).collect();
-        let compare_only: Vec<KcasArg<'g>> = self
-            .builder
-            .path
-            .iter()
-            .filter(|(addr, _)| !added.contains(addr))
-            .map(|&(addr, seen)| KcasArg {
-                // SAFETY: the address was registered through a `&'g CasWord`,
-                // so it is valid for 'g (which covers this call).
-                addr: unsafe { &*(addr as *const CasWord) },
-                old: seen,
-                new: seen,
-            })
-            .collect();
-        entries.extend_from_slice(&compare_only);
-        let ok = kcas::execute(&entries, &[], self.guard);
+        self.builder.refill_slow_scratch();
+        // SAFETY: all addresses were registered through `&'g CasWord`s.
+        let ok = unsafe { kcas::execute_raw(&self.builder.slow_scratch, &[], self.guard) };
         self.builder.stats.note_exec(ok);
         ok
     }
 
     fn some_added_address_changed(&self) -> bool {
-        self.builder.entries.iter().any(|&(addr, old, _)| {
-            // SAFETY: see `vexec_strong`.
-            let word = unsafe { &*(addr as *const CasWord) };
-            kcas::read(word, self.guard) != old
+        self.builder.entries.iter().any(|e| {
+            // SAFETY: the address was registered through a `&'g CasWord`.
+            let word = unsafe { &*e.addr };
+            kcas::read(word, self.guard) != e.old
         })
     }
+}
 
-    fn entry_args(&self) -> Vec<KcasArg<'g>> {
-        self.builder
-            .entries
-            .iter()
-            .map(|&(addr, old, new)| KcasArg {
-                // SAFETY: the address was registered through a `&'g CasWord`.
-                addr: unsafe { &*(addr as *const CasWord) },
-                old,
-                new,
-            })
-            .collect()
+impl OpBuilder {
+    /// Refill `path_scratch` with the visited path minus entries whose
+    /// version word is also in the add-set: the add already both checks the
+    /// old version and locks the word, so a separate compare entry would
+    /// conflict with it.
+    fn refill_path_scratch(&mut self) {
+        let (scratch, path, entries) = (&mut self.path_scratch, &self.path, &self.entries);
+        scratch.clear();
+        scratch.extend(
+            path.iter().filter(|p| !entries.iter().any(|e| e.addr == p.ver_addr)).copied(),
+        );
     }
 
-    fn path_args(&self) -> Vec<VisitArg<'g>> {
-        self.builder
-            .path
-            .iter()
-            .map(|&(addr, seen)| VisitArg {
-                // SAFETY: as above.
-                ver_addr: unsafe { &*(addr as *const CasWord) },
-                seen,
-            })
-            .collect()
-    }
-
-    /// Path entries whose version word is also in the add-set are dropped:
-    /// the add already both checks the old version and locks the word, so a
-    /// separate compare entry would conflict with it.
-    fn path_args_excluding_added(&self) -> Vec<VisitArg<'g>> {
-        self.builder
-            .path
-            .iter()
-            .filter(|(addr, _)| !self.builder.entries.iter().any(|e| e.0 == *addr))
-            .map(|&(addr, seen)| VisitArg {
-                // SAFETY: as above.
-                ver_addr: unsafe { &*(addr as *const CasWord) },
-                seen,
-            })
-            .collect()
+    /// Refill `slow_scratch` with the add-set plus one compare-only entry
+    /// (`⟨ver_addr, seen, seen⟩`) per visited node not already added.
+    fn refill_slow_scratch(&mut self) {
+        let (scratch, path, entries) = (&mut self.slow_scratch, &self.path, &self.entries);
+        scratch.clear();
+        scratch.extend_from_slice(entries);
+        scratch.extend(
+            path.iter()
+                .filter(|p| !entries.iter().any(|e| e.addr == p.ver_addr))
+                .map(|p| RawEntry { addr: p.ver_addr, old: p.seen, new: p.seen }),
+        );
     }
 }
 
