@@ -1,0 +1,48 @@
+//! Workload scenarios (micro): single-threaded per-operation cost of
+//! representative YCSB-style scenarios across the PathCAS structures and an
+//! STM baseline.  Generator and bank state live outside the timed closure so
+//! Criterion measures operation cost, not setup.  The multi-threaded
+//! throughput/latency sweep over the full scenario suite is
+//! `cargo run --release -p harness --bin bench_workloads`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kcas::CasWord;
+use workload::{apply, OpGen, SharedState, INITIAL_BALANCE};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 20_000u64;
+    for scenario_name in ["ycsb-a", "ycsb-c", "ycsb-f", "contended-hot-set", "txn-transfer"] {
+        let sc = workload::scenario(scenario_name);
+        let mut g = c.benchmark_group(format!("workload_{scenario_name}"));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(1));
+        g.warm_up_time(Duration::from_millis(300));
+        for name in ["int-avl-pathcas", "int-bst-pathcas", "hashmap-pathcas", "int-avl-norec"] {
+            let map = bench::prefilled(name, key_range);
+            let kr = if sc.uses_bank() { sc.accounts } else { key_range };
+            let bank: Option<Vec<CasWord>> = sc.uses_bank().then(|| {
+                for i in 0..sc.accounts {
+                    let _ = map.insert(i + 1, INITIAL_BALANCE);
+                }
+                (0..sc.accounts).map(|_| CasWord::new(INITIAL_BALANCE)).collect()
+            });
+            let shared = SharedState::new(kr);
+            let mut gen = OpGen::new(&sc, kr, 42);
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut ok = 0u64;
+                    for _ in 0..1_000 {
+                        ok += apply(&map, bank.as_deref(), gen.next_op(&shared)) as u64;
+                    }
+                    ok
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -61,6 +61,7 @@ struct TrialOutcome {
 /// allocation counter is sampled strictly inside the barrier-delimited
 /// region (thread-exit bookkeeping happens outside it).
 fn run_trial(arm: Arm, threads: usize, cfg: &Config) -> TrialOutcome {
+    let base_seed = cfg.seed;
     let words: Vec<CasWord> = (0..WORDS).map(|_| CasWord::new(0)).collect();
     let stop = AtomicBool::new(false);
     let start_barrier = Barrier::new(threads + 1);
@@ -75,7 +76,7 @@ fn run_trial(arm: Arm, threads: usize, cfg: &Config) -> TrialOutcome {
             let end_barrier = &end_barrier;
             let exit_barrier = &exit_barrier;
             handles.push(s.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0xDE5C ^ ((t as u64) << 20));
+                let mut rng = StdRng::seed_from_u64(base_seed ^ 0xDE5C ^ ((t as u64) << 20));
                 // Warm up this thread's descriptor pool, epoch participant
                 // record and rng before the measured region.
                 for _ in 0..64 {

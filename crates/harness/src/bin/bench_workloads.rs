@@ -1,0 +1,138 @@
+//! YCSB-style workload sweep (DESIGN.md §6, README "Workload scenarios").
+//!
+//! Runs every scenario in [`workload::all_scenarios`] — YCSB A–F,
+//! `txn-transfer`, `contended-hot-set` — against every structure in the
+//! algorithm [`harness::registry()`], over the `PATHCAS_THREADS` thread
+//! counts, and reports throughput **and** per-op latency percentiles
+//! (p50/p90/p99/p99.9) per (scenario, structure, threads).  Results go to
+//! stdout as Markdown tables and to `BENCH_workloads.json` +
+//! `BENCH_workloads.csv` (override with `PATHCAS_BENCH_JSON` /
+//! `PATHCAS_BENCH_CSV`).
+//!
+//! Knobs: the usual `PATHCAS_THREADS`, `PATHCAS_DURATION_MS`,
+//! `PATHCAS_TRIALS`, `PATHCAS_KEYRANGE_SCALE`, `PATHCAS_SEED`, plus
+//! `PATHCAS_SCENARIOS` / `PATHCAS_ALGOS` (comma-separated name filters;
+//! default: everything).
+//!
+//! The `txn-transfer` scenario additionally asserts its conserved-sum
+//! linearizability invariant after every trial: atomic two-key transfers
+//! through `mapapi::get` + a 2-word `kcas::execute` must neither create nor
+//! destroy balance.
+
+use harness::{registry, Config};
+use workload::{all_scenarios, run_scenario, LatencyHistogram, Meta, Row, RunParams};
+
+/// Comma-separated name filter from the environment; `None` = keep all.
+fn name_filter(var: &str) -> Option<Vec<String>> {
+    std::env::var(var)
+        .ok()
+        .map(|s| s.split(',').map(|t| t.trim().to_string()).filter(|t| !t.is_empty()).collect())
+        .filter(|v: &Vec<String>| !v.is_empty())
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    // The YCSB default record count is 1M keys; scaled like the paper's
+    // ranges (default scale 100 ⇒ 10k keys).
+    let key_range = cfg.scaled_keyrange(1_000_000);
+    let warmup = cfg.duration / 5;
+
+    let scenario_filter = name_filter("PATHCAS_SCENARIOS");
+    let algo_filter = name_filter("PATHCAS_ALGOS");
+    let scenarios: Vec<_> = all_scenarios()
+        .into_iter()
+        .filter(|s| scenario_filter.as_ref().is_none_or(|f| f.iter().any(|n| n == s.name)))
+        .collect();
+    let algos: Vec<_> = registry()
+        .into_iter()
+        .filter(|f| algo_filter.as_ref().is_none_or(|fl| fl.iter().any(|n| n == f.name)))
+        .collect();
+    assert!(!scenarios.is_empty(), "PATHCAS_SCENARIOS matched nothing");
+    assert!(!algos.is_empty(), "PATHCAS_ALGOS matched nothing");
+
+    println!("# workload scenarios");
+    println!(
+        "key range {key_range}, {} trial(s) x {:?} (+{:?} warmup), seed {:#x}\n",
+        cfg.trials, cfg.duration, warmup, cfg.seed
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for sc in &scenarios {
+        println!("## {} — {}", sc.name, sc.summary);
+        println!("| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 |");
+        println!("|---|---|---|---|---|---|---|");
+        for algo in &algos {
+            for &threads in &cfg.threads {
+                let mut hist = LatencyHistogram::new();
+                let mut total_ops = 0u64;
+                let mut mops_sum = 0.0f64;
+                for trial in 0..cfg.trials.max(1) {
+                    let map = (algo.build)();
+                    let params = RunParams {
+                        threads,
+                        key_range,
+                        prefill: key_range / 2,
+                        warmup,
+                        duration: cfg.duration,
+                        seed: cfg.seed ^ ((trial as u64) << 40),
+                    };
+                    let out = run_scenario(&map, sc, &params);
+                    if let Some(bank) = out.bank {
+                        assert!(
+                            bank.conserved(),
+                            "{} on {} ({} thr): bank sum {} != {} after {} commits — \
+                             transfers are not linearizable",
+                            sc.name,
+                            algo.name,
+                            threads,
+                            bank.actual_sum,
+                            bank.expected_sum,
+                            bank.committed
+                        );
+                    }
+                    hist.merge(&out.hist);
+                    total_ops += out.total_ops;
+                    mops_sum += out.mops();
+                }
+                let p = hist.percentiles();
+                let mops = mops_sum / cfg.trials.max(1) as f64;
+                println!(
+                    "| {} | {} | {:.3} | {} | {} | {} | {} |",
+                    algo.name,
+                    threads,
+                    mops,
+                    workload::report::fmt_ns(p.p50),
+                    workload::report::fmt_ns(p.p90),
+                    workload::report::fmt_ns(p.p99),
+                    workload::report::fmt_ns(p.p999),
+                );
+                rows.push(Row {
+                    scenario: sc.name.to_string(),
+                    structure: algo.name.to_string(),
+                    threads,
+                    mops,
+                    total_ops,
+                    mean_ns: hist.mean(),
+                    percentiles: p,
+                    max_ns: hist.max(),
+                });
+            }
+        }
+        println!();
+    }
+
+    let meta = Meta {
+        duration_ms: cfg.duration.as_millis() as u64,
+        warmup_ms: warmup.as_millis() as u64,
+        trials: cfg.trials,
+        key_range,
+        seed: cfg.seed,
+    };
+    let json_path = std::env::var("PATHCAS_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_workloads.json".to_string());
+    let csv_path =
+        std::env::var("PATHCAS_BENCH_CSV").unwrap_or_else(|_| "BENCH_workloads.csv".to_string());
+    std::fs::write(&json_path, workload::to_json(&meta, &rows)).expect("writing bench JSON");
+    std::fs::write(&csv_path, workload::to_csv(&rows)).expect("writing bench CSV");
+    println!("wrote {json_path} and {csv_path} ({} rows)", rows.len());
+}

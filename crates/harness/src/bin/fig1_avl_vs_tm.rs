@@ -16,7 +16,7 @@ fn main() {
     for name in algos {
         let mut summaries = Vec::new();
         for &threads in &cfg.threads {
-            let w = Workload::paper(key_range, 10, threads, cfg.duration);
+            let w = Workload::paper(key_range, 10, threads, cfg.duration).with_seed(cfg.seed);
             let s = run_trials(|| harness::make(name), &w, cfg.trials);
             summaries.push(s);
         }

@@ -24,7 +24,7 @@ fn main() {
     println!("|---|---|---|---|---|---|");
     for name in algos {
         let map = harness::make(name);
-        let w = Workload::paper(key_range, 100, threads, cfg.duration);
+        let w = Workload::paper(key_range, 100, threads, cfg.duration).with_seed(cfg.seed);
         let r = run_trial(&map, &w);
         let s = map.stats();
         println!(

@@ -15,7 +15,7 @@ fn main() {
     for name in algos {
         let mut summaries = Vec::new();
         for &threads in &cfg.threads {
-            let w = Workload::paper(key_range, 1, threads, cfg.duration);
+            let w = Workload::paper(key_range, 1, threads, cfg.duration).with_seed(cfg.seed);
             summaries.push(run_trials(|| harness::make(name), &w, cfg.trials));
         }
         rows.push((name.to_string(), summaries));

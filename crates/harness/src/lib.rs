@@ -22,6 +22,10 @@ pub use runner::{run_trial, run_trials, Summary, TrialResult, Workload};
 
 use std::time::Duration;
 
+/// The seed used when `PATHCAS_SEED` is unset (the historical hard-coded
+/// constant, so default runs match pre-knob behaviour).
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
 /// Global knobs read from the environment so the same binaries scale from a
 /// laptop-class container (the defaults) up to a large server.
 ///
@@ -30,6 +34,10 @@ use std::time::Duration;
 /// * `PATHCAS_TRIALS` — trials per configuration (default 2)
 /// * `PATHCAS_KEYRANGE_SCALE` — divide the paper's key ranges by this factor
 ///   (default 100, i.e. "10M keys" experiments run with 100k keys)
+/// * `PATHCAS_SEED` — base seed for every trial RNG (default `0xC0FFEE`).
+///   Prefill contents, per-thread operation streams and the workload
+///   engine's samplers all derive from it, so two runs with the same seed
+///   (and thread/duration settings) draw identical key sequences.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Thread counts to sweep.
@@ -40,6 +48,8 @@ pub struct Config {
     pub trials: usize,
     /// Divisor applied to the paper's key-range sizes.
     pub keyrange_scale: u64,
+    /// Base seed every trial RNG derives from (`PATHCAS_SEED`).
+    pub seed: u64,
 }
 
 impl Config {
@@ -60,7 +70,11 @@ impl Config {
             .and_then(|s| s.parse().ok())
             .unwrap_or(100)
             .max(1);
-        Config { threads, duration, trials, keyrange_scale }
+        let seed = std::env::var("PATHCAS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Config { threads, duration, trials, keyrange_scale, seed }
     }
 
     /// Scale one of the paper's key ranges (e.g. 2×10⁷) by the configured
@@ -111,7 +125,7 @@ mod tests {
 
     #[test]
     fn scaled_keyrange_has_floor() {
-        let c = Config { threads: vec![1], duration: Duration::from_millis(1), trials: 1, keyrange_scale: 1_000_000_000 };
+        let c = Config { threads: vec![1], duration: Duration::from_millis(1), trials: 1, keyrange_scale: 1_000_000_000, seed: DEFAULT_SEED };
         assert_eq!(c.scaled_keyrange(20_000_000), 1024);
     }
 }

@@ -23,12 +23,30 @@ pub struct Workload {
     /// Number of keys inserted before the timer starts (the paper pre-fills
     /// to half the key range).
     pub prefill: u64,
+    /// Base seed: the prefill RNG and every worker thread's RNG derive from
+    /// it, so a trial is reproducible given the same seed and thread count
+    /// (set via `PATHCAS_SEED`, see [`crate::Config`]).
+    pub seed: u64,
 }
 
 impl Workload {
-    /// The paper's standard workload: prefill to half the key range.
+    /// The paper's standard workload: prefill to half the key range, seeded
+    /// with the default seed (override with [`Workload::with_seed`]).
     pub fn paper(key_range: Key, update_percent: u32, threads: usize, duration: Duration) -> Self {
-        Workload { key_range, update_percent, threads, duration, prefill: key_range / 2 }
+        Workload {
+            key_range,
+            update_percent,
+            threads,
+            duration,
+            prefill: key_range / 2,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+
+    /// Replace the base seed (builder style), e.g. with [`crate::Config::seed`].
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -67,7 +85,12 @@ pub struct Summary {
 /// repeated trials on the same map skip redundant prefilling (matching the
 /// Setbench behaviour of reusing the structure across trials in a step).
 pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> TrialResult {
-    mapapi::stress::prefill(map, workload.key_range, workload.prefill, 0xF00D);
+    mapapi::stress::prefill(
+        map,
+        workload.key_range,
+        workload.prefill,
+        mapapi::stress::prefill_seed(workload.seed),
+    );
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(workload.threads + 1);
     let ops: Vec<u64> = std::thread::scope(|s| {
@@ -78,7 +101,7 @@ pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> Tri
             let map = &*map;
             let workload = workload.clone();
             handles.push(s.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (t as u64) << 17);
+                let mut rng = StdRng::seed_from_u64(workload.seed ^ (t as u64) << 17);
                 let mut ops = 0u64;
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {

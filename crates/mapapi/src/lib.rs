@@ -77,6 +77,27 @@ pub trait ConcurrentMap: Send + Sync {
     /// Returns the value associated with `key`, if present.
     fn get(&self, key: Key) -> Option<Value>;
 
+    /// YCSB-style read-modify-write: read the current value (if any), apply
+    /// `update`, and write the result back. Returns `true` if the key was
+    /// present before the call.
+    ///
+    /// The default implementation composes `get` + `remove` + `insert`, which
+    /// is exactly what YCSB's RMW operation does — the read and the
+    /// write-back are **not** atomic with respect to concurrent writers to
+    /// the same key (an interleaved update can be overwritten). Workloads
+    /// that need true multi-key atomicity use raw KCAS instead (the
+    /// `txn-transfer` scenario in the `workload` crate); structures with a
+    /// native atomic RMW may override this.
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        let prev = self.get(key);
+        let new = update(prev);
+        if prev.is_some() {
+            let _ = self.remove(key);
+        }
+        let _ = self.insert(key, new);
+        prev.is_some()
+    }
+
     /// Quiescent structural statistics (not linearizable; call only while no
     /// other thread is operating on the map).
     fn stats(&self) -> MapStats;
@@ -99,6 +120,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     fn get(&self, key: Key) -> Option<Value> {
         (**self).get(key)
     }
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        (**self).rmw(key, update)
+    }
     fn stats(&self) -> MapStats {
         (**self).stats()
     }
@@ -120,6 +144,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn get(&self, key: Key) -> Option<Value> {
         (**self).get(key)
+    }
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        (**self).rmw(key, update)
     }
     fn stats(&self) -> MapStats {
         (**self).stats()
@@ -169,6 +196,14 @@ pub mod reference {
         fn get(&self, key: Key) -> Option<Value> {
             self.inner.lock().unwrap().get(&key).copied()
         }
+        fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+            // Holding the lock across read and write makes this RMW truly
+            // atomic, unlike the composed default.
+            let mut m = self.inner.lock().unwrap();
+            let prev = m.get(&key).copied();
+            m.insert(key, update(prev));
+            prev.is_some()
+        }
         fn stats(&self) -> MapStats {
             let m = self.inner.lock().unwrap();
             MapStats {
@@ -213,5 +248,20 @@ mod tests {
     #[test]
     fn avg_depth_handles_empty() {
         assert_eq!(MapStats::default().avg_key_depth(), 0.0);
+    }
+
+    #[test]
+    fn rmw_reads_then_writes_back() {
+        let m = LockedBTreeMap::new();
+        // Absent key: update sees None, the result is inserted.
+        assert!(!m.rmw(7, &mut |v| v.unwrap_or(0) + 1));
+        assert_eq!(m.get(7), Some(1));
+        // Present key: update sees the old value.
+        assert!(m.rmw(7, &mut |v| v.unwrap_or(0) + 10));
+        assert_eq!(m.get(7), Some(11));
+        // Boxed trait objects forward rmw.
+        let boxed: Box<dyn ConcurrentMap> = Box::new(LockedBTreeMap::new());
+        assert!(!boxed.rmw(1, &mut |_| 5));
+        assert_eq!(boxed.get(1), Some(5));
     }
 }

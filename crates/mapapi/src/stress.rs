@@ -116,6 +116,14 @@ pub fn stress_keysum<M: ConcurrentMap + ?Sized>(
     StressOutcome { total_ops, expected_count, expected_sum }
 }
 
+/// Derive the prefill RNG seed from a trial's base seed (`PATHCAS_SEED`).
+/// Every prefill site uses this one derivation, so "same base seed ⇒ same
+/// prefilled contents" holds across the harness, the workload engine, and
+/// the reproducibility tests.
+pub fn prefill_seed(base_seed: u64) -> u64 {
+    base_seed ^ 0xF00D
+}
+
 /// A prefill helper shared by tests and the benchmark harness: inserts
 /// random keys until the map holds `target` keys.
 pub fn prefill<M: ConcurrentMap + ?Sized>(map: &M, key_range: Key, target: u64, seed: u64) {

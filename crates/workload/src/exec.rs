@@ -1,0 +1,452 @@
+//! The phased scenario executor: **load → warmup → timed run**, with per-op
+//! latency recorded into per-thread [`LatencyHistogram`]s that are merged
+//! after the trial.
+//!
+//! The executor drives any [`mapapi::ConcurrentMap`], so every structure in
+//! the harness registry runs every scenario with zero per-structure glue.
+//! Scenarios with a `transfer` component additionally own a bank of
+//! [`kcas::CasWord`] accounts: a transfer is a `mapapi::get` metadata lookup
+//! composed with a two-word [`kcas::execute`], so the sum over all accounts
+//! is conserved iff the KCAS substrate is linearizable — the invariant the
+//! `txn_transfer` integration test asserts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use kcas::{CasWord, KcasArg};
+use mapapi::{ConcurrentMap, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{Sampler, SharedState};
+use crate::hist::LatencyHistogram;
+use crate::spec::{InsertKind, Scenario, INITIAL_BALANCE};
+
+/// One generated operation, ready to apply to a map (and bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Read(Key),
+    /// Insert-if-absent (`key` doubles as the value, as elsewhere in the
+    /// workspace).
+    Insert(Key),
+    /// Delete.
+    Remove(Key),
+    /// YCSB-F read-modify-write (increment the stored value).
+    Rmw(Key),
+    /// Forward scan of `len` successive keys starting at the key.
+    Scan(Key, u64),
+    /// Atomic transfer of `amount` between two distinct bank accounts.
+    Transfer {
+        /// Source account index.
+        from: u64,
+        /// Destination account index.
+        to: u64,
+        /// Units moved.
+        amount: u64,
+    },
+}
+
+/// A deterministic per-thread operation generator for one scenario.
+///
+/// Two `OpGen`s with the same scenario, key range and seed yield the same
+/// operation sequence (given the same [`SharedState`] observations), which
+/// is what the determinism proptests pin down.
+pub struct OpGen {
+    rng: StdRng,
+    sampler: Sampler,
+    // Cumulative per-mille thresholds, in mix order.
+    t_read: u32,
+    t_insert: u32,
+    t_remove: u32,
+    t_rmw: u32,
+    t_scan: u32,
+    insert_kind: InsertKind,
+    scan_len: u64,
+    accounts: u64,
+}
+
+impl OpGen {
+    /// Build a generator for `sc` over `1..=key_range`, seeded with `seed`.
+    pub fn new(sc: &Scenario, key_range: Key, seed: u64) -> Self {
+        assert!(sc.mix.is_valid(), "{}: op mix must sum to 1000", sc.name);
+        let m = &sc.mix;
+        OpGen {
+            rng: StdRng::seed_from_u64(seed),
+            sampler: Sampler::new(sc.dist, key_range),
+            t_read: m.read,
+            t_insert: m.read + m.insert,
+            t_remove: m.read + m.insert + m.remove,
+            t_rmw: m.read + m.insert + m.remove + m.rmw,
+            t_scan: m.read + m.insert + m.remove + m.rmw + m.scan,
+            insert_kind: sc.insert_kind,
+            scan_len: sc.scan_len,
+            accounts: sc.accounts,
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self, shared: &SharedState) -> Op {
+        let roll = self.rng.gen_range(0..1000u32);
+        if roll < self.t_read {
+            Op::Read(self.sampler.next_key(&mut self.rng, shared))
+        } else if roll < self.t_insert {
+            let key = match self.insert_kind {
+                InsertKind::Sampled => self.sampler.next_key(&mut self.rng, shared),
+                InsertKind::Fresh => shared.claim_insert_key(),
+            };
+            Op::Insert(key)
+        } else if roll < self.t_remove {
+            Op::Remove(self.sampler.next_key(&mut self.rng, shared))
+        } else if roll < self.t_rmw {
+            Op::Rmw(self.sampler.next_key(&mut self.rng, shared))
+        } else if roll < self.t_scan {
+            Op::Scan(self.sampler.next_key(&mut self.rng, shared), self.scan_len)
+        } else {
+            let from = self.rng.gen_range(0..self.accounts);
+            let mut to = self.rng.gen_range(0..self.accounts - 1);
+            if to >= from {
+                to += 1; // uniform over accounts != from
+            }
+            Op::Transfer { from, to, amount: self.rng.gen_range(1..=3u64) }
+        }
+    }
+}
+
+/// Apply one operation. Returns `true` if the operation "succeeded" (hit an
+/// existing key, inserted/removed successfully, or committed a transfer).
+pub fn apply<M: ConcurrentMap + ?Sized>(map: &M, bank: Option<&[CasWord]>, op: Op) -> bool {
+    match op {
+        Op::Read(k) => map.get(k).is_some(),
+        Op::Insert(k) => map.insert(k, k),
+        Op::Remove(k) => map.remove(k),
+        Op::Rmw(k) => map.rmw(k, &mut |v| v.map_or(1, |x| (x + 1) & mapapi::MAX_KEY)),
+        Op::Scan(k, len) => {
+            let mut hits = 0u64;
+            for i in 0..len {
+                if map.contains(k.saturating_add(i).min(mapapi::MAX_KEY)) {
+                    hits += 1;
+                }
+            }
+            hits > 0
+        }
+        Op::Transfer { from, to, amount } => {
+            let bank = bank.expect("transfer op without a bank");
+            transfer(map, bank, from, to, amount)
+        }
+    }
+}
+
+/// One atomic 2-key transfer: look up the source account's metadata through
+/// the map (`mapapi::get`), then move `amount` between the two balance words
+/// with a single two-word [`kcas::execute`].  Fails (returns `false`)
+/// without retry if the account is unknown, the balance is insufficient, or
+/// the KCAS loses a race — the caller counts attempts and successes.
+pub fn transfer<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    bank: &[CasWord],
+    from: u64,
+    to: u64,
+    amount: u64,
+) -> bool {
+    debug_assert_ne!(from, to);
+    // Metadata lookup: account keys are 1-based (key 0 is reserved).
+    if map.get(from + 1).is_none() {
+        return false;
+    }
+    let guard = crossbeam_epoch::pin();
+    let bal_from = kcas::read(&bank[from as usize], &guard);
+    let bal_to = kcas::read(&bank[to as usize], &guard);
+    if bal_from < amount {
+        return false;
+    }
+    let args = [
+        KcasArg { addr: &bank[from as usize], old: bal_from, new: bal_from - amount },
+        KcasArg { addr: &bank[to as usize], old: bal_to, new: bal_to + amount },
+    ];
+    kcas::execute(&args, &[], &guard)
+}
+
+/// Load the account bank: metadata keys `1..=accounts` into the map (in
+/// FNV-scrambled order — sequential insertion would degenerate the
+/// unbalanced trees into lists and charge every transfer for it, the same
+/// reason YCSB hashes its load order) and one balance word per account.
+fn load_bank<M: ConcurrentMap + ?Sized>(map: &M, accounts: u64) -> Vec<CasWord> {
+    let mut order: Vec<u64> = (0..accounts).collect();
+    order.sort_by_key(|&i| (crate::dist::fnv1a(i), i));
+    for i in order {
+        let _ = map.insert(i + 1, INITIAL_BALANCE);
+    }
+    (0..accounts).map(|_| CasWord::new(INITIAL_BALANCE)).collect()
+}
+
+/// Parameters of one scenario run (one point of the sweep).
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Keys are drawn from `1..=key_range`.
+    pub key_range: Key,
+    /// Keys loaded before the timer starts (ignored by bank scenarios,
+    /// which load exactly their accounts).
+    pub prefill: u64,
+    /// Untimed warmup before recording starts.
+    pub warmup: Duration,
+    /// Timed, recorded window.
+    pub duration: Duration,
+    /// Base seed; per-thread RNGs derive from it, so the whole run is
+    /// reproducible (the `PATHCAS_SEED` knob).
+    pub seed: u64,
+}
+
+impl RunParams {
+    /// Standard parameters: prefill to half the key range, warmup = 1/5 of
+    /// the timed duration.
+    pub fn standard(threads: usize, key_range: Key, duration: Duration, seed: u64) -> Self {
+        RunParams {
+            threads,
+            key_range,
+            prefill: key_range / 2,
+            warmup: duration / 5,
+            duration,
+            seed,
+        }
+    }
+}
+
+/// The conserved-sum check of a bank scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct BankCheck {
+    /// `accounts * INITIAL_BALANCE`.
+    pub expected_sum: u128,
+    /// Sum over all account words after the run.
+    pub actual_sum: u128,
+    /// Number of transfers that committed (warmup window included — those
+    /// move money too).
+    pub committed: u64,
+}
+
+impl BankCheck {
+    /// True iff money was neither created nor destroyed.
+    pub fn conserved(&self) -> bool {
+        self.expected_sum == self.actual_sum
+    }
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Operations completed inside the recorded window.
+    pub total_ops: u64,
+    /// Operations that "succeeded" (see [`apply`]).
+    pub ok_ops: u64,
+    /// Wall-clock length of the recorded window.
+    pub elapsed: Duration,
+    /// Merged per-op latency histogram (nanoseconds).
+    pub hist: LatencyHistogram,
+    /// Present iff the scenario uses the KCAS account bank.
+    pub bank: Option<BankCheck>,
+}
+
+impl Outcome {
+    /// Throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Run one scenario against `map`: load the structure, warm up untimed,
+/// then measure for `params.duration`, recording every operation's latency.
+pub fn run_scenario<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    sc: &Scenario,
+    params: &RunParams,
+) -> Outcome {
+    // Load phase.
+    let bank: Option<Vec<CasWord>> = if sc.uses_bank() {
+        // Account metadata in the map, balances in the CasWord bank.
+        Some(load_bank(map, sc.accounts))
+    } else {
+        mapapi::stress::prefill(
+            map,
+            params.key_range,
+            params.prefill,
+            mapapi::stress::prefill_seed(params.seed),
+        );
+        None
+    };
+    let key_range = if sc.uses_bank() { sc.accounts } else { params.key_range };
+    let shared = SharedState::new(key_range);
+
+    let recording = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(params.threads + 1);
+
+    let (per_thread, elapsed) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(params.threads);
+        for t in 0..params.threads {
+            let recording = &recording;
+            let stop = &stop;
+            let barrier = &barrier;
+            let shared = &shared;
+            let bank = bank.as_deref();
+            let map = &*map;
+            let mut gen = OpGen::new(sc, key_range, params.seed ^ ((t as u64 + 1) << 17));
+            handles.push(s.spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                let mut ops = 0u64;
+                let mut ok = 0u64;
+                let mut committed = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let op = gen.next_op(shared);
+                    let success;
+                    if recording.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        success = apply(map, bank, op);
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                        ops += 1;
+                        ok += success as u64;
+                    } else {
+                        success = apply(map, bank, op);
+                    }
+                    // Committed transfers are counted in the warmup window
+                    // too: they move money, so the conserved-sum check spans
+                    // every commit, not just the recorded ones.
+                    committed += (success && matches!(op, Op::Transfer { .. })) as u64;
+                }
+                (hist, ops, ok, committed)
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(params.warmup);
+        recording.store(true, Ordering::Relaxed);
+        let start = Instant::now();
+        std::thread::sleep(params.duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        let per_thread: Vec<_> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        (per_thread, elapsed)
+    });
+
+    let mut hist = LatencyHistogram::new();
+    let mut total_ops = 0u64;
+    let mut ok_ops = 0u64;
+    let mut committed = 0u64;
+    for (h, ops, ok, c) in &per_thread {
+        hist.merge(h);
+        total_ops += ops;
+        ok_ops += ok;
+        committed += c;
+    }
+    let bank_check = bank.map(|bank| {
+        let guard = crossbeam_epoch::pin();
+        BankCheck {
+            expected_sum: sc.accounts as u128 * INITIAL_BALANCE as u128,
+            actual_sum: bank.iter().map(|w| kcas::read(w, &guard) as u128).sum(),
+            committed,
+        }
+    });
+    Outcome { total_ops, ok_ops, elapsed, hist, bank: bank_check }
+}
+
+/// Apply `ops` operations of `sc` to `map` single-threadedly (no timing, no
+/// phases) and return the number of successful operations.  This is the
+/// Criterion-friendly entry point: fixed work instead of fixed duration.
+/// Loading the map is the caller's responsibility (bank scenarios excepted:
+/// the account metadata is inserted here because the bank is created here).
+pub fn run_ops<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    sc: &Scenario,
+    key_range: Key,
+    ops: u64,
+    seed: u64,
+) -> u64 {
+    let key_range = if sc.uses_bank() { sc.accounts } else { key_range };
+    let shared = SharedState::new(key_range);
+    let bank: Option<Vec<CasWord>> = sc.uses_bank().then(|| load_bank(map, sc.accounts));
+    let mut gen = OpGen::new(sc, key_range, seed);
+    let mut ok = 0u64;
+    for _ in 0..ops {
+        ok += apply(map, bank.as_deref(), gen.next_op(&shared)) as u64;
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{all_scenarios, scenario};
+    use mapapi::reference::LockedBTreeMap;
+
+    #[test]
+    fn opgen_respects_the_mix() {
+        let sc = scenario("ycsb-b");
+        let shared = SharedState::new(10_000);
+        let mut gen = OpGen::new(&sc, 10_000, 1);
+        let mut reads = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            if matches!(gen.next_op(&shared), Op::Read(_)) {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "read fraction {frac}");
+    }
+
+    #[test]
+    fn transfer_ops_pick_distinct_accounts() {
+        let sc = scenario("txn-transfer");
+        let shared = SharedState::new(sc.accounts);
+        let mut gen = OpGen::new(&sc, sc.accounts, 3);
+        for _ in 0..5_000 {
+            match gen.next_op(&shared) {
+                Op::Transfer { from, to, amount } => {
+                    assert_ne!(from, to);
+                    assert!(from < sc.accounts && to < sc.accounts);
+                    assert!((1..=3).contains(&amount));
+                }
+                other => panic!("txn-transfer generated {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_scenario_runs_on_the_oracle() {
+        for sc in all_scenarios() {
+            let map = LockedBTreeMap::new();
+            // run_ops leaves loading to the caller (Criterion setup does the
+            // same through `bench::prefilled`).
+            mapapi::stress::prefill(&map, 512, 256, 7);
+            let ok = run_ops(&map, &sc, 512, 2_000, 7);
+            assert!(ok > 0, "{}: no operation succeeded", sc.name);
+        }
+    }
+
+    #[test]
+    fn short_timed_run_produces_latencies() {
+        let sc = scenario("ycsb-a");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(2, 512, Duration::from_millis(40), 0xABCD);
+        let out = run_scenario(&map, &sc, &params);
+        assert!(out.total_ops > 0);
+        assert_eq!(out.hist.count(), out.total_ops);
+        assert!(out.mops() > 0.0);
+        let p = out.hist.percentiles();
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+    }
+
+    #[test]
+    fn transfer_conserves_the_bank_sum_single_threaded() {
+        let sc = scenario("txn-transfer");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(1, 512, Duration::from_millis(30), 1);
+        let out = run_scenario(&map, &sc, &params);
+        let bank = out.bank.expect("txn-transfer must report a bank check");
+        assert!(bank.conserved(), "sum {} != expected {}", bank.actual_sum, bank.expected_sum);
+        assert!(bank.committed > 0);
+    }
+}

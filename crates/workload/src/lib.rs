@@ -1,0 +1,43 @@
+//! # workload — YCSB-style scenario engine
+//!
+//! The measurement subsystem that opens the *scenario* axis of the
+//! evaluation: where the `fig*` harness binaries sweep uniformly random
+//! single-key mixes (the paper's §5 methodology), this crate runs
+//! **declarative scenarios** — the YCSB core workloads A–F (Cooper et al.,
+//! SoCC '10) plus two PathCAS-specific ones — against any
+//! [`mapapi::ConcurrentMap`], and reports latency percentiles, not just
+//! throughput.  See DESIGN.md §6 for the math and the design rationale.
+//!
+//! The pieces, each in its own module:
+//!
+//! * [`dist`] — deterministic key-distribution samplers: uniform, Zipfian
+//!   (precomputed-zeta, rejection-free O(1) sampling, FNV rank scrambling),
+//!   hotspot, and `latest`;
+//! * [`spec`] — the scenario table ([`all_scenarios`]): YCSB A–F,
+//!   `txn-transfer` (atomic 2-key read-modify-write: `mapapi::get` +
+//!   two-word [`kcas::execute`], conserved-sum checked), and
+//!   `contended-hot-set` (99% of ops on 64 keys);
+//! * [`exec`] — the phased executor (**load → warmup → timed run**) with
+//!   per-thread op generation and latency recording;
+//! * [`hist`] — log-bucketed (HDR-style) latency histograms with ≤3.1%
+//!   relative quantization error and O(1) recording;
+//! * [`report`] — `BENCH_workloads.json` / CSV emission.
+//!
+//! The harness binary `bench_workloads` wires this crate to the algorithm
+//! registry so every registered structure runs every scenario; the
+//! `workloads` Criterion target measures single-threaded per-op cost of the
+//! same scenarios.  Everything is reproducible from the `PATHCAS_SEED` knob.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod exec;
+pub mod hist;
+pub mod report;
+pub mod spec;
+
+pub use dist::{DistKind, Sampler, SharedState, Zipfian, ZIPFIAN_THETA};
+pub use exec::{apply, run_ops, run_scenario, BankCheck, Op, OpGen, Outcome, RunParams};
+pub use hist::{LatencyHistogram, Percentiles};
+pub use report::{to_csv, to_json, Meta, Row};
+pub use spec::{all_scenarios, scenario, InsertKind, Mix, Scenario, INITIAL_BALANCE};

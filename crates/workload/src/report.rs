@@ -1,0 +1,173 @@
+//! Result rows and JSON/CSV emission, following the repository's
+//! `BENCH_*.json` convention (hand-built JSON, no serde — the build is
+//! offline and the schema is flat).
+
+use crate::hist::Percentiles;
+
+/// One (scenario, structure, threads) measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scenario name (e.g. `ycsb-a`).
+    pub scenario: String,
+    /// Structure name from the harness registry (e.g. `int-avl-pathcas`).
+    pub structure: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Throughput, millions of operations per second.
+    pub mops: f64,
+    /// Operations completed in the recorded window (across trials).
+    pub total_ops: u64,
+    /// Mean per-op latency, nanoseconds.
+    pub mean_ns: f64,
+    /// p50/p90/p99/p99.9 latency, nanoseconds.
+    pub percentiles: Percentiles,
+    /// Largest observed per-op latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Run-wide metadata recorded at the top of the JSON report.
+#[derive(Debug, Clone)]
+pub struct Meta {
+    /// Timed window per trial, milliseconds.
+    pub duration_ms: u64,
+    /// Warmup per trial, milliseconds.
+    pub warmup_ms: u64,
+    /// Trials per configuration.
+    pub trials: usize,
+    /// Key range the non-bank scenarios sampled from.
+    pub key_range: u64,
+    /// The base seed (`PATHCAS_SEED`).
+    pub seed: u64,
+}
+
+/// Render the full report as JSON (`BENCH_workloads.json`).
+pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"workloads\",\n");
+    s.push_str(&format!("  \"duration_ms\": {},\n", meta.duration_ms));
+    s.push_str(&format!("  \"warmup_ms\": {},\n", meta.warmup_ms));
+    s.push_str(&format!("  \"trials\": {},\n", meta.trials));
+    s.push_str(&format!("  \"key_range\": {},\n", meta.key_range));
+    s.push_str(&format!("  \"seed\": {},\n", meta.seed));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"structure\": \"{}\", \"threads\": {}, \
+             \"mops\": {:.4}, \"total_ops\": {}, \"mean_ns\": {:.1}, \
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"max_ns\": {}}}{}\n",
+            r.scenario,
+            r.structure,
+            r.threads,
+            r.mops,
+            r.total_ops,
+            r.mean_ns,
+            r.percentiles.p50,
+            r.percentiles.p90,
+            r.percentiles.p99,
+            r.percentiles.p999,
+            r.max_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
+pub fn to_csv(rows: &[Row]) -> String {
+    let mut s = String::from(
+        "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{}\n",
+            r.scenario,
+            r.structure,
+            r.threads,
+            r.mops,
+            r.total_ops,
+            r.mean_ns,
+            r.percentiles.p50,
+            r.percentiles.p90,
+            r.percentiles.p99,
+            r.percentiles.p999,
+            r.max_ns
+        ));
+    }
+    s
+}
+
+/// Format nanoseconds for human-readable tables (`1.23µs`, `456ns`, …).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            Row {
+                scenario: "ycsb-a".into(),
+                structure: "int-avl-pathcas".into(),
+                threads: 2,
+                mops: 1.5,
+                total_ops: 1000,
+                mean_ns: 450.0,
+                percentiles: Percentiles { p50: 400, p90: 700, p99: 1200, p999: 5000 },
+                max_ns: 9000,
+            },
+            Row {
+                scenario: "ycsb-c".into(),
+                structure: "int-bst-pathcas".into(),
+                threads: 4,
+                mops: 3.25,
+                total_ops: 2000,
+                mean_ns: 300.0,
+                percentiles: Percentiles { p50: 250, p90: 500, p99: 900, p999: 2000 },
+                max_ns: 4000,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_is_balanced_and_has_every_row() {
+        let meta = Meta { duration_ms: 500, warmup_ms: 100, trials: 2, key_range: 1000, seed: 7 };
+        let j = to_json(&meta, &sample_rows());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"bench\": \"workloads\""));
+        assert!(j.contains("\"scenario\": \"ycsb-a\""));
+        assert!(j.contains("\"p999_ns\": 2000"));
+        assert!(j.contains("\"seed\": 7"));
+        // No trailing comma before the closing bracket.
+        assert!(!j.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_row() {
+        let c = to_csv(&sample_rows());
+        assert_eq!(c.lines().count(), 3);
+        assert!(c.starts_with("scenario,structure,threads"));
+        assert!(c.contains("ycsb-c,int-bst-pathcas,4,3.2500"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(750), "750ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,216 @@
+//! Declarative scenario specifications, modeled on the YCSB core workloads
+//! (Cooper et al., SoCC '10) plus two PathCAS-specific scenarios.
+//!
+//! A [`Scenario`] names a key distribution and an operation mix in
+//! per-mille weights.  "Update" follows the Setbench convention used by the
+//! rest of this repository: an update is an insert-if-absent or a delete
+//! with equal probability, which keeps the structure near its pre-filled
+//! size.  "RMW" (YCSB-F) is the non-atomic read-then-write-back composition
+//! YCSB itself performs, exposed through [`mapapi::ConcurrentMap::rmw`].
+//! "Scan" is approximated by `scan_len` successive point lookups because
+//! [`mapapi::ConcurrentMap`] has no ordered iteration (DESIGN.md §6).
+//!
+//! The two extra scenarios exercise exactly the axes where PathCAS's
+//! validate-then-KCAS design should differentiate:
+//!
+//! * `txn-transfer` — atomic two-key read-modify-writes: a metadata lookup
+//!   through `mapapi::get` composed with a 2-word [`kcas::execute`] over a
+//!   shared account bank, with a conserved-sum linearizability check;
+//! * `contended-hot-set` — 99% of operations on 64 keys, the hot-key regime
+//!   where descriptor reuse and path validation are stress-tested.
+
+use crate::dist::{DistKind, ZIPFIAN_THETA};
+
+/// Operation-mix weights in per-mille (the six weights sum to 1000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// `get`/`contains` lookups.
+    pub read: u32,
+    /// Insert-if-absent of a sampled key.
+    pub insert: u32,
+    /// Delete of a sampled key.
+    pub remove: u32,
+    /// YCSB-F read-modify-write via [`mapapi::ConcurrentMap::rmw`].
+    pub rmw: u32,
+    /// Short forward scan of `scan_len` keys (successive lookups).
+    pub scan: u32,
+    /// Atomic 2-key KCAS transfer over the account bank.
+    pub transfer: u32,
+}
+
+impl Mix {
+    /// Check the per-mille weights sum to 1000.
+    pub fn is_valid(&self) -> bool {
+        self.read + self.insert + self.remove + self.rmw + self.scan + self.transfer == 1000
+    }
+}
+
+/// How inserts pick their keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertKind {
+    /// Insert a key drawn from the scenario's distribution (paired with
+    /// removes, this keeps the structure near its pre-filled size).
+    Sampled,
+    /// Claim a fresh monotonically increasing key (YCSB-D/E ingest), which
+    /// also advances the frontier the `latest` distribution chases.
+    Fresh,
+}
+
+/// One benchmark scenario: a name, a distribution, and an operation mix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable identifier used in tables and `BENCH_workloads.json`.
+    pub name: &'static str,
+    /// One-line description for docs and `--list` style output.
+    pub summary: &'static str,
+    /// Key distribution for reads/updates/rmw/scan-starts.
+    pub dist: DistKind,
+    /// Operation mix (per-mille).
+    pub mix: Mix,
+    /// Key selection policy for inserts.
+    pub insert_kind: InsertKind,
+    /// Number of successive keys a scan touches.
+    pub scan_len: u64,
+    /// Number of accounts in the KCAS bank (only used when
+    /// `mix.transfer > 0`).
+    pub accounts: u64,
+}
+
+impl Scenario {
+    /// True if any operation of this scenario uses the KCAS account bank.
+    pub fn uses_bank(&self) -> bool {
+        self.mix.transfer > 0
+    }
+}
+
+/// Initial balance of every account in the `txn-transfer` bank; the
+/// conserved quantity the linearizability check sums.
+pub const INITIAL_BALANCE: u64 = 1_000;
+
+/// The full scenario suite: YCSB A–F plus the two PathCAS-specific
+/// scenarios. Order matches the README table.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let zipf = DistKind::Zipfian { theta: ZIPFIAN_THETA };
+    let none = Mix { read: 0, insert: 0, remove: 0, rmw: 0, scan: 0, transfer: 0 };
+    vec![
+        Scenario {
+            name: "ycsb-a",
+            summary: "update heavy: 50% read / 50% update, zipfian",
+            dist: zipf,
+            mix: Mix { read: 500, insert: 250, remove: 250, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 0,
+        },
+        Scenario {
+            name: "ycsb-b",
+            summary: "read mostly: 95% read / 5% update, zipfian",
+            dist: zipf,
+            mix: Mix { read: 950, insert: 25, remove: 25, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 0,
+        },
+        Scenario {
+            name: "ycsb-c",
+            summary: "read only: 100% read, zipfian",
+            dist: zipf,
+            mix: Mix { read: 1000, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 0,
+        },
+        Scenario {
+            name: "ycsb-d",
+            summary: "read latest: 95% read / 5% fresh insert, latest",
+            dist: DistKind::Latest { theta: ZIPFIAN_THETA },
+            mix: Mix { read: 950, insert: 50, ..none },
+            insert_kind: InsertKind::Fresh,
+            scan_len: 0,
+            accounts: 0,
+        },
+        Scenario {
+            name: "ycsb-e",
+            summary: "short scans: 95% scan(16) / 5% fresh insert, zipfian",
+            dist: zipf,
+            mix: Mix { scan: 950, insert: 50, ..none },
+            insert_kind: InsertKind::Fresh,
+            scan_len: 16,
+            accounts: 0,
+        },
+        Scenario {
+            name: "ycsb-f",
+            summary: "read-modify-write: 50% read / 50% rmw, zipfian",
+            dist: zipf,
+            mix: Mix { read: 500, rmw: 500, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 0,
+        },
+        Scenario {
+            name: "txn-transfer",
+            summary: "atomic 2-key transfers: mapapi::get + 2-word kcas::execute",
+            dist: DistKind::Uniform,
+            mix: Mix { transfer: 1000, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 1024,
+        },
+        Scenario {
+            name: "contended-hot-set",
+            summary: "99% of ops on 64 keys: 50% read / 50% update",
+            dist: DistKind::Hotspot { hot_keys: 64, hot_permille: 990 },
+            mix: Mix { read: 500, insert: 250, remove: 250, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: 0,
+            accounts: 0,
+        },
+    ]
+}
+
+/// Look up one scenario by name.
+///
+/// # Panics
+/// Panics if the name is unknown ([`all_scenarios`] lists the valid names).
+pub fn scenario(name: &str) -> Scenario {
+    all_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown scenario '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_valid() {
+        let all = all_scenarios();
+        let names: Vec<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "txn-transfer",
+             "contended-hot-set"]
+        );
+        for s in &all {
+            assert!(s.mix.is_valid(), "{}: mix must sum to 1000", s.name);
+            if s.mix.scan > 0 {
+                assert!(s.scan_len > 0, "{}: scans need a length", s.name);
+            }
+            if s.uses_bank() {
+                assert!(s.accounts >= 2, "{}: transfers need two accounts", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(scenario("ycsb-f").mix.rmw, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_panics() {
+        let _ = scenario("ycsb-z");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the samplers and the op generator: everything is
+//! deterministic from its seed (the contract behind `PATHCAS_SEED`), and the
+//! Zipfian generator actually produces rank-ordered frequencies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{scenario, DistKind, OpGen, Sampler, SharedState, Zipfian, ZIPFIAN_THETA};
+
+fn all_dist_kinds() -> Vec<DistKind> {
+    vec![
+        DistKind::Uniform,
+        DistKind::Zipfian { theta: ZIPFIAN_THETA },
+        DistKind::Zipfian { theta: 0.6 },
+        DistKind::Hotspot { hot_keys: 64, hot_permille: 990 },
+        DistKind::Latest { theta: ZIPFIAN_THETA },
+    ]
+}
+
+fn sample_sequence(kind: DistKind, key_range: u64, seed: u64, n: usize) -> Vec<u64> {
+    let sampler = Sampler::new(kind, key_range);
+    let shared = SharedState::new(key_range);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sampler.next_key(&mut rng, &shared)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed ⇒ same key sequence, for every distribution kind.
+    #[test]
+    fn same_seed_same_sequence(input in (any::<u64>(), 2u64..100_000)) {
+        let (seed, key_range) = input;
+        for kind in all_dist_kinds() {
+            let a = sample_sequence(kind, key_range, seed, 200);
+            let b = sample_sequence(kind, key_range, seed, 200);
+            assert_eq!(a, b, "{kind:?} diverged for seed {seed}");
+        }
+    }
+
+    /// Samplers never leave `1..=key_range` (with a static frontier).
+    #[test]
+    fn samples_stay_in_range(input in (any::<u64>(), 2u64..10_000)) {
+        let (seed, key_range) = input;
+        for kind in all_dist_kinds() {
+            for k in sample_sequence(kind, key_range, seed, 200) {
+                assert!((1..=key_range).contains(&k), "{kind:?} produced {k}");
+            }
+        }
+    }
+
+    /// Same seed ⇒ same operation sequence, for every scenario.
+    #[test]
+    fn same_seed_same_ops(seed in any::<u64>()) {
+        for name in ["ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f",
+                     "txn-transfer", "contended-hot-set"] {
+            let sc = scenario(name);
+            let key_range = 4096u64;
+            let run = |seed| {
+                let shared = SharedState::new(key_range);
+                let mut g = OpGen::new(&sc, key_range, seed);
+                (0..300).map(|_| g.next_op(&shared)).collect::<Vec<_>>()
+            };
+            assert_eq!(run(seed), run(seed), "{name} diverged for seed {seed}");
+        }
+    }
+}
+
+/// Zipfian sanity: rank frequencies must decrease with rank, and the
+/// hottest rank's frequency must match the closed-form 1/zeta(n, theta).
+#[test]
+fn zipfian_frequencies_are_rank_ordered() {
+    let n = 1_000u64;
+    let z = Zipfian::new(n, ZIPFIAN_THETA);
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let draws = 300_000usize;
+    let mut counts = vec![0u64; n as usize];
+    for _ in 0..draws {
+        counts[z.next_rank(&mut rng) as usize] += 1;
+    }
+    // Strictly ordered at decade spacing (adjacent ranks are too close to
+    // distinguish with finite samples; decades are unambiguous).
+    assert!(counts[0] > counts[9], "rank 0 ({}) <= rank 9 ({})", counts[0], counts[9]);
+    assert!(counts[9] > counts[99], "rank 9 ({}) <= rank 99 ({})", counts[9], counts[99]);
+    assert!(counts[99] > counts[999], "rank 99 ({}) <= rank 999 ({})", counts[99], counts[999]);
+    // Head frequency matches theory within sampling noise.
+    let observed = counts[0] as f64 / draws as f64;
+    let expected = z.p_rank0();
+    assert!(
+        (observed - expected).abs() < 0.01,
+        "rank-0 frequency {observed:.4} vs theoretical {expected:.4}"
+    );
+    // The head is genuinely heavy: top-10 ranks take a large share.
+    let head: u64 = counts[..10].iter().sum();
+    assert!(head as f64 / draws as f64 > 0.3, "top-10 share too small: {head}/{draws}");
+}

@@ -1,75 +1,49 @@
-//! A tiny concurrent key-value store built on the PathCAS hash map: writer
-//! threads ingest updates while reader threads serve lookups, and the store
-//! reports throughput and a consistency check at the end.
+//! A concurrent key-value store serving a realistic, skewed workload: the
+//! YCSB-B scenario (95% reads / 5% updates, Zipfian-distributed keys) from
+//! the `workload` engine, run against the PathCAS AVL map, reporting
+//! throughput *and* the per-operation latency percentile table — the
+//! numbers an online service actually provisions against.
 //!
-//! Run with `cargo run --release --example kv_store`.
+//! Run with `cargo run --release --example kv_store`.  Reproducible: set
+//! `PATHCAS_SEED` to vary (or pin) the key streams.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mapapi::ConcurrentMap;
-use pathcas_ds::PathCasHashMap;
+use pathcas_ds::PathCasAvl;
+use workload::{report::fmt_ns, run_scenario, scenario, RunParams};
 
 fn main() {
-    let store = Arc::new(PathCasHashMap::with_buckets(512));
-    let key_space = 100_000u64;
-    let stop = Arc::new(AtomicBool::new(false));
-    let reads = Arc::new(AtomicU64::new(0));
-    let writes = Arc::new(AtomicU64::new(0));
+    let store = PathCasAvl::new();
+    let sc = scenario("ycsb-b");
+    let key_range = 100_000u64;
+    let seed = std::env::var("PATHCAS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
 
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        // Two writers: upsert-style traffic (delete + insert).
-        for w in 0..2u64 {
-            let store = Arc::clone(&store);
-            let stop = Arc::clone(&stop);
-            let writes = Arc::clone(&writes);
-            s.spawn(move || {
-                let mut x = 0x243F6A8885A308D3u64 ^ w;
-                while !stop.load(Ordering::Relaxed) {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let key = 1 + x % key_space;
-                    if x & 1 == 0 {
-                        store.insert(key, x >> 3);
-                    } else {
-                        store.remove(key);
-                    }
-                    writes.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-        // Two readers.
-        for r in 0..2u64 {
-            let store = Arc::clone(&store);
-            let stop = Arc::clone(&stop);
-            let reads = Arc::clone(&reads);
-            s.spawn(move || {
-                let mut x = 0x452821E638D01377u64 ^ r;
-                while !stop.load(Ordering::Relaxed) {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let key = 1 + x % key_space;
-                    let _ = store.get(key);
-                    reads.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-        std::thread::sleep(Duration::from_millis(750));
-        stop.store(true, Ordering::Relaxed);
-    });
-    let elapsed = start.elapsed().as_secs_f64();
+    println!("kv_store: {} ({}) on {}", sc.name, sc.summary, store.name());
+    println!("| threads | Mops/s | p50 | p90 | p99 | p99.9 | max |");
+    println!("|---|---|---|---|---|---|---|");
+    for threads in [1, 2, 4] {
+        let params = RunParams::standard(threads, key_range, Duration::from_millis(400), seed);
+        let out = run_scenario(&store, &sc, &params);
+        let p = out.hist.percentiles();
+        println!(
+            "| {} | {:.3} | {} | {} | {} | {} | {} |",
+            threads,
+            out.mops(),
+            fmt_ns(p.p50),
+            fmt_ns(p.p90),
+            fmt_ns(p.p99),
+            fmt_ns(p.p999),
+            fmt_ns(out.hist.max()),
+        );
+    }
 
     let stats = store.stats();
     store.check_invariants();
     println!(
-        "kv_store: {:.2} M writes/s, {:.2} M reads/s, {} live keys, ~{:.1} MiB resident",
-        writes.load(Ordering::Relaxed) as f64 / elapsed / 1e6,
-        reads.load(Ordering::Relaxed) as f64 / elapsed / 1e6,
+        "\n{} live keys, ~{:.1} MiB resident, avg key depth {:.1}",
         stats.key_count,
-        stats.approx_bytes as f64 / (1024.0 * 1024.0)
+        stats.approx_bytes as f64 / (1024.0 * 1024.0),
+        stats.avg_key_depth()
     );
 }
