@@ -1,0 +1,43 @@
+//! Native validated range scans (DESIGN.md §7): single-threaded per-scan
+//! cost across the registry structures, swept over scan length.  The scan
+//! starts are drawn uniformly so every length pays a realistic traversal,
+//! and the map is prefilled outside the timed closure so Criterion measures
+//! the scan itself.  The multi-threaded scan-heavy sweep (scans racing
+//! updates, retry amplification) is
+//! `PATHCAS_SCENARIOS=scan-heavy cargo run --release -p harness --bin bench_workloads`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let key_range = 20_000u64;
+    for scan_len in [16usize, 128] {
+        let mut g = c.benchmark_group(format!("scan_{scan_len}"));
+        g.sample_size(10);
+        g.measurement_time(Duration::from_secs(1));
+        g.warm_up_time(Duration::from_millis(300));
+        for name in [
+            "int-avl-pathcas",
+            "int-bst-pathcas",
+            "hashmap-pathcas",
+            "int-avl-norec",
+            "locked-btreemap",
+        ] {
+            let map = bench::prefilled(name, key_range);
+            let mut rng = StdRng::seed_from_u64(7);
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let start = rng.gen_range(1..=key_range);
+                    map.scan(start, scan_len).len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

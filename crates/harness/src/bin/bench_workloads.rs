@@ -12,7 +12,15 @@
 //! Knobs: the usual `PATHCAS_THREADS`, `PATHCAS_DURATION_MS`,
 //! `PATHCAS_TRIALS`, `PATHCAS_KEYRANGE_SCALE`, `PATHCAS_SEED`, plus
 //! `PATHCAS_SCENARIOS` / `PATHCAS_ALGOS` (comma-separated name filters;
-//! default: everything).
+//! default: everything) and `PATHCAS_SCAN_LEN` (`"16"` or `"8:64"`; rewrites
+//! the `scan-heavy` scenario's scan-length distribution).
+//!
+//! Scenarios with a scan component run the structures' **native validated
+//! range scans** and report the scan-only latency percentiles in their own
+//! JSON columns (`scan_p50_ns`…), since scans are much longer than point
+//! ops and would vanish into the combined histogram's tail.  After each
+//! scan-scenario trial the (now quiescent) structure is audited: a
+//! full-range scan must see exactly the keys that `stats()` reports.
 //!
 //! The `txn-transfer` scenario additionally asserts its conserved-sum
 //! linearizability invariant after every trial: atomic two-key transfers
@@ -20,7 +28,7 @@
 //! destroy balance.
 
 use harness::{registry, Config};
-use workload::{all_scenarios, run_scenario, LatencyHistogram, Meta, Row, RunParams};
+use workload::{all_scenarios, run_scenario, LatencyHistogram, Meta, Row, RunParams, ScanLen};
 
 /// Comma-separated name filter from the environment; `None` = keep all.
 fn name_filter(var: &str) -> Option<Vec<String>> {
@@ -39,8 +47,17 @@ fn main() {
 
     let scenario_filter = name_filter("PATHCAS_SCENARIOS");
     let algo_filter = name_filter("PATHCAS_ALGOS");
+    let scan_len_override = std::env::var("PATHCAS_SCAN_LEN").ok().map(|s| {
+        ScanLen::parse(&s).unwrap_or_else(|| panic!("PATHCAS_SCAN_LEN: cannot parse '{s}'"))
+    });
     let scenarios: Vec<_> = all_scenarios()
         .into_iter()
+        .map(|s| match scan_len_override {
+            // The knob tunes the scan-length distribution of the dedicated
+            // scan scenario; YCSB-E keeps its canonical fixed 16.
+            Some(sl) if s.name == "scan-heavy" => s.with_scan_len(sl),
+            _ => s,
+        })
         .filter(|s| scenario_filter.as_ref().is_none_or(|f| f.iter().any(|n| n == s.name)))
         .collect();
     let algos: Vec<_> = registry()
@@ -59,11 +76,12 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for sc in &scenarios {
         println!("## {} — {}", sc.name, sc.summary);
-        println!("| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 |");
-        println!("|---|---|---|---|---|---|---|");
+        println!("| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 |");
+        println!("|---|---|---|---|---|---|---|---|---|");
         for algo in &algos {
             for &threads in &cfg.threads {
                 let mut hist = LatencyHistogram::new();
+                let mut scan_hist = LatencyHistogram::new();
                 let mut total_ops = 0u64;
                 let mut mops_sum = 0.0f64;
                 for trial in 0..cfg.trials.max(1) {
@@ -90,14 +108,22 @@ fn main() {
                             bank.committed
                         );
                     }
+                    if sc.mix.scan > 0 {
+                        // Quiescent scan audit (the executor joined every
+                        // worker before collecting `final_stats`, so both
+                        // sides observe the same frozen structure).
+                        mapapi::suites::check_scan_matches_stats(&map, &out.final_stats);
+                    }
                     hist.merge(&out.hist);
+                    scan_hist.merge(&out.scan_hist);
                     total_ops += out.total_ops;
                     mops_sum += out.mops();
                 }
                 let p = hist.percentiles();
+                let sp = scan_hist.percentiles();
                 let mops = mops_sum / cfg.trials.max(1) as f64;
                 println!(
-                    "| {} | {} | {:.3} | {} | {} | {} | {} |",
+                    "| {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |",
                     algo.name,
                     threads,
                     mops,
@@ -105,6 +131,8 @@ fn main() {
                     workload::report::fmt_ns(p.p90),
                     workload::report::fmt_ns(p.p99),
                     workload::report::fmt_ns(p.p999),
+                    workload::report::fmt_ns(sp.p50),
+                    workload::report::fmt_ns(sp.p99),
                 );
                 rows.push(Row {
                     scenario: sc.name.to_string(),
@@ -115,6 +143,9 @@ fn main() {
                     mean_ns: hist.mean(),
                     percentiles: p,
                     max_ns: hist.max(),
+                    saturated: hist.saturated_count(),
+                    scan_ops: scan_hist.count(),
+                    scan_percentiles: sp,
                 });
             }
         }

@@ -14,8 +14,15 @@ pub struct Workload {
     /// Keys are drawn uniformly from `1..=key_range`.
     pub key_range: Key,
     /// Percentage of operations that are updates (split evenly between
-    /// inserts and deletes); the rest are `contains`.
+    /// inserts and deletes); the rest (minus `scan_percent`) are `contains`.
     pub update_percent: u32,
+    /// Percentage of operations that are native validated range scans
+    /// ([`mapapi::ConcurrentMap::scan`]) of `scan_len` keys from a uniformly
+    /// random start.  0 in the paper's standard mixes; the scan-enabled
+    /// figure sweeps set it through [`Workload::with_scans`].
+    pub scan_percent: u32,
+    /// Number of keys each scan requests.
+    pub scan_len: usize,
     /// Number of worker threads.
     pub threads: usize,
     /// Timed duration of the trial.
@@ -36,6 +43,8 @@ impl Workload {
         Workload {
             key_range,
             update_percent,
+            scan_percent: 0,
+            scan_len: 16,
             threads,
             duration,
             prefill: key_range / 2,
@@ -46,6 +55,18 @@ impl Workload {
     /// Replace the base seed (builder style), e.g. with [`crate::Config::seed`].
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Add a range-scan component (builder style): `percent` of operations
+    /// become `scan(key, len)` calls, carved out of the `contains` share.
+    pub fn with_scans(mut self, percent: u32, len: usize) -> Self {
+        assert!(
+            self.update_percent + percent <= 100,
+            "update_percent + scan_percent must not exceed 100"
+        );
+        self.scan_percent = percent;
+        self.scan_len = len;
         self
     }
 }
@@ -111,6 +132,8 @@ pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> Tri
                         let _ = map.insert(key, key);
                     } else if roll < workload.update_percent {
                         let _ = map.remove(key);
+                    } else if roll < workload.update_percent + workload.scan_percent {
+                        let _ = map.scan(key, workload.scan_len);
                     } else {
                         let _ = map.contains(key);
                     }
@@ -177,5 +200,20 @@ mod tests {
         assert!(s.avg_mops > 0.0);
         assert!(s.max_mops >= s.min_mops);
         assert!(s.total_ops > 0);
+    }
+
+    #[test]
+    fn scan_component_runs_in_trials() {
+        let w = Workload::paper(256, 20, 2, Duration::from_millis(30)).with_scans(30, 8);
+        assert_eq!(w.scan_percent, 30);
+        let map = LockedBTreeMap::new();
+        let r = run_trial(&map, &w);
+        assert!(r.total_ops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 100")]
+    fn oversubscribed_scan_share_panics() {
+        let _ = Workload::paper(256, 60, 1, Duration::from_millis(1)).with_scans(50, 8);
     }
 }

@@ -82,12 +82,23 @@ pub trait ConcurrentMap: Send + Sync {
     /// present before the call.
     ///
     /// The default implementation composes `get` + `remove` + `insert`, which
-    /// is exactly what YCSB's RMW operation does — the read and the
-    /// write-back are **not** atomic with respect to concurrent writers to
-    /// the same key (an interleaved update can be overwritten). Workloads
-    /// that need true multi-key atomicity use raw KCAS instead (the
-    /// `txn-transfer` scenario in the `workload` crate); structures with a
-    /// native atomic RMW may override this.
+    /// is exactly what YCSB's RMW operation does — and it has **two windows**
+    /// with respect to concurrent writers to the same key:
+    ///
+    /// 1. between the `remove` and the `insert` the key is observably
+    ///    *absent*, so a concurrent reader (or validated scan) can see the
+    ///    key vanish mid-RMW;
+    /// 2. a racing insert landing in that window is silently clobbered by
+    ///    the write-back (the classic lost update).
+    ///
+    /// Every PathCAS structure and the [`reference::LockedBTreeMap`] oracle
+    /// override this with a genuinely atomic single-key RMW (read, validate,
+    /// one KCAS commit — or under the oracle's lock).  The composed default
+    /// intentionally survives for the remaining baselines because it is what
+    /// YCSB-F itself executes against non-transactional stores — the
+    /// benchmark convention measures exactly this composition.  Workloads
+    /// that need *multi-key* atomicity use raw KCAS instead (the
+    /// `txn-transfer` scenario in the `workload` crate).
     fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
         let prev = self.get(key);
         let new = update(prev);
@@ -97,6 +108,19 @@ pub trait ConcurrentMap: Send + Sync {
         let _ = self.insert(key, new);
         prev.is_some()
     }
+
+    /// Ordered range scan: the first `len` key/value pairs with key ≥
+    /// `start`, in ascending key order (YCSB-E's short range scan).
+    ///
+    /// Every structure implements this natively — there is deliberately no
+    /// composed point-lookup default, because a loop of `get`s is not a range
+    /// query (it cannot see keys it did not guess) and is not atomic.
+    /// Implementations based on path validation (the PathCAS trees and list)
+    /// return an **atomic snapshot**: all returned pairs were simultaneously
+    /// present at the operation's linearization point.  Hash-partitioned and
+    /// optimistic baselines document their weaker per-partition / best-effort
+    /// guarantees on the implementation.
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)>;
 
     /// Quiescent structural statistics (not linearizable; call only while no
     /// other thread is operating on the map).
@@ -123,6 +147,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
         (**self).rmw(key, update)
     }
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        (**self).scan(start, len)
+    }
     fn stats(&self) -> MapStats {
         (**self).stats()
     }
@@ -147,6 +174,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
         (**self).rmw(key, update)
+    }
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        (**self).scan(start, len)
     }
     fn stats(&self) -> MapStats {
         (**self).stats()
@@ -204,6 +234,13 @@ pub mod reference {
             m.insert(key, update(prev));
             prev.is_some()
         }
+        fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+            // The whole range is read under one lock acquisition, so the
+            // result is a genuinely atomic snapshot — the oracle the stress
+            // suites cross-check every other structure's scan against.
+            let m = self.inner.lock().unwrap();
+            m.range(start..).take(len).map(|(&k, &v)| (k, v)).collect()
+        }
         fn stats(&self) -> MapStats {
             let m = self.inner.lock().unwrap();
             MapStats {
@@ -248,6 +285,22 @@ mod tests {
     #[test]
     fn avg_depth_handles_empty() {
         assert_eq!(MapStats::default().avg_key_depth(), 0.0);
+    }
+
+    #[test]
+    fn oracle_scan_is_ordered_and_bounded() {
+        let m = LockedBTreeMap::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.scan(1, 3), vec![(1, 10), (3, 30), (5, 50)]);
+        assert_eq!(m.scan(4, 10), vec![(5, 50), (7, 70), (9, 90)]);
+        assert_eq!(m.scan(10, 4), vec![]);
+        assert_eq!(m.scan(1, 0), vec![]);
+        // Boxed trait objects forward scan.
+        let boxed: Box<dyn ConcurrentMap> = Box::new(LockedBTreeMap::new());
+        boxed.insert(2, 20);
+        assert_eq!(boxed.scan(1, 8), vec![(2, 20)]);
     }
 
     #[test]

@@ -312,6 +312,130 @@ impl PathCasBst {
         }
     }
 
+    /// Atomic single-key read-modify-write: search, compute the new value
+    /// from the observed one, and commit value + version bump with a single
+    /// `vexec` whose validation covers the whole search path.  Unlike the
+    /// composed `get`+`remove`+`insert` default, the key is never observably
+    /// absent mid-RMW and no racing update is clobbered (a conflicting
+    /// commit fails the `vexec` and the operation retries, re-running
+    /// `update` on the fresh value — so `update` must be pure).
+    fn rmw_impl(&self, key: u64, update: &mut dyn FnMut(Option<u64>) -> u64) -> bool {
+        debug_assert!(key > KEY_MIN_SENTINEL && key < KEY_MAX_SENTINEL);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let res = self.search(&mut op, &guard, key);
+                if res.found {
+                    let curr = res.curr.expect("found implies a node");
+                    let curr_ver = res.curr_ver;
+                    if curr_ver & 1 == 1 {
+                        return None;
+                    }
+                    let old_val = op.read(&curr.val);
+                    let new_val = update(Some(old_val));
+                    op.add(&curr.val, old_val, new_val);
+                    // The version bump publishes the value change to
+                    // validated readers (scans re-validate this node).
+                    op.add(&curr.ver, curr_ver, curr_ver + 2);
+                    if op.vexec() {
+                        return Some(true);
+                    }
+                    return None;
+                }
+                // Absent: atomically insert `update(None)` at the reached
+                // leaf position, exactly like `insert`.
+                let parent = res.parent;
+                let parent_ver = res.parent_ver;
+                if parent_ver & 1 == 1 {
+                    return None;
+                }
+                let new_node = Node::new(key, update(None));
+                let parent_key = op.read(&parent.key);
+                let ptr_to_change = if key < parent_key { &parent.left } else { &parent.right };
+                op.add(ptr_to_change, NIL, ptr_to_word(new_node));
+                op.add(&parent.ver, parent_ver, parent_ver + 2);
+                if op.vexec() {
+                    Some(false)
+                } else {
+                    unsafe { drop(Box::from_raw(new_node)) };
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
+    /// Validated in-order range scan: collect the first `len` pairs with key
+    /// ≥ `start`, visiting every traversed node, then `validate` the whole
+    /// visited path.  A successful validation proves no visited node changed
+    /// or was marked between its visit and the validation point, so every
+    /// collected pair was simultaneously present — the scan is an atomic
+    /// snapshot (the paper's composite read built from path validation).
+    /// On validation failure the scan restarts from scratch.
+    fn scan_impl(&self, start: u64, len: usize) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let start = start.max(KEY_MIN_SENTINEL + 1);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let min_root = self.min_root(&guard);
+                let min_ver = op.visit(&min_root.ver);
+                if min_ver & 1 == 1 {
+                    return None;
+                }
+                let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
+                // Explicit in-order stack with subtree pruning: a node whose
+                // key is below `start` has no relevant left subtree.
+                let mut stack: Vec<(&Node, u64)> = Vec::new();
+                let mut curr = op.read(&min_root.right);
+                'walk: loop {
+                    while curr != NIL {
+                        let node: &Node = unsafe { word_to_ref(curr, &guard) };
+                        let ver = op.visit(&node.ver);
+                        if ver & 1 == 1 {
+                            // Reached an already-marked node: the path we
+                            // followed is stale; restart.
+                            return None;
+                        }
+                        let key = op.read(&node.key);
+                        if key >= start {
+                            stack.push((node, key));
+                            curr = op.read(&node.left);
+                        } else {
+                            curr = op.read(&node.right);
+                        }
+                    }
+                    match stack.pop() {
+                        None => break 'walk,
+                        Some((node, key)) => {
+                            out.push((key, op.read(&node.val)));
+                            if out.len() == len {
+                                break 'walk;
+                            }
+                            curr = op.read(&node.right);
+                        }
+                    }
+                }
+                if op.validate() {
+                    Some(out)
+                } else {
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
     fn stats_impl(&self) -> MapStats {
         // Quiescent traversal; no concurrent updates may be running.
         let mut stats = MapStats { node_count: 2, approx_bytes: 2 * std::mem::size_of::<Node>() as u64, ..Default::default() };
@@ -374,6 +498,12 @@ impl ConcurrentMap for PathCasBst {
     }
     fn get(&self, key: Key) -> Option<Value> {
         self.get_impl(key)
+    }
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        self.rmw_impl(key, update)
+    }
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        self.scan_impl(start, len)
     }
     fn stats(&self) -> MapStats {
         self.stats_impl()
@@ -481,5 +611,93 @@ mod tests {
         t.insert(1, 1);
         // Single-threaded operations should essentially never retry.
         assert_eq!(t.retry_count(), 0);
+    }
+
+    #[test]
+    fn scan_semantics() {
+        check_scan_semantics(&PathCasBst::new());
+    }
+
+    #[test]
+    fn scan_vs_oracle() {
+        let t = PathCasBst::new();
+        check_scan_against_oracle(&t, 256, 0x5CA9);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn rmw_is_present_throughout_and_accumulates() {
+        let t = PathCasBst::new();
+        // Absent key: created with update(None).
+        assert!(!t.rmw(7, &mut |v| v.unwrap_or(100) + 1));
+        assert_eq!(t.get(7), Some(101));
+        // Present key: updated in place.
+        assert!(t.rmw(7, &mut |v| v.unwrap() + 1));
+        assert_eq!(t.get(7), Some(102));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_rmw_increments_are_not_lost() {
+        // The lost-update litmus: N threads each add 1 to the same key M
+        // times through rmw; the final value must be exactly N*M.  The
+        // composed remove+insert default loses increments under this race.
+        let t = std::sync::Arc::new(PathCasBst::new());
+        t.insert(42, 0);
+        let threads = 4u64;
+        let per = 2_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        t.rmw(42, &mut |v| v.unwrap() + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.get(42), Some(threads * per));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_scans_see_consistent_snapshots() {
+        // Writers churn keys outside a fixed region; scans over the region
+        // must always return exactly the region.
+        let t = std::sync::Arc::new(PathCasBst::new());
+        let region: Vec<u64> = (1000..1064).collect();
+        for &k in &region {
+            t.insert(k, k);
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let t = std::sync::Arc::clone(&t);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut x = 12345u64.wrapping_add(w);
+                    while !stop.load(Ordering::Relaxed) {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let k = 1 + x % 999; // churn strictly below the region
+                        if x & 1 == 0 {
+                            t.insert(k, k);
+                        } else {
+                            t.remove(k);
+                        }
+                    }
+                });
+            }
+            let t2 = std::sync::Arc::clone(&t);
+            for _ in 0..300 {
+                let got = t2.scan(1000, 64);
+                assert_eq!(got.len(), 64, "scan dropped region keys");
+                for (i, &(k, v)) in got.iter().enumerate() {
+                    assert_eq!(k, 1000 + i as u64);
+                    assert_eq!(v, k);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        t.check_invariants();
     }
 }

@@ -66,6 +66,32 @@ impl ConcurrentMap for PathCasHashMap {
     fn get(&self, key: Key) -> Option<Value> {
         self.bucket(key).get(key)
     }
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        // The bucket list's RMW is atomic, and a key lives in exactly one
+        // bucket, so the hash map inherits the single-key atomicity.
+        self.bucket(key).rmw(key, update)
+    }
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        // Sorted-snapshot fallback: the map is hash-partitioned, so an
+        // ordered range is scattered across buckets.  Each bucket list is
+        // scanned with full path validation — and since each bucket is
+        // sorted, its first `len` matches are a superset of its contribution
+        // to the global first `len` — then the per-bucket results are merged
+        // and truncated.  Each bucket's slice is an atomic snapshot; the
+        // *union* is not atomic across buckets (keys in different buckets
+        // may be observed at different times), which is the documented price
+        // of scanning a hash-partitioned structure.
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(Key, Value)> = Vec::new();
+        for b in self.buckets.iter() {
+            all.extend(b.scan(start, len));
+        }
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all.truncate(len);
+        all
+    }
     fn stats(&self) -> MapStats {
         let mut total = MapStats::default();
         for b in self.buckets.iter() {
@@ -126,6 +152,29 @@ mod tests {
         let m = PathCasHashMap::with_buckets(32);
         prefill(&m, 1024, 512, 3);
         stress_keysum(&m, 4, 1024, 50, Duration::from_millis(250), 5);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn scan_semantics() {
+        check_scan_semantics(&PathCasHashMap::with_buckets(8));
+    }
+
+    #[test]
+    fn scan_vs_oracle_across_buckets() {
+        // A small bucket count forces every bucket to contribute to the
+        // merged range, exercising the sorted-snapshot merge.
+        let m = PathCasHashMap::with_buckets(4);
+        check_scan_against_oracle(&m, 256, 0x4A5);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn rmw_routes_to_the_owning_bucket() {
+        let m = PathCasHashMap::with_buckets(16);
+        assert!(!m.rmw(9, &mut |v| v.unwrap_or(1)));
+        assert!(m.rmw(9, &mut |v| v.unwrap() + 10));
+        assert_eq!(m.get(9), Some(11));
         m.check_invariants();
     }
 }

@@ -186,6 +186,100 @@ impl PathCasList {
         }
     }
 
+    /// Atomic single-key read-modify-write over the window (see
+    /// [`crate::bst`] for the semantics): value + version bump commit in one
+    /// `vexec`, or the missing node is inserted with `update(None)`.
+    fn rmw_impl(&self, key: u64, update: &mut dyn FnMut(Option<u64>) -> u64) -> bool {
+        debug_assert!(key > KEY_HEAD && key < KEY_TAIL);
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let w = self.window(&mut op, &guard, key);
+                if op.read(&w.curr.key) == key {
+                    if w.curr_ver & 1 == 1 {
+                        return None;
+                    }
+                    let old_val = op.read(&w.curr.val);
+                    let new_val = update(Some(old_val));
+                    op.add(&w.curr.val, old_val, new_val);
+                    op.add(&w.curr.ver, w.curr_ver, w.curr_ver + 2);
+                    if op.vexec() {
+                        return Some(true);
+                    }
+                    return None;
+                }
+                if w.pred_ver & 1 == 1 || w.curr_ver & 1 == 1 {
+                    return None;
+                }
+                let curr_word = ptr_to_word(w.curr as *const Node);
+                let new_node = Node::new(key, update(None), curr_word);
+                op.add(&w.pred.next, curr_word, ptr_to_word(new_node));
+                op.add(&w.pred.ver, w.pred_ver, w.pred_ver + 2);
+                if op.vexec() {
+                    Some(false)
+                } else {
+                    unsafe { drop(Box::from_raw(new_node)) };
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
+    /// Validated linear range scan: walk the list visiting every traversed
+    /// node, retrying immediately on any marked (mid-removal) node, collect
+    /// up to `len` pairs with key ≥ `start`, and `validate` the whole
+    /// visited path at the end — success means every collected pair was
+    /// simultaneously present (an atomic snapshot).
+    fn scan_impl(&self, start: u64, len: usize) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        loop {
+            let done = with_builder(|builder| {
+                let guard = crossbeam_epoch::pin();
+                let mut op = builder.start(&guard);
+                let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
+                let head: &Node = unsafe { &*self.head };
+                let head_ver = op.visit(&head.ver);
+                if head_ver & 1 == 1 {
+                    return None;
+                }
+                let mut curr: &Node = unsafe { word_to_ref(op.read(&head.next), &guard) };
+                loop {
+                    let curr_ver = op.visit(&curr.ver);
+                    if curr_ver & 1 == 1 {
+                        return None; // mark-check: node is being removed
+                    }
+                    let key = op.read(&curr.key);
+                    if key == KEY_TAIL {
+                        break;
+                    }
+                    if key >= start {
+                        out.push((key, op.read(&curr.val)));
+                        if out.len() == len {
+                            break;
+                        }
+                    }
+                    curr = unsafe { word_to_ref(op.read(&curr.next), &guard) };
+                }
+                if op.validate() {
+                    Some(out)
+                } else {
+                    None
+                }
+            });
+            match done {
+                Some(r) => return r,
+                None => self.note_retry(),
+            }
+        }
+    }
+
     fn stats_impl(&self) -> MapStats {
         let mut stats = MapStats {
             node_count: 2,
@@ -244,6 +338,12 @@ impl ConcurrentMap for PathCasList {
     fn get(&self, key: Key) -> Option<Value> {
         self.get_impl(key)
     }
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        self.rmw_impl(key, update)
+    }
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        self.scan_impl(start, len)
+    }
     fn stats(&self) -> MapStats {
         self.stats_impl()
     }
@@ -300,6 +400,46 @@ mod tests {
         let l = PathCasList::new();
         prefill(&l, 128, 64, 3);
         stress_keysum(&l, 4, 128, 60, Duration::from_millis(250), 9);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn scan_semantics() {
+        check_scan_semantics(&PathCasList::new());
+    }
+
+    #[test]
+    fn scan_vs_oracle() {
+        let l = PathCasList::new();
+        check_scan_against_oracle(&l, 96, 0x11);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn rmw_updates_in_place() {
+        let l = PathCasList::new();
+        assert!(!l.rmw(3, &mut |v| v.unwrap_or(7)));
+        assert_eq!(l.get(3), Some(7));
+        assert!(l.rmw(3, &mut |v| v.unwrap() * 2));
+        assert_eq!(l.get(3), Some(14));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_rmw_increments_are_not_lost() {
+        let l = std::sync::Arc::new(PathCasList::new());
+        l.insert(5, 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..1_500 {
+                        l.rmw(5, &mut |v| v.unwrap() + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.get(5), Some(6_000));
         l.check_invariants();
     }
 }

@@ -223,6 +223,48 @@ impl<S: Stm> TxTree<S> {
         })
     }
 
+    /// Transactional in-order range scan: the traversal runs inside one
+    /// transaction, so the committed result is a serializable snapshot —
+    /// every returned pair was simultaneously present.  The read set grows
+    /// with the traversed subrange, which is exactly the unbounded-read-set
+    /// cost of TM that PathCAS's bounded path validation avoids (§3.8).
+    fn scan(&self, start: u64, len: usize) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let _guard = crossbeam_epoch::pin();
+        self.stm.atomically(&mut |tx| {
+            let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
+            // In-order traversal with subtree pruning below `start`.
+            let mut stack: Vec<(u64, u64)> = Vec::new(); // (node word, key)
+            let mut curr = tx.read(&self.root)?;
+            loop {
+                while curr != NIL {
+                    let n = node(curr);
+                    let k = tx.read(&n.key)?;
+                    if k >= start {
+                        stack.push((curr, k));
+                        curr = tx.read(&n.left)?;
+                    } else {
+                        curr = tx.read(&n.right)?;
+                    }
+                }
+                match stack.pop() {
+                    None => break,
+                    Some((word, k)) => {
+                        let n = node(word);
+                        out.push((k, tx.read(&n.val)?));
+                        if out.len() == len {
+                            break;
+                        }
+                        curr = tx.read(&n.right)?;
+                    }
+                }
+            }
+            Ok(out)
+        })
+    }
+
     // --- AVL rebalancing, executed inside the enclosing transaction -------
 
     fn height(&self, tx: &mut dyn Transaction, word: u64) -> Result<u64, Abort> {
@@ -431,6 +473,9 @@ macro_rules! impl_map {
             fn get(&self, key: Key) -> Option<Value> {
                 self.0.get(key)
             }
+            fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+                self.0.scan(start, len)
+            }
             fn stats(&self) -> MapStats {
                 self.0.stats()
             }
@@ -513,6 +558,20 @@ mod tests {
     fn bst_tle_stripes() {
         let t = TxBst::new(Tle::new());
         stress_disjoint_stripes(&t, 4, 200);
+    }
+
+    #[test]
+    fn scan_semantics_all_runtimes() {
+        check_scan_semantics(&TxBst::new(Norec::new()));
+        check_scan_semantics(&TxAvl::new(Norec::new()));
+        check_scan_semantics(&TxAvl::new(Tl2::new()));
+        check_scan_semantics(&TxAvl::new(Tle::new()));
+    }
+
+    #[test]
+    fn scan_vs_oracle() {
+        check_scan_against_oracle(&TxBst::new(Norec::new()), 128, 0x51);
+        check_scan_against_oracle(&TxAvl::new(Tl2::new()), 128, 0x52);
     }
 
     #[test]

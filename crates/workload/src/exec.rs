@@ -15,13 +15,13 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use kcas::{CasWord, KcasArg};
-use mapapi::{ConcurrentMap, Key};
+use mapapi::{ConcurrentMap, Key, MapStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dist::{Sampler, SharedState};
 use crate::hist::LatencyHistogram;
-use crate::spec::{InsertKind, Scenario, INITIAL_BALANCE};
+use crate::spec::{InsertKind, ScanLen, Scenario, INITIAL_BALANCE};
 
 /// One generated operation, ready to apply to a map (and bank).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,7 @@ pub struct OpGen {
     t_rmw: u32,
     t_scan: u32,
     insert_kind: InsertKind,
-    scan_len: u64,
+    scan_len: Option<ScanLen>,
     accounts: u64,
 }
 
@@ -102,7 +102,11 @@ impl OpGen {
         } else if roll < self.t_rmw {
             Op::Rmw(self.sampler.next_key(&mut self.rng, shared))
         } else if roll < self.t_scan {
-            Op::Scan(self.sampler.next_key(&mut self.rng, shared), self.scan_len)
+            let len = match self.scan_len.expect("scan op without a scan_len") {
+                ScanLen::Fixed(n) => n,
+                ScanLen::Uniform { min, max } => self.rng.gen_range(min..=max),
+            };
+            Op::Scan(self.sampler.next_key(&mut self.rng, shared), len)
         } else {
             let from = self.rng.gen_range(0..self.accounts);
             let mut to = self.rng.gen_range(0..self.accounts - 1);
@@ -122,15 +126,9 @@ pub fn apply<M: ConcurrentMap + ?Sized>(map: &M, bank: Option<&[CasWord]>, op: O
         Op::Insert(k) => map.insert(k, k),
         Op::Remove(k) => map.remove(k),
         Op::Rmw(k) => map.rmw(k, &mut |v| v.map_or(1, |x| (x + 1) & mapapi::MAX_KEY)),
-        Op::Scan(k, len) => {
-            let mut hits = 0u64;
-            for i in 0..len {
-                if map.contains(k.saturating_add(i).min(mapapi::MAX_KEY)) {
-                    hits += 1;
-                }
-            }
-            hits > 0
-        }
+        // A real validated range query — the structure's native ordered
+        // iteration, not a loop of point lookups.
+        Op::Scan(k, len) => !map.scan(k, len as usize).is_empty(),
         Op::Transfer { from, to, amount } => {
             let bank = bank.expect("transfer op without a bank");
             transfer(map, bank, from, to, amount)
@@ -243,10 +241,21 @@ pub struct Outcome {
     pub ok_ops: u64,
     /// Wall-clock length of the recorded window.
     pub elapsed: Duration,
-    /// Merged per-op latency histogram (nanoseconds).
+    /// Merged per-op latency histogram (nanoseconds), all operation kinds.
     pub hist: LatencyHistogram,
+    /// Merged latency histogram of the `Op::Scan` operations alone
+    /// (nanoseconds; empty when the scenario has no scan component) — scans
+    /// are orders of magnitude longer than point ops, so their tail is
+    /// invisible in the combined histogram.
+    pub scan_hist: LatencyHistogram,
     /// Present iff the scenario uses the KCAS account bank.
     pub bank: Option<BankCheck>,
+    /// Quiescent structural statistics, collected in the executor's
+    /// teardown **after every worker thread has been joined** — `MapStats`
+    /// is documented quiescent-only, so the executor owns the
+    /// join-then-collect ordering as part of its contract (one extra
+    /// traversal per trial, dwarfed by the per-trial prefill).
+    pub final_stats: MapStats,
 }
 
 impl Outcome {
@@ -295,6 +304,7 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
             let mut gen = OpGen::new(sc, key_range, params.seed ^ ((t as u64 + 1) << 17));
             handles.push(s.spawn(move || {
                 let mut hist = LatencyHistogram::new();
+                let mut scan_hist = LatencyHistogram::new();
                 let mut ops = 0u64;
                 let mut ok = 0u64;
                 let mut committed = 0u64;
@@ -305,7 +315,11 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
                     if recording.load(Ordering::Relaxed) {
                         let t0 = Instant::now();
                         success = apply(map, bank, op);
-                        hist.record(t0.elapsed().as_nanos() as u64);
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        hist.record(ns);
+                        if matches!(op, Op::Scan(..)) {
+                            scan_hist.record(ns);
+                        }
                         ops += 1;
                         ok += success as u64;
                     } else {
@@ -316,7 +330,7 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
                     // every commit, not just the recorded ones.
                     committed += (success && matches!(op, Op::Transfer { .. })) as u64;
                 }
-                (hist, ops, ok, committed)
+                (hist, scan_hist, ops, ok, committed)
             }));
         }
         barrier.wait();
@@ -330,13 +344,17 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
         (per_thread, elapsed)
     });
+    // The scope above joined every worker: from here on the map is
+    // quiescent, which `stats()` requires.
 
     let mut hist = LatencyHistogram::new();
+    let mut scan_hist = LatencyHistogram::new();
     let mut total_ops = 0u64;
     let mut ok_ops = 0u64;
     let mut committed = 0u64;
-    for (h, ops, ok, c) in &per_thread {
+    for (h, sh, ops, ok, c) in &per_thread {
         hist.merge(h);
+        scan_hist.merge(sh);
         total_ops += ops;
         ok_ops += ok;
         committed += c;
@@ -349,7 +367,8 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
             committed,
         }
     });
-    Outcome { total_ops, ok_ops, elapsed, hist, bank: bank_check }
+    let final_stats = map.stats();
+    Outcome { total_ops, ok_ops, elapsed, hist, scan_hist, bank: bank_check, final_stats }
 }
 
 /// Apply `ops` operations of `sc` to `map` single-threadedly (no timing, no
@@ -437,6 +456,53 @@ mod tests {
         assert!(out.mops() > 0.0);
         let p = out.hist.percentiles();
         assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+    }
+
+    #[test]
+    fn scan_heavy_records_scan_latencies_and_quiescent_stats() {
+        let sc = scenario("scan-heavy");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(2, 512, Duration::from_millis(40), 0xE5);
+        let out = run_scenario(&map, &sc, &params);
+        assert!(out.scan_hist.count() > 0, "no scans recorded");
+        assert!(out.scan_hist.count() < out.total_ops, "scan hist should be a strict subset");
+        let p = out.scan_hist.percentiles();
+        assert!(p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.p999);
+        // final_stats was collected after every worker joined, so it must
+        // agree with a fresh quiescent traversal now.
+        let now = map.stats();
+        assert_eq!(out.final_stats.key_count, now.key_count);
+        assert_eq!(out.final_stats.key_sum, now.key_sum);
+    }
+
+    #[test]
+    fn point_scenarios_record_no_scan_latencies() {
+        let sc = scenario("ycsb-a");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(1, 256, Duration::from_millis(25), 3);
+        let out = run_scenario(&map, &sc, &params);
+        assert_eq!(out.scan_hist.count(), 0);
+    }
+
+    #[test]
+    fn scan_lengths_follow_the_scenario_distribution() {
+        let sc = scenario("scan-heavy");
+        let (min, max) = match sc.scan_len {
+            Some(crate::spec::ScanLen::Uniform { min, max }) => (min, max),
+            other => panic!("scan-heavy should draw uniform lengths, got {other:?}"),
+        };
+        let shared = SharedState::new(10_000);
+        let mut gen = OpGen::new(&sc, 10_000, 9);
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..20_000 {
+            if let Op::Scan(_, len) = gen.next_op(&shared) {
+                assert!((min..=max).contains(&len), "scan length {len} outside [{min},{max}]");
+                seen_min |= len == min;
+                seen_max |= len == max;
+            }
+        }
+        assert!(seen_min && seen_max, "uniform draw never hit an endpoint");
     }
 
     #[test]

@@ -12,9 +12,18 @@
 /// Linear sub-buckets per octave (power of two; 32 ⇒ ≤3.1% relative error).
 pub const SUBBUCKETS: u64 = 32;
 const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros(); // 5
+/// Highest bit position a tracked value may have: values up to
+/// [`TRACKABLE_MAX`] (≈ 73 minutes in nanoseconds) are bucketed normally.
+const MAX_EXPONENT: u32 = 41;
+/// The largest value the histogram tracks with bounded relative error.
+/// Recording anything larger **clamps** it to this value and counts the
+/// event in [`LatencyHistogram::saturated_count`] instead of letting one
+/// absurd sample (e.g. a timer glitch recorded as `u64::MAX`) own the top
+/// bucket and drag p99.9 to the histogram's ceiling.
+pub const TRACKABLE_MAX: u64 = (1u64 << (MAX_EXPONENT + 1)) - 1;
 /// Number of buckets: one exact bucket per value below `SUBBUCKETS`, then
-/// `SUBBUCKETS` per octave for octaves `SUB_BITS..=63`.
-const NBUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBBUCKETS as usize;
+/// `SUBBUCKETS` per octave for octaves `SUB_BITS..=MAX_EXPONENT`.
+const NBUCKETS: usize = ((MAX_EXPONENT - SUB_BITS) as usize + 2) * SUBBUCKETS as usize;
 
 /// A fixed-size log-bucketed histogram of `u64` values (nanoseconds).
 #[derive(Clone)]
@@ -23,6 +32,7 @@ pub struct LatencyHistogram {
     count: u64,
     sum: u128,
     max: u64,
+    saturated: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -58,13 +68,23 @@ fn bucket_upper(i: usize) -> u64 {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; NBUCKETS], count: 0, sum: 0, max: 0 }
+        LatencyHistogram { counts: vec![0; NBUCKETS], count: 0, sum: 0, max: 0, saturated: 0 }
     }
 
-    /// Record one value (saturating at `u64::MAX`, which lands in the top
-    /// bucket).
+    /// Record one value.  Values above [`TRACKABLE_MAX`] are clamped to it
+    /// (landing in the top bucket) and counted separately — see
+    /// [`Self::saturated_count`] — so overflow-long stalls cannot silently
+    /// skew the tail percentiles.  `max`, `mean` and the percentiles all
+    /// operate on the clamped value; the saturation count is the signal
+    /// that clamping happened.
     #[inline]
     pub fn record(&mut self, v: u64) {
+        let v = if v > TRACKABLE_MAX {
+            self.saturated += 1;
+            TRACKABLE_MAX
+        } else {
+            v
+        };
         self.counts[bucket_index(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
@@ -76,9 +96,17 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Largest recorded value (exact, not bucketed).
+    /// Largest recorded value after clamping (exact, not bucketed; at most
+    /// [`TRACKABLE_MAX`]).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Number of recorded values that exceeded [`TRACKABLE_MAX`] and were
+    /// clamped.  Surfaced per row in `BENCH_workloads.json` so a non-zero
+    /// count flags that the reported tail is a floor, not an exact value.
+    pub fn saturated_count(&self) -> u64 {
+        self.saturated
     }
 
     /// Mean of the recorded values (exact, from the running sum).
@@ -98,6 +126,7 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+        self.saturated += other.saturated;
     }
 
     /// The value at quantile `q` in `[0, 1]`: the smallest bucket upper
@@ -217,6 +246,39 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
             assert_eq!(a.value_at_quantile(q), u.value_at_quantile(q));
         }
+    }
+
+    #[test]
+    fn oversized_values_are_clamped_and_counted() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        h.record(u64::MAX); // e.g. a timer glitch
+        h.record(TRACKABLE_MAX + 1);
+        assert_eq!(h.saturated_count(), 2);
+        assert_eq!(h.count(), 1002);
+        assert_eq!(h.max(), TRACKABLE_MAX);
+        // The tail reports the trackable ceiling, not u64::MAX.
+        assert!(h.value_at_quantile(1.0) <= TRACKABLE_MAX);
+        // p50 is unaffected by the two clamped outliers.
+        assert!(h.value_at_quantile(0.5) <= 520);
+        // Recording exactly TRACKABLE_MAX is not a saturation.
+        let mut g = LatencyHistogram::new();
+        g.record(TRACKABLE_MAX);
+        assert_eq!(g.saturated_count(), 0);
+    }
+
+    #[test]
+    fn merge_carries_saturation_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX - 1);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.saturated_count(), 2);
+        assert_eq!(a.count(), 3);
     }
 
     #[test]

@@ -13,15 +13,21 @@
 //! * [`dist`] — deterministic key-distribution samplers: uniform, Zipfian
 //!   (precomputed-zeta, rejection-free O(1) sampling, FNV rank scrambling),
 //!   hotspot, and `latest`;
-//! * [`spec`] — the scenario table ([`all_scenarios`]): YCSB A–F,
-//!   `txn-transfer` (atomic 2-key read-modify-write: `mapapi::get` +
-//!   two-word [`kcas::execute`], conserved-sum checked), and
-//!   `contended-hot-set` (99% of ops on 64 keys);
+//! * [`spec`] — the scenario table ([`all_scenarios`]): YCSB A–F (E runs
+//!   genuine validated range scans through
+//!   [`mapapi::ConcurrentMap::scan`]), `txn-transfer` (atomic 2-key
+//!   read-modify-write: `mapapi::get` + two-word [`kcas::execute`],
+//!   conserved-sum checked), `contended-hot-set` (99% of ops on 64 keys),
+//!   and `scan-heavy` (80% scans with a tunable [`ScanLen`] distribution);
 //! * [`exec`] — the phased executor (**load → warmup → timed run**) with
-//!   per-thread op generation and latency recording;
+//!   per-thread op generation, latency recording (scans also into their own
+//!   histogram), and quiescent stats collected only after every worker has
+//!   joined;
 //! * [`hist`] — log-bucketed (HDR-style) latency histograms with ≤3.1%
-//!   relative quantization error and O(1) recording;
-//! * [`report`] — `BENCH_workloads.json` / CSV emission.
+//!   relative quantization error, O(1) recording, and saturation counting
+//!   above [`TRACKABLE_MAX`];
+//! * [`report`] — `BENCH_workloads.json` / CSV emission, including
+//!   per-scenario scan-latency percentiles.
 //!
 //! The harness binary `bench_workloads` wires this crate to the algorithm
 //! registry so every registered structure runs every scenario; the
@@ -38,6 +44,6 @@ pub mod spec;
 
 pub use dist::{DistKind, Sampler, SharedState, Zipfian, ZIPFIAN_THETA};
 pub use exec::{apply, run_ops, run_scenario, BankCheck, Op, OpGen, Outcome, RunParams};
-pub use hist::{LatencyHistogram, Percentiles};
+pub use hist::{LatencyHistogram, Percentiles, TRACKABLE_MAX};
 pub use report::{to_csv, to_json, Meta, Row};
-pub use spec::{all_scenarios, scenario, InsertKind, Mix, Scenario, INITIAL_BALANCE};
+pub use spec::{all_scenarios, scenario, InsertKind, Mix, ScanLen, Scenario, INITIAL_BALANCE};

@@ -23,6 +23,15 @@ pub struct Row {
     pub percentiles: Percentiles,
     /// Largest observed per-op latency, nanoseconds.
     pub max_ns: u64,
+    /// Samples clamped at the histogram's trackable maximum (see
+    /// [`crate::hist::TRACKABLE_MAX`]); non-zero means the reported tail is
+    /// a floor.
+    pub saturated: u64,
+    /// Scan operations recorded (0 for scenarios without a scan component).
+    pub scan_ops: u64,
+    /// p50/p90/p99/p99.9 latency of the scan operations alone, nanoseconds
+    /// (all zero when `scan_ops == 0`).
+    pub scan_percentiles: Percentiles,
 }
 
 /// Run-wide metadata recorded at the top of the JSON report.
@@ -56,7 +65,9 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             "    {{\"scenario\": \"{}\", \"structure\": \"{}\", \"threads\": {}, \
              \"mops\": {:.4}, \"total_ops\": {}, \"mean_ns\": {:.1}, \
              \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
-             \"max_ns\": {}}}{}\n",
+             \"max_ns\": {}, \"saturated\": {}, \"scan_ops\": {}, \
+             \"scan_p50_ns\": {}, \"scan_p90_ns\": {}, \"scan_p99_ns\": {}, \
+             \"scan_p999_ns\": {}}}{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -68,6 +79,12 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             r.percentiles.p99,
             r.percentiles.p999,
             r.max_ns,
+            r.saturated,
+            r.scan_ops,
+            r.scan_percentiles.p50,
+            r.scan_percentiles.p90,
+            r.scan_percentiles.p99,
+            r.scan_percentiles.p999,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -78,11 +95,12 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
 /// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
 pub fn to_csv(rows: &[Row]) -> String {
     let mut s = String::from(
-        "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns\n",
+        "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,\
+         saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "{},{},{},{:.4},{},{:.1},{},{},{},{},{}\n",
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -93,7 +111,13 @@ pub fn to_csv(rows: &[Row]) -> String {
             r.percentiles.p90,
             r.percentiles.p99,
             r.percentiles.p999,
-            r.max_ns
+            r.max_ns,
+            r.saturated,
+            r.scan_ops,
+            r.scan_percentiles.p50,
+            r.scan_percentiles.p90,
+            r.scan_percentiles.p99,
+            r.scan_percentiles.p999
         ));
     }
     s
@@ -127,9 +151,12 @@ mod tests {
                 mean_ns: 450.0,
                 percentiles: Percentiles { p50: 400, p90: 700, p99: 1200, p999: 5000 },
                 max_ns: 9000,
+                saturated: 0,
+                scan_ops: 0,
+                scan_percentiles: Percentiles::default(),
             },
             Row {
-                scenario: "ycsb-c".into(),
+                scenario: "scan-heavy".into(),
                 structure: "int-bst-pathcas".into(),
                 threads: 4,
                 mops: 3.25,
@@ -137,6 +164,9 @@ mod tests {
                 mean_ns: 300.0,
                 percentiles: Percentiles { p50: 250, p90: 500, p99: 900, p999: 2000 },
                 max_ns: 4000,
+                saturated: 1,
+                scan_ops: 1600,
+                scan_percentiles: Percentiles { p50: 800, p90: 1500, p99: 2500, p999: 3500 },
             },
         ]
     }
@@ -151,6 +181,9 @@ mod tests {
         assert!(j.contains("\"scenario\": \"ycsb-a\""));
         assert!(j.contains("\"p999_ns\": 2000"));
         assert!(j.contains("\"seed\": 7"));
+        assert!(j.contains("\"saturated\": 1"));
+        assert!(j.contains("\"scan_ops\": 1600"));
+        assert!(j.contains("\"scan_p999_ns\": 3500"));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n  ]"));
     }
@@ -160,7 +193,9 @@ mod tests {
         let c = to_csv(&sample_rows());
         assert_eq!(c.lines().count(), 3);
         assert!(c.starts_with("scenario,structure,threads"));
-        assert!(c.contains("ycsb-c,int-bst-pathcas,4,3.2500"));
+        assert!(c.lines().next().unwrap().ends_with("scan_p999_ns"));
+        assert!(c.contains("scan-heavy,int-bst-pathcas,4,3.2500"));
+        assert!(c.contains(",1,1600,800,1500,2500,3500\n"));
     }
 
     #[test]

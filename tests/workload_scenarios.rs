@@ -58,6 +58,41 @@ fn txn_transfer_conserves_balance_under_contention() {
     }
 }
 
+/// The scan scenarios must drive the native `scan` on real structures:
+/// scan latencies land in their own histogram, and after the (joined)
+/// run a quiescent full-range scan agrees exactly with `stats()`.
+#[test]
+fn scan_scenarios_exercise_native_scans() {
+    for sc_name in ["ycsb-e", "scan-heavy"] {
+        let sc = scenario(sc_name);
+        for name in STRUCTURES {
+            let map = harness::make(name);
+            let params = RunParams::standard(2, 512, Duration::from_millis(40), 0x5CA2);
+            let out = run_scenario(&map, &sc, &params);
+            assert!(out.scan_hist.count() > 0, "{sc_name}/{name}: no scan latencies recorded");
+            assert!(
+                out.scan_hist.count() <= out.total_ops,
+                "{sc_name}/{name}: more scans than ops"
+            );
+            let p = out.scan_hist.percentiles();
+            assert!(p.p50 <= p.p99, "{sc_name}/{name}: scan percentiles not monotone");
+            // Post-join audit: the executor collected final_stats after all
+            // workers exited; a full scan must see exactly those contents.
+            mapapi::suites::check_scan_matches_stats(&map, &out.final_stats);
+        }
+    }
+}
+
+/// Non-scan scenarios must not record scan latencies.
+#[test]
+fn point_scenarios_have_empty_scan_histograms() {
+    let sc = scenario("ycsb-a");
+    let map = harness::make("int-bst-pathcas");
+    let params = RunParams::standard(2, 256, Duration::from_millis(25), 0xF00);
+    let out = run_scenario(&map, &sc, &params);
+    assert_eq!(out.scan_hist.count(), 0);
+}
+
 /// Same seed, same single-threaded scenario ⇒ identical op counts and
 /// contents — the end-to-end reproducibility `PATHCAS_SEED` promises (the
 /// op *count* varies with timing, so compare the deterministic pieces:
