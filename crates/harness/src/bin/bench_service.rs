@@ -1,0 +1,194 @@
+//! Service-mode workload sweep: the same scenarios and percentile schema as
+//! `bench_workloads`, but every operation crosses a real loopback socket
+//! into the threaded KV server (`crates/server`) instead of calling the
+//! structure in-process.
+//!
+//! Per trial, the binary builds a fresh structure by name through
+//! [`harness::try_make`] — including sharded compositions like the default
+//! `shard8(int-avl-pathcas)` — starts a `server::Server` on an ephemeral
+//! loopback port, connects a `server::ServiceMap` pool (one connection per
+//! worker thread), runs the scenario through the unchanged
+//! `workload::run_scenario`, and shuts the server down cleanly.  The
+//! `service-mixed` scenario is additionally swept over pipelining depths
+//! through `workload::run_scenario_batched`, where each worker ships whole
+//! op batches as one pipelined burst and the server answers with one
+//! batched write (rows labeled `svc(...)@d<depth>`).
+//!
+//! Scan scenarios are audited after every trial like in `bench_workloads`
+//! — over the wire: a chunked full `SCAN` walk must agree exactly with the
+//! `STATS` verb.
+//!
+//! Output: Markdown tables on stdout plus `BENCH_service.json` /
+//! `BENCH_service.csv` (override with `PATHCAS_SERVICE_JSON` /
+//! `PATHCAS_SERVICE_CSV`) in exactly the `BENCH_workloads` row schema.
+//!
+//! Knobs: the usual `PATHCAS_THREADS` / `PATHCAS_DURATION_MS` /
+//! `PATHCAS_TRIALS` / `PATHCAS_KEYRANGE_SCALE` / `PATHCAS_SEED`, plus:
+//!
+//! * first CLI argument or `PATHCAS_SERVICE_ALGO` — the served structure
+//!   (default `shard8(int-avl-pathcas)`); unknown names print the valid
+//!   list and exit 2 instead of panicking;
+//! * `PATHCAS_SCENARIOS` — substring filter over all scenarios (default
+//!   for this binary: `ycsb-b`, `scan-heavy`, `service-mixed`);
+//! * `PATHCAS_PIPELINE_DEPTHS` — comma-separated depths for the
+//!   `service-mixed` pipelining sweep (default `1,8,32`).
+
+use std::sync::Arc;
+
+use harness::{env_name_filter, name_passes, Config};
+use mapapi::ConcurrentMap;
+use server::{Server, ServiceMap};
+use workload::{
+    all_scenarios, run_scenario, run_scenario_batched, LatencyHistogram, Meta, Row, RunParams,
+    Scenario,
+};
+
+/// Scenarios served by default when `PATHCAS_SCENARIOS` is unset: the
+/// read-mostly YCSB point workload, the range-scan regime, and the
+/// pipelining stressor.
+const DEFAULT_SCENARIOS: [&str; 3] = ["ycsb-b", "scan-heavy", "service-mixed"];
+
+/// One (scenario, threads, depth) measurement over a fresh server+pool.
+/// `depth` 0 means point mode (plain `run_scenario`); >= 1 is batched mode.
+fn run_service_trial(
+    algo: &str,
+    sc: &Scenario,
+    params: &RunParams,
+    depth: usize,
+) -> workload::Outcome {
+    let map = harness::try_make(algo).expect("algo name was validated at startup");
+    let map: Arc<dyn ConcurrentMap> = Arc::from(map);
+    let server = Server::start(map, "127.0.0.1:0").expect("binding a loopback port");
+    let svc = ServiceMap::connect(server.local_addr(), params.threads, algo)
+        .expect("connecting the loopback pool");
+    let out = if depth == 0 {
+        run_scenario(&svc, sc, params)
+    } else {
+        run_scenario_batched(&svc, &svc, sc, params, depth)
+    };
+    if sc.mix.scan > 0 {
+        // Quiescent wire audit: chunked SCAN walk vs the STATS verb.
+        mapapi::suites::check_scan_matches_stats(&svc, &out.final_stats);
+    }
+    drop(svc);
+    server.shutdown();
+    out
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let algo = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("PATHCAS_SERVICE_ALGO").ok())
+        .unwrap_or_else(|| "shard8(int-avl-pathcas)".to_string());
+    // Validate the name once, up front, with the registry's error message
+    // (lists every valid name) instead of a panic mid-run.
+    if let Err(e) = harness::try_make(&algo) {
+        eprintln!("bench_service: {e}");
+        std::process::exit(2);
+    }
+    let key_range = cfg.scaled_keyrange(1_000_000);
+    let warmup = cfg.duration / 5;
+
+    let scenario_filter = env_name_filter("PATHCAS_SCENARIOS");
+    let scenarios: Vec<Scenario> = all_scenarios()
+        .into_iter()
+        .filter(|s| match &scenario_filter {
+            Some(_) => name_passes(&scenario_filter, s.name),
+            None => DEFAULT_SCENARIOS.contains(&s.name),
+        })
+        .collect();
+    assert!(!scenarios.is_empty(), "PATHCAS_SCENARIOS matched nothing");
+    let depths: Vec<usize> = std::env::var("PATHCAS_PIPELINE_DEPTHS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&d| d >= 1).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 8, 32]);
+
+    println!("# service mode: {algo} over loopback TCP");
+    println!(
+        "key range {key_range}, {} trial(s) x {:?} (+{:?} warmup), seed {:#x}, \
+         pipeline depths {depths:?}\n",
+        cfg.trials, cfg.duration, warmup, cfg.seed
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for sc in &scenarios {
+        println!("## {} — {}", sc.name, sc.summary);
+        println!("| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 |");
+        println!("|---|---|---|---|---|---|---|---|---|");
+        // Point mode always; the pipelining sweep only where it's the
+        // point of the scenario (and transfers can't batch at all).
+        let mut modes: Vec<(usize, String)> = vec![(0, format!("svc({algo})"))];
+        if sc.name == "service-mixed" {
+            modes.extend(depths.iter().map(|&d| (d, format!("svc({algo})@d{d}"))));
+        }
+        for (depth, label) in &modes {
+            for &threads in &cfg.threads {
+                let mut hist = LatencyHistogram::new();
+                let mut scan_hist = LatencyHistogram::new();
+                let mut total_ops = 0u64;
+                let mut mops_sum = 0.0f64;
+                for trial in 0..cfg.trials.max(1) {
+                    let params = RunParams {
+                        threads,
+                        key_range,
+                        prefill: key_range / 2,
+                        warmup,
+                        duration: cfg.duration,
+                        seed: cfg.seed ^ ((trial as u64) << 40),
+                    };
+                    let out = run_service_trial(&algo, sc, &params, *depth);
+                    hist.merge(&out.hist);
+                    scan_hist.merge(&out.scan_hist);
+                    total_ops += out.total_ops;
+                    mops_sum += out.mops();
+                }
+                let p = hist.percentiles();
+                let sp = scan_hist.percentiles();
+                let mops = mops_sum / cfg.trials.max(1) as f64;
+                println!(
+                    "| {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |",
+                    label,
+                    threads,
+                    mops,
+                    workload::report::fmt_ns(p.p50),
+                    workload::report::fmt_ns(p.p90),
+                    workload::report::fmt_ns(p.p99),
+                    workload::report::fmt_ns(p.p999),
+                    workload::report::fmt_ns(sp.p50),
+                    workload::report::fmt_ns(sp.p99),
+                );
+                rows.push(Row {
+                    scenario: sc.name.to_string(),
+                    structure: label.clone(),
+                    threads,
+                    mops,
+                    total_ops,
+                    mean_ns: hist.mean(),
+                    percentiles: p,
+                    max_ns: hist.max(),
+                    saturated: hist.saturated_count(),
+                    scan_ops: scan_hist.count(),
+                    scan_percentiles: sp,
+                });
+            }
+        }
+        println!();
+    }
+
+    let meta = Meta {
+        duration_ms: cfg.duration.as_millis() as u64,
+        warmup_ms: warmup.as_millis() as u64,
+        trials: cfg.trials,
+        key_range,
+        seed: cfg.seed,
+    };
+    let json_path = std::env::var("PATHCAS_SERVICE_JSON")
+        .unwrap_or_else(|_| "BENCH_service.json".to_string());
+    let csv_path =
+        std::env::var("PATHCAS_SERVICE_CSV").unwrap_or_else(|_| "BENCH_service.csv".to_string());
+    std::fs::write(&json_path, workload::to_json(&meta, &rows)).expect("writing bench JSON");
+    std::fs::write(&csv_path, workload::to_csv(&rows)).expect("writing bench CSV");
+    println!("wrote {json_path} and {csv_path} ({} rows); all servers shut down cleanly", rows.len());
+}

@@ -11,9 +11,15 @@
 //!
 //! Knobs: the usual `PATHCAS_THREADS`, `PATHCAS_DURATION_MS`,
 //! `PATHCAS_TRIALS`, `PATHCAS_KEYRANGE_SCALE`, `PATHCAS_SEED`, plus
-//! `PATHCAS_SCENARIOS` / `PATHCAS_ALGOS` (comma-separated name filters;
-//! default: everything) and `PATHCAS_SCAN_LEN` (`"16"` or `"8:64"`; rewrites
-//! the `scan-heavy` scenario's scan-length distribution).
+//! `PATHCAS_SCENARIOS` / `PATHCAS_ALGOS` (comma-separated **substring**
+//! filters — `PATHCAS_SCENARIOS=ycsb` keeps all six YCSB scenarios,
+//! `PATHCAS_ALGOS=shard` keeps every sharded variant; prefix a token with
+//! `=` for an exact match, e.g. `=int-avl-pathcas` selects the unsharded
+//! tree without its `shard8(...)` wrapper; default: everything) and
+//! `PATHCAS_SCAN_LEN` (`"16"` or `"8:64"`; rewrites the `scan-heavy`
+//! scenario's scan-length distribution).  CI uses the scenario filter to
+//! smoke a representative subset instead of the full
+//! scenario × structure × threads cube.
 //!
 //! Scenarios with a scan component run the structures' **native validated
 //! range scans** and report the scan-only latency percentiles in their own
@@ -27,16 +33,8 @@
 //! through `mapapi::get` + a 2-word `kcas::execute` must neither create nor
 //! destroy balance.
 
-use harness::{registry, Config};
+use harness::{env_name_filter, name_passes, registry, Config};
 use workload::{all_scenarios, run_scenario, LatencyHistogram, Meta, Row, RunParams, ScanLen};
-
-/// Comma-separated name filter from the environment; `None` = keep all.
-fn name_filter(var: &str) -> Option<Vec<String>> {
-    std::env::var(var)
-        .ok()
-        .map(|s| s.split(',').map(|t| t.trim().to_string()).filter(|t| !t.is_empty()).collect())
-        .filter(|v: &Vec<String>| !v.is_empty())
-}
 
 fn main() {
     let cfg = Config::from_env();
@@ -45,8 +43,8 @@ fn main() {
     let key_range = cfg.scaled_keyrange(1_000_000);
     let warmup = cfg.duration / 5;
 
-    let scenario_filter = name_filter("PATHCAS_SCENARIOS");
-    let algo_filter = name_filter("PATHCAS_ALGOS");
+    let scenario_filter = env_name_filter("PATHCAS_SCENARIOS");
+    let algo_filter = env_name_filter("PATHCAS_ALGOS");
     let scan_len_override = std::env::var("PATHCAS_SCAN_LEN").ok().map(|s| {
         ScanLen::parse(&s).unwrap_or_else(|| panic!("PATHCAS_SCAN_LEN: cannot parse '{s}'"))
     });
@@ -58,12 +56,10 @@ fn main() {
             Some(sl) if s.name == "scan-heavy" => s.with_scan_len(sl),
             _ => s,
         })
-        .filter(|s| scenario_filter.as_ref().is_none_or(|f| f.iter().any(|n| n == s.name)))
+        .filter(|s| name_passes(&scenario_filter, s.name))
         .collect();
-    let algos: Vec<_> = registry()
-        .into_iter()
-        .filter(|f| algo_filter.as_ref().is_none_or(|fl| fl.iter().any(|n| n == f.name)))
-        .collect();
+    let algos: Vec<_> =
+        registry().into_iter().filter(|f| name_passes(&algo_filter, f.name)).collect();
     assert!(!scenarios.is_empty(), "PATHCAS_SCENARIOS matched nothing");
     assert!(!algos.is_empty(), "PATHCAS_ALGOS matched nothing");
 

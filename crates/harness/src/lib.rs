@@ -17,7 +17,7 @@ pub mod alloc_count;
 pub mod registry;
 pub mod runner;
 
-pub use registry::{make, registry, AlgoFactory};
+pub use registry::{make, registry, try_make, AlgoFactory, MAX_SHARDS};
 pub use runner::{run_trial, run_trials, Summary, TrialResult, Workload};
 
 use std::time::Duration;
@@ -84,6 +84,32 @@ impl Config {
     }
 }
 
+/// Read a comma-separated name filter from environment variable `var`:
+/// `None` means "keep everything", otherwise keep items whose name
+/// *contains* any of the listed substrings.  A token prefixed with `=`
+/// demands an **exact** match instead — needed because registered names
+/// nest (`int-avl-pathcas` is a substring of `shard8(int-avl-pathcas)`,
+/// so only `=int-avl-pathcas` selects the unsharded tree alone).  Shared
+/// by `bench_workloads` and `bench_service` for the `PATHCAS_SCENARIOS` /
+/// `PATHCAS_ALGOS` knobs.
+pub fn env_name_filter(var: &str) -> Option<Vec<String>> {
+    std::env::var(var)
+        .ok()
+        .map(|s| s.split(',').map(|t| t.trim().to_string()).filter(|t| !t.is_empty()).collect())
+        .filter(|v: &Vec<String>| !v.is_empty())
+}
+
+/// Apply an [`env_name_filter`] result to a name (see its docs for the
+/// substring / `=`-exact token grammar).
+pub fn name_passes(filter: &Option<Vec<String>>, name: &str) -> bool {
+    filter.as_ref().is_none_or(|f| {
+        f.iter().any(|t| match t.strip_prefix('=') {
+            Some(exact) => name == exact,
+            None => name.contains(t.as_str()),
+        })
+    })
+}
+
 /// Print a Markdown-style table: one row per algorithm, one column per thread
 /// count, entries in millions of operations per second.
 pub fn print_throughput_table(
@@ -121,6 +147,20 @@ mod tests {
         assert!(!c.threads.is_empty());
         assert!(c.trials >= 1);
         assert!(c.scaled_keyrange(20_000_000) >= 1024);
+    }
+
+    #[test]
+    fn name_filters_support_substrings_and_exact_anchors() {
+        assert!(name_passes(&None, "anything"));
+        let f = Some(vec!["ycsb".to_string(), "=int-avl-pathcas".to_string()]);
+        assert!(name_passes(&f, "ycsb-a"));
+        assert!(name_passes(&f, "int-avl-pathcas"));
+        // The exact anchor must NOT leak into sharded names...
+        assert!(!name_passes(&f, "shard8(int-avl-pathcas)"));
+        // ...while a plain substring token does match them.
+        let sub = Some(vec!["int-avl-pathcas".to_string()]);
+        assert!(name_passes(&sub, "shard8(int-avl-pathcas)"));
+        assert!(!name_passes(&f, "scan-heavy"));
     }
 
     #[test]

@@ -27,6 +27,28 @@ pub type Value = u64;
 /// sentinel nodes).
 pub const MAX_KEY: Key = (1 << 62) - 2;
 
+/// Intern a dynamically built structure name into a `&'static str`.
+///
+/// [`ConcurrentMap::name`] returns `&'static str` so benchmark rows can be
+/// labeled without lifetime plumbing, but composed structures (a sharded map
+/// over an inner algorithm, a service client pool over a remote structure)
+/// only know their full name at construction time.  Interning leaks each
+/// *distinct* name exactly once — building ten thousand `shard8(...)`
+/// instances retains one copy of the string, so repeated benchmark trials
+/// do not accumulate leaks.
+pub fn intern_name(name: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL.get_or_init(Default::default).lock().unwrap();
+    if let Some(&interned) = pool.get(name.as_str()) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
 /// Structural statistics gathered by a quiescent (single-threaded) traversal.
 /// These feed the Figure 5 "detailed analysis" table.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -285,6 +307,17 @@ mod tests {
     #[test]
     fn avg_depth_handles_empty() {
         assert_eq!(MapStats::default().avg_key_depth(), 0.0);
+    }
+
+    #[test]
+    fn interned_names_are_deduplicated() {
+        let a = intern_name("shard2(test-intern)".to_string());
+        let b = intern_name("shard2(test-intern)".to_string());
+        assert_eq!(a, "shard2(test-intern)");
+        // Same allocation, not just equal contents.
+        assert!(std::ptr::eq(a, b));
+        let c = intern_name("shard3(test-intern)".to_string());
+        assert_ne!(a, c);
     }
 
     #[test]

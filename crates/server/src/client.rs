@@ -1,0 +1,218 @@
+//! The loopback client: a pipelined [`Connection`], and the [`ServiceMap`]
+//! pool that makes a remote structure drivable by everything written
+//! against [`ConcurrentMap`] — the correctness suites, the workload
+//! executor, the quiescent scan audits.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Mutex, MutexGuard};
+
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+use workload::{BatchApply, Op};
+
+use crate::proto::{self, Request, Response};
+
+/// One client connection: a buffered request writer and response reader
+/// over a `TcpStream`, supporting single requests and pipelined batches.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    scratch: Vec<u8>,
+}
+
+impl Connection {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            scratch: Vec::new(),
+        })
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        if !proto::read_frame(&mut self.reader, &mut self.scratch)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-pipeline",
+            ));
+        }
+        proto::decode_response(&self.scratch)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let mut buf = Vec::new();
+        proto::encode_request(req, &mut buf);
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Send `reqs` as one pipelined burst — every frame written, **one**
+    /// flush — then read the `reqs.len()` responses, which the protocol
+    /// guarantees arrive in request order.  This is the client half of the
+    /// server's batched-response path.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let mut buf = Vec::new();
+        for req in reqs {
+            proto::encode_request(req, &mut buf);
+        }
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        (0..reqs.len()).map(|_| self.read_response()).collect()
+    }
+}
+
+/// Translate a workload op into its wire request.  `Op::Rmw` maps to the
+/// canonical increment (δ = 1), matching [`workload::apply`]'s in-process
+/// semantics; `Op::Transfer` has no wire form (the batched executor rejects
+/// bank scenarios before it could reach us).
+fn to_request(op: &Op) -> Request {
+    match *op {
+        Op::Read(k) => Request::Get(k),
+        // The executor inserts key-as-value, like everywhere else in the
+        // workspace.
+        Op::Insert(k) => Request::Put(k, k),
+        Op::Remove(k) => Request::Del(k),
+        Op::Rmw(k) => Request::Rmw(k, 1),
+        Op::Scan(k, len) => Request::Scan(k, len.min(u32::MAX as u64) as u32),
+        Op::Transfer { .. } => unreachable!("transfers cannot cross the wire"),
+    }
+}
+
+/// Same success notion as [`workload::apply`], read off the response.
+fn succeeded(resp: &Response) -> bool {
+    match resp {
+        Response::Get(v) => v.is_some(),
+        Response::Put(ok) | Response::Del(ok) | Response::Rmw(ok) => *ok,
+        Response::Scan(pairs) => !pairs.is_empty(),
+        Response::Stats(_) => true,
+        Response::Err(_) => false,
+    }
+}
+
+/// A pool of loopback connections exposing a **remote** structure through
+/// the [`ConcurrentMap`] trait, so every existing scenario, suite and audit
+/// runs over the socket path unchanged.
+///
+/// Each calling thread is hashed onto a pool slot (falling through to the
+/// first free slot under collision), so with `pool_size >= worker threads`
+/// the workload executor's workers effectively own a connection each — the
+/// same discipline a real service client would use.
+///
+/// Semantics over the wire:
+///
+/// * point ops and scans are exactly the remote structure's (one request,
+///   one response — the server executes them on the inner map);
+/// * `rmw` ships **δ = `update(Some(0))`** and the server applies the
+///   canonical affine update atomically.  Affine updates (`v ↦ v + δ`,
+///   which is every RMW the workload engine issues) behave identically to
+///   in-process `rmw`; arbitrary closures cannot cross a wire — see
+///   DESIGN.md §8;
+/// * `stats` is the wire `STATS` verb: quiescent-only, like the trait says.
+///
+/// I/O failures panic: the suites and executor have no error channel, and
+/// a dead loopback server *should* fail the run loudly.
+pub struct ServiceMap {
+    name: &'static str,
+    pool: Vec<Mutex<Connection>>,
+}
+
+impl ServiceMap {
+    /// Open `pool_size` connections to `addr`.  `label` names the served
+    /// structure in benchmark rows: the map reports `svc(label)`.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy,
+        pool_size: usize,
+        label: &str,
+    ) -> io::Result<ServiceMap> {
+        assert!(pool_size >= 1, "ServiceMap needs at least one connection");
+        let pool = (0..pool_size)
+            .map(|_| Connection::connect(addr).map(Mutex::new))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ServiceMap { name: mapapi::intern_name(format!("svc({label})")), pool })
+    }
+
+    /// Lock a connection for the calling thread: its hashed home slot if
+    /// free, else the first free slot, else block on the home slot.
+    fn conn(&self) -> MutexGuard<'_, Connection> {
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        let home = (h.finish() % self.pool.len() as u64) as usize;
+        for i in 0..self.pool.len() {
+            if let Ok(g) = self.pool[(home + i) % self.pool.len()].try_lock() {
+                return g;
+            }
+        }
+        self.pool[home].lock().unwrap()
+    }
+
+    fn roundtrip(&self, req: Request) -> Response {
+        self.conn().request(&req).expect("service connection failed")
+    }
+
+    /// Pipeline a pre-encoded request batch on this thread's connection.
+    pub fn pipeline(&self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        self.conn().pipeline(reqs)
+    }
+}
+
+impl ConcurrentMap for ServiceMap {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn insert(&self, key: Key, value: Value) -> bool {
+        matches!(self.roundtrip(Request::Put(key, value)), Response::Put(true))
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        matches!(self.roundtrip(Request::Del(key)), Response::Del(true))
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        match self.roundtrip(Request::Get(key)) {
+            Response::Get(v) => v,
+            other => panic!("GET answered with {other:?}"),
+        }
+    }
+
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        // Derive the affine delta by probing the closure at zero (see the
+        // struct docs); the server applies it atomically.
+        let delta = update(Some(0));
+        matches!(self.roundtrip(Request::Rmw(key, delta)), Response::Rmw(true))
+    }
+
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        match self.roundtrip(Request::Scan(start, len.min(u32::MAX as usize) as u32)) {
+            Response::Scan(pairs) => pairs,
+            other => panic!("SCAN answered with {other:?}"),
+        }
+    }
+
+    fn stats(&self) -> MapStats {
+        match self.roundtrip(Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("STATS answered with {other:?}"),
+        }
+    }
+}
+
+impl BatchApply for ServiceMap {
+    fn apply_batch(&self, ops: &[Op]) -> u64 {
+        let reqs: Vec<Request> = ops.iter().map(to_request).collect();
+        let resps = self.pipeline(&reqs).expect("service connection failed");
+        resps.iter().map(|r| succeeded(r) as u64).sum()
+    }
+}

@@ -1,0 +1,35 @@
+//! # server — the pipelined KV service front-end
+//!
+//! Serves any [`mapapi::ConcurrentMap`] — in practice a registry structure
+//! or a `shard::ShardedMap` composition — over TCP with a small
+//! length-prefixed binary protocol (GET/PUT/DEL/RMW/SCAN/STATS), using
+//! nothing beyond `std::net`.  Three pieces:
+//!
+//! * [`proto`] — frame layout, opcodes, and the encode/decode pairs (the
+//!   tables live in the module docs);
+//! * [`Server`] — threaded acceptor + one handler per connection, with
+//!   **per-connection request pipelining and batched responses**: a burst
+//!   of N requests is answered with one batched write, so syscalls are
+//!   paid per burst;
+//! * [`Connection`] / [`ServiceMap`] — the loopback client side: a single
+//!   pipelined connection, and a connection *pool* implementing
+//!   [`mapapi::ConcurrentMap`] + [`workload::BatchApply`], which is the
+//!   workload engine's **service mode** — every existing scenario (YCSB
+//!   A–F, `txn-transfer`, `scan-heavy`, `contended-hot-set`) runs over the
+//!   socket path with the same latency histograms, and
+//!   `workload::run_scenario_batched` sweeps pipelining depth.
+//!
+//! The harness binary `bench_service` wires this to the registry
+//! (`harness::try_make`, including `shardN(inner)` names) and emits the
+//! same `BENCH_*.json`/CSV percentile schema as `bench_workloads`.  See
+//! DESIGN.md §8 for the framing and batching rationale.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+mod srv;
+
+pub use client::{Connection, ServiceMap};
+pub use proto::{Request, Response, MAX_FRAME, MAX_SCAN_LEN};
+pub use srv::Server;

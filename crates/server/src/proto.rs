@@ -1,0 +1,409 @@
+//! The wire protocol: small length-prefixed binary frames, no external
+//! serialization crates.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The first payload byte is the opcode (requests) or status tag
+//! (responses); all integers are little-endian, fixed width.  Request
+//! payloads:
+//!
+//! | op      | code | payload after the opcode                    |
+//! |---------|------|---------------------------------------------|
+//! | `GET`   | 1    | `key: u64`                                  |
+//! | `PUT`   | 2    | `key: u64, value: u64`                      |
+//! | `DEL`   | 3    | `key: u64`                                  |
+//! | `RMW`   | 4    | `key: u64, delta: u64`                      |
+//! | `SCAN`  | 5    | `start: u64, len: u32`                      |
+//! | `STATS` | 6    | —                                           |
+//!
+//! Responses reuse the request's code as their tag (so a pipelined client
+//! can sanity-check ordering) with tag `0` reserved for protocol errors:
+//!
+//! | resp    | tag  | payload after the tag                                    |
+//! |---------|------|----------------------------------------------------------|
+//! | `Err`   | 0    | `msg: [u8]` (UTF-8, rest of frame)                       |
+//! | `GET`   | 1    | `found: u8, value: u64`                                  |
+//! | `PUT`   | 2    | `inserted: u8`                                           |
+//! | `DEL`   | 3    | `removed: u8`                                            |
+//! | `RMW`   | 4    | `was_present: u8`                                        |
+//! | `SCAN`  | 5    | `count: u32`, then `count × (key: u64, value: u64)`      |
+//! | `STATS` | 6    | `key_count: u64, key_sum: u128, node_count: u64, key_depth_sum: u64, approx_bytes: u64` |
+//!
+//! `RMW` is deliberately a **verb with a delta**, not a shipped closure:
+//! the server applies the workspace's canonical affine update
+//! (`absent ↦ δ, present v ↦ (v + δ) & MAX_KEY` — the same shape as the
+//! workload engine's in-process increment, mask included) atomically through
+//! [`mapapi::ConcurrentMap::rmw`] — the same shape Redis `INCRBY` or a
+//! Memcached `incr` exposes.  See DESIGN.md §8 for why arbitrary RMW
+//! closures cannot cross a wire.
+
+use std::io::{self, BufRead, Write};
+
+use mapapi::{Key, MapStats, Value};
+
+/// Hard ceiling on a frame's payload size; anything larger is a protocol
+/// error (protects the server from a garbage length prefix committing it to
+/// a multi-gigabyte read).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Largest scan length the server accepts: the biggest window whose
+/// response frame (tag + count + 16 bytes per pair) is guaranteed to fit
+/// under [`MAX_FRAME`].  Larger walks must chunk — exactly what the
+/// quiescent audit (`mapapi::suites::check_scan_matches_stats`, 4096 keys
+/// per scan) already does.  A `SCAN` beyond this answers with a semantic
+/// `Err` response, not a torn connection.
+pub const MAX_SCAN_LEN: usize = (MAX_FRAME - 8) / 16;
+
+/// One client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get(Key),
+    /// Insert-if-absent.
+    Put(Key, Value),
+    /// Delete.
+    Del(Key),
+    /// Server-side atomic affine read-modify-write by `delta`.
+    Rmw(Key, u64),
+    /// Ordered range scan: first `len` pairs with key ≥ `start`.
+    Scan(Key, u32),
+    /// Quiescent structural statistics of the served structure.
+    Stats,
+}
+
+/// One server response (same order as the request stream of a connection).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Value for a `Get`, if the key was present.
+    Get(Option<Value>),
+    /// Whether a `Put` inserted.
+    Put(bool),
+    /// Whether a `Del` removed.
+    Del(bool),
+    /// Whether the `Rmw` key was present before the update.
+    Rmw(bool),
+    /// The scanned window, ascending by key.
+    Scan(Vec<(Key, Value)>),
+    /// The structure's statistics.
+    Stats(MapStats),
+    /// Protocol-level error; the server closes the connection after it.
+    Err(String),
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!("truncated frame: wanted {n} bytes at offset {}", self.pos));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes in frame", self.buf.len() - self.pos))
+        }
+    }
+}
+
+/// Append `req` to `buf` as one complete frame (length prefix included).
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    let at = buf.len();
+    put_u32(buf, 0); // length back-patched below
+    match *req {
+        Request::Get(k) => {
+            buf.push(1);
+            put_u64(buf, k);
+        }
+        Request::Put(k, v) => {
+            buf.push(2);
+            put_u64(buf, k);
+            put_u64(buf, v);
+        }
+        Request::Del(k) => {
+            buf.push(3);
+            put_u64(buf, k);
+        }
+        Request::Rmw(k, d) => {
+            buf.push(4);
+            put_u64(buf, k);
+            put_u64(buf, d);
+        }
+        Request::Scan(start, len) => {
+            buf.push(5);
+            put_u64(buf, start);
+            put_u32(buf, len);
+        }
+        Request::Stats => buf.push(6),
+    }
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Decode one request payload (the frame body, length prefix stripped).
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        1 => Request::Get(c.u64()?),
+        2 => Request::Put(c.u64()?, c.u64()?),
+        3 => Request::Del(c.u64()?),
+        4 => Request::Rmw(c.u64()?, c.u64()?),
+        5 => Request::Scan(c.u64()?, c.u32()?),
+        6 => Request::Stats,
+        op => return Err(format!("unknown request opcode {op}")),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Append `resp` to `buf` as one complete frame (length prefix included).
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    let at = buf.len();
+    put_u32(buf, 0);
+    match resp {
+        Response::Err(msg) => {
+            buf.push(0);
+            buf.extend_from_slice(msg.as_bytes());
+        }
+        Response::Get(v) => {
+            buf.push(1);
+            buf.push(v.is_some() as u8);
+            put_u64(buf, v.unwrap_or(0));
+        }
+        Response::Put(ok) => {
+            buf.push(2);
+            buf.push(*ok as u8);
+        }
+        Response::Del(ok) => {
+            buf.push(3);
+            buf.push(*ok as u8);
+        }
+        Response::Rmw(present) => {
+            buf.push(4);
+            buf.push(*present as u8);
+        }
+        Response::Scan(pairs) => {
+            buf.push(5);
+            put_u32(buf, pairs.len() as u32);
+            for &(k, v) in pairs {
+                put_u64(buf, k);
+                put_u64(buf, v);
+            }
+        }
+        Response::Stats(s) => {
+            buf.push(6);
+            put_u64(buf, s.key_count);
+            buf.extend_from_slice(&s.key_sum.to_le_bytes());
+            put_u64(buf, s.node_count);
+            put_u64(buf, s.key_depth_sum);
+            put_u64(buf, s.approx_bytes);
+        }
+    }
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Decode one response payload (the frame body, length prefix stripped).
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8()? {
+        0 => {
+            let rest = c.take(payload.len() - 1)?;
+            Response::Err(String::from_utf8_lossy(rest).into_owned())
+        }
+        1 => {
+            let found = c.u8()? != 0;
+            let v = c.u64()?;
+            Response::Get(found.then_some(v))
+        }
+        2 => Response::Put(c.u8()? != 0),
+        3 => Response::Del(c.u8()? != 0),
+        4 => Response::Rmw(c.u8()? != 0),
+        5 => {
+            let n = c.u32()? as usize;
+            let mut pairs = Vec::with_capacity(n.min(MAX_FRAME / 16));
+            for _ in 0..n {
+                pairs.push((c.u64()?, c.u64()?));
+            }
+            Response::Scan(pairs)
+        }
+        6 => Response::Stats(MapStats {
+            key_count: c.u64()?,
+            key_sum: c.u128()?,
+            node_count: c.u64()?,
+            key_depth_sum: c.u64()?,
+            approx_bytes: c.u64()?,
+        }),
+        tag => return Err(format!("unknown response tag {tag}")),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+/// Read one frame's payload into `payload` (cleared first).  Returns
+/// `Ok(false)` on clean EOF at a frame boundary; propagates any other I/O
+/// error (including mid-frame EOF, surfaced as `UnexpectedEof`).
+pub fn read_frame<R: BufRead>(r: &mut R, payload: &mut Vec<u8>) -> io::Result<bool> {
+    let mut prefix = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a torn prefix.
+    match r.read(&mut prefix[..1])? {
+        0 => return Ok(false),
+        _ => r.read_exact(&mut prefix[1..])?,
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(true)
+}
+
+/// Write raw pre-encoded frames.
+pub fn write_frames<W: Write>(w: &mut W, frames: &[u8]) -> io::Result<()> {
+    w.write_all(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, buf.len() - 4, "length prefix must cover the payload");
+        assert_eq!(decode_request(&buf[4..]), Ok(req));
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, buf.len() - 4);
+        assert_eq!(decode_response(&buf[4..]), Ok(resp));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Get(42));
+        roundtrip_req(Request::Put(1, u64::MAX));
+        roundtrip_req(Request::Del(mapapi::MAX_KEY));
+        roundtrip_req(Request::Rmw(7, 123));
+        roundtrip_req(Request::Scan(10, 4096));
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Get(None));
+        roundtrip_resp(Response::Get(Some(99)));
+        roundtrip_resp(Response::Put(true));
+        roundtrip_resp(Response::Del(false));
+        roundtrip_resp(Response::Rmw(true));
+        roundtrip_resp(Response::Scan(vec![]));
+        roundtrip_resp(Response::Scan(vec![(1, 2), (3, 4), (u64::MAX, 0)]));
+        roundtrip_resp(Response::Stats(MapStats {
+            key_count: 5,
+            key_sum: u128::MAX / 3,
+            node_count: 9,
+            key_depth_sum: 20,
+            approx_bytes: 1000,
+        }));
+        roundtrip_resp(Response::Err("bad opcode".into()));
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_misparsed() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99, 0, 0]).is_err());
+        // Truncated GET.
+        assert!(decode_request(&[1, 1, 2]).is_err());
+        // Trailing bytes.
+        let mut buf = Vec::new();
+        encode_request(&Request::Stats, &mut buf);
+        let mut payload = buf[4..].to_vec();
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        assert!(decode_response(&[77]).is_err());
+    }
+
+    #[test]
+    fn read_frame_handles_eof_and_oversize() {
+        use std::io::BufReader;
+        let mut payload = Vec::new();
+        // Clean EOF.
+        let mut r = BufReader::new(&[][..]);
+        assert!(!read_frame(&mut r, &mut payload).unwrap());
+        // A full frame followed by clean EOF.
+        let mut buf = Vec::new();
+        encode_request(&Request::Get(5), &mut buf);
+        let mut r = BufReader::new(&buf[..]);
+        assert!(read_frame(&mut r, &mut payload).unwrap());
+        assert_eq!(decode_request(&payload), Ok(Request::Get(5)));
+        assert!(!read_frame(&mut r, &mut payload).unwrap());
+        // Torn prefix is an error, not a silent EOF.
+        let mut r = BufReader::new(&buf[..2]);
+        assert!(read_frame(&mut r, &mut payload).is_err());
+        // Oversized length prefix is rejected before allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = BufReader::new(&huge[..]);
+        assert!(read_frame(&mut r, &mut payload).is_err());
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        use std::io::BufReader;
+        let reqs =
+            [Request::Get(1), Request::Put(2, 20), Request::Scan(1, 8), Request::Stats];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut buf);
+        }
+        let mut r = BufReader::new(&buf[..]);
+        let mut payload = Vec::new();
+        for want in &reqs {
+            assert!(read_frame(&mut r, &mut payload).unwrap());
+            assert_eq!(decode_request(&payload).as_ref(), Ok(want));
+        }
+        assert!(!read_frame(&mut r, &mut payload).unwrap());
+    }
+}

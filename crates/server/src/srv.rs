@@ -1,0 +1,177 @@
+//! The threaded TCP server: one acceptor thread, one handler thread per
+//! connection, responses batched per pipeline burst.
+//!
+//! A handler decodes and executes requests one at a time but only flushes
+//! its write buffer when the read side has drained — so a client that
+//! pipelines N requests gets its N responses written as one batch, which is
+//! where the service throughput comes from (syscalls and wakeups are paid
+//! per *burst*, not per op).  The structure itself needs no extra locking:
+//! it is a [`ConcurrentMap`], so handler threads hit it concurrently
+//! exactly like in-process worker threads do.
+//!
+//! Handlers block in plain reads with **no read timeout** — a frame split
+//! across TCP segments can take as long as it takes.  [`Server::shutdown`]
+//! unblocks them by shutting the sockets down: blocked reads return
+//! EOF/reset, every thread exits, and `shutdown` returns only after the
+//! last join.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mapapi::ConcurrentMap;
+
+use crate::proto::{self, Request, Response, MAX_SCAN_LEN};
+
+/// One live connection as the server tracks it: the handler thread plus a
+/// socket clone used to unblock its reads at shutdown.
+type ConnHandle = (JoinHandle<()>, TcpStream);
+
+/// A running KV service bound to a local address.
+///
+/// Dropping the handle **without** calling [`Server::shutdown`] detaches the
+/// threads (they keep serving until the process exits); the benches and
+/// tests always shut down explicitly so a clean exit is observable.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    // Grows by one entry per accepted connection until shutdown joins and
+    // drains it — fine for the bench/test servers this crate targets
+    // (bounded connection counts, explicit shutdown); a long-lived deploy
+    // would reap finished handlers here.
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `map`.  Returns once the listener is accepting.
+    pub fn start(map: Arc<dyn ConcurrentMap>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<ConnHandle>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // The clone shares the socket: shutdown() uses it to
+                    // unblock the handler's blocking reads.
+                    let Ok(peer) = stream.try_clone() else { continue };
+                    let map = Arc::clone(&map);
+                    let handle = std::thread::spawn(move || {
+                        let sock = stream.try_clone().ok();
+                        // Protocol errors and broken pipes just end this
+                        // connection; they must not take the server down.
+                        let _ = handle_conn(&*map, stream);
+                        // The clone parked in `conns` keeps the fd alive
+                        // after this thread drops its handles, so shut the
+                        // socket down explicitly — the peer must see EOF
+                        // when its connection is done, not when the whole
+                        // server shuts down.
+                        if let Some(sock) = sock {
+                            let _ = sock.shutdown(Shutdown::Both);
+                        }
+                    });
+                    conns.lock().unwrap().push((handle, peer));
+                }
+            })
+        };
+
+        Ok(Server { local_addr, shutdown, acceptor: Some(acceptor), conns })
+    }
+
+    /// The bound address (with the actual port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, unblock every handler, and join all threads.
+    /// Returns when the last connection thread has exited — the "clean
+    /// shutdown" the CI smoke step asserts via the process exit code.
+    /// Clients still connected see EOF (or a reset mid-request).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking `incoming()`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (handle, stream) in handles {
+            // Blocked reads in the handler return EOF/reset immediately.
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Execute one decoded request against the map.
+fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
+    match req {
+        Request::Get(k) => Response::Get(map.get(k)),
+        Request::Put(k, v) => Response::Put(map.insert(k, v)),
+        Request::Del(k) => Response::Del(map.remove(k)),
+        // The canonical affine RMW (see the proto docs), shaped exactly
+        // like `workload::apply`'s in-process increment (`map_or(δ, (v+δ)
+        // & MAX_KEY)`); atomic on the PathCAS structures because their
+        // `rmw` override is.
+        Request::Rmw(k, delta) => Response::Rmw(
+            map.rmw(k, &mut |v| v.map_or(delta, |x| x.wrapping_add(delta) & mapapi::MAX_KEY)),
+        ),
+        // A scan longer than MAX_SCAN_LEN would encode to a response frame
+        // the protocol itself declares illegal (> MAX_FRAME), so it is
+        // refused up front: callers chunk large walks (like the quiescent
+        // audit does) instead of receiving a silently truncated window.
+        Request::Scan(_, len) if len as usize > MAX_SCAN_LEN => Response::Err(format!(
+            "scan len {len} exceeds MAX_SCAN_LEN ({MAX_SCAN_LEN}); chunk the scan"
+        )),
+        Request::Scan(start, len) => Response::Scan(map.scan(start, len as usize)),
+        Request::Stats => Response::Stats(map.stats()),
+    }
+}
+
+/// Serve one connection until EOF, shutdown (surfaced as EOF/reset on the
+/// socket), or a framing error.
+fn handle_conn(map: &dyn ConcurrentMap, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+
+    while proto::read_frame(&mut reader, &mut payload)? {
+        let resp = match proto::decode_request(&payload) {
+            Ok(req) => execute(map, req),
+            Err(msg) => {
+                // Respond with the error, flush, and close: after a framing
+                // error the stream offset can no longer be trusted.  (A
+                // *semantic* error like an oversized scan keeps the
+                // connection — framing stays intact.)
+                out.clear();
+                proto::encode_response(&Response::Err(msg), &mut out);
+                writer.write_all(&out)?;
+                writer.flush()?;
+                return Ok(());
+            }
+        };
+        out.clear();
+        proto::encode_response(&resp, &mut out);
+        writer.write_all(&out)?;
+        // Batched responses: flush only when the pipeline has drained —
+        // while more requests sit in the read buffer, their responses
+        // accumulate and go out as one write.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+    writer.flush()
+}

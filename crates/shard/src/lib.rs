@@ -1,0 +1,235 @@
+//! # shard — the sharded composition layer
+//!
+//! [`ShardedMap`] composes N inner [`ConcurrentMap`] instances into one map
+//! by hash-partitioning the key space: every key is owned by exactly one
+//! shard (FNV-1a of the key, modulo the shard count), so point operations —
+//! `get`, `insert`, `remove`, `contains`, `rmw` — delegate to the owning
+//! shard with **no cross-shard coordination** and inherit that shard's
+//! linearizability unchanged.  This is the classic route past a single
+//! structure instance's scalability ceiling: N independent synchronization
+//! domains, N independent KCAS/validation hot paths, and (on the PathCAS
+//! trees) N shallower trees.
+//!
+//! Ordered semantics survive partitioning through the scan path:
+//! [`ShardedMap::scan`] asks every shard for its first `len` keys ≥ `start`
+//! (each a validated per-shard snapshot on the PathCAS structures) and
+//! k-way-merges the sorted runs, keeping the globally smallest `len` keys.
+//! Because every key is owned by exactly one shard the merge can never
+//! produce duplicates, and because each per-shard run is itself sorted and
+//! complete-for-that-shard, the merged prefix is exactly the global answer
+//! at quiescence.  Under concurrency the result is a *composition of
+//! per-shard atomic snapshots* taken at slightly different times — the same
+//! relaxation the `hashmap-pathcas` per-bucket merge documents — rather
+//! than one global snapshot.  DESIGN.md §8 spells out the argument.
+//!
+//! Shards may be different algorithms (`stats` aggregation and the scan
+//! merge only rely on the trait), which the mixed-shard tests exercise; the
+//! harness registry's `shardN(inner)` names build homogeneous instances.
+
+#![warn(missing_docs)]
+
+use mapapi::{ConcurrentMap, Key, MapStats, Value};
+
+/// 64-bit FNV-1a over the key's little-endian bytes — cheap, deterministic,
+/// and unrelated to the FNV *rank scrambling* the workload samplers use, so
+/// skewed scenarios don't accidentally align their hot set with one shard.
+#[inline]
+fn fnv1a(key: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A [`ConcurrentMap`] hash-partitioned over N inner maps.
+///
+/// See the crate docs for the partitioning and scan-merge semantics.
+pub struct ShardedMap {
+    name: &'static str,
+    shards: Vec<Box<dyn ConcurrentMap>>,
+}
+
+impl ShardedMap {
+    /// Compose `shards` into one map.  The name is derived canonically:
+    /// `shardN(inner)` when every shard reports the same name, otherwise
+    /// `shardN(mixed)`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<Box<dyn ConcurrentMap>>) -> Self {
+        assert!(!shards.is_empty(), "ShardedMap needs at least one shard");
+        let first = shards[0].name();
+        let inner = if shards.iter().all(|s| s.name() == first) { first } else { "mixed" };
+        let name = mapapi::intern_name(format!("shard{}({})", shards.len(), inner));
+        ShardedMap { name, shards }
+    }
+
+    /// Build `n` shards from a factory (`build` receives the shard index).
+    pub fn from_fn(n: usize, mut build: impl FnMut(usize) -> Box<dyn ConcurrentMap>) -> Self {
+        Self::new((0..n).map(&mut build).collect())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`.
+    #[inline]
+    fn owner(&self, key: Key) -> &dyn ConcurrentMap {
+        &*self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+    }
+}
+
+impl ConcurrentMap for ShardedMap {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.owner(key).insert(key, value)
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        self.owner(key).remove(key)
+    }
+
+    fn contains(&self, key: Key) -> bool {
+        self.owner(key).contains(key)
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.owner(key).get(key)
+    }
+
+    fn rmw(&self, key: Key, update: &mut dyn FnMut(Option<Value>) -> Value) -> bool {
+        // Single-key, single-owner: the inner structure's atomicity (or its
+        // documented composed default) carries over unchanged.
+        self.owner(key).rmw(key, update)
+    }
+
+    fn scan(&self, start: Key, len: usize) -> Vec<(Key, Value)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        // Per-shard validated snapshots: each run is sorted and holds that
+        // shard's first `len` keys >= start, so the global first `len` keys
+        // are contained in the union of the runs.
+        let runs: Vec<Vec<(Key, Value)>> =
+            self.shards.iter().map(|s| s.scan(start, len)).collect();
+        // k-way merge of the sorted runs; keys are disjoint across shards,
+        // so ties cannot occur and the output is duplicate-free.
+        let mut heads = vec![0usize; runs.len()];
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let mut best: Option<usize> = None;
+            for (i, run) in runs.iter().enumerate() {
+                if heads[i] < run.len()
+                    && best.is_none_or(|b| run[heads[i]].0 < runs[b][heads[b]].0)
+                {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    out.push(runs[i][heads[i]]);
+                    heads[i] += 1;
+                }
+                None => break, // every run exhausted
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> MapStats {
+        // Aggregation over quiescent per-shard traversals; `key_depth_sum`
+        // sums each key's depth *within its own shard* (N shallow trees, not
+        // one deep one — exactly what the sharding buys).
+        let mut agg = MapStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            agg.key_count += st.key_count;
+            agg.key_sum += st.key_sum;
+            agg.node_count += st.node_count;
+            agg.key_depth_sum += st.key_depth_sum;
+            agg.approx_bytes += st.approx_bytes;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapapi::reference::LockedBTreeMap;
+
+    fn oracle_shards(n: usize) -> ShardedMap {
+        ShardedMap::from_fn(n, |_| Box::new(LockedBTreeMap::new()))
+    }
+
+    #[test]
+    fn name_is_canonical_and_interned() {
+        let a = oracle_shards(4);
+        assert_eq!(a.name(), "shard4(locked-btreemap)");
+        let b = oracle_shards(4);
+        assert!(std::ptr::eq(a.name(), b.name()), "same name must be interned once");
+        assert_eq!(a.shard_count(), 4);
+    }
+
+    #[test]
+    fn mixed_shards_get_the_mixed_name() {
+        let m = ShardedMap::new(vec![
+            Box::new(LockedBTreeMap::new()),
+            Box::new(pathcas_ds::PathCasBst::new()),
+        ]);
+        assert_eq!(m.name(), "shard2(mixed)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedMap::new(Vec::new());
+    }
+
+    #[test]
+    fn keys_route_to_exactly_one_shard() {
+        let m = oracle_shards(8);
+        for k in 1..=512u64 {
+            assert!(m.insert(k, k * 2));
+            assert!(!m.insert(k, k * 3), "duplicate insert must fail through the owner");
+        }
+        // Every key present exactly once in the aggregate.
+        let s = m.stats();
+        assert_eq!(s.key_count, 512);
+        assert_eq!(s.key_sum, (1..=512u128).sum::<u128>());
+        // The hash actually spreads keys: no shard owns everything.
+        assert!(m.shards.iter().all(|sh| sh.stats().key_count < 512));
+        for k in 1..=512u64 {
+            assert_eq!(m.get(k), Some(k * 2));
+            assert!(m.remove(k));
+            assert!(!m.remove(k));
+        }
+        assert_eq!(m.stats().key_count, 0);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_inner_map() {
+        let m = oracle_shards(1);
+        assert_eq!(m.name(), "shard1(locked-btreemap)");
+        for k in [5u64, 1, 3] {
+            m.insert(k, k);
+        }
+        assert_eq!(m.scan(1, 10), vec![(1, 1), (3, 3), (5, 5)]);
+    }
+
+    #[test]
+    fn rmw_delegates_to_the_owning_shard() {
+        let m = oracle_shards(4);
+        assert!(!m.rmw(9, &mut |v| v.unwrap_or(0) + 7));
+        assert_eq!(m.get(9), Some(7));
+        assert!(m.rmw(9, &mut |v| v.unwrap_or(0) + 7));
+        assert_eq!(m.get(9), Some(14));
+    }
+}

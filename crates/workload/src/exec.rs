@@ -213,6 +213,55 @@ impl RunParams {
     }
 }
 
+/// Derive worker `t`'s RNG seed from the run's base seed — shared by the
+/// point and batched executors so both generate identical op streams for
+/// a given `(seed, thread)` pair.
+fn thread_seed(seed: u64, t: usize) -> u64 {
+    seed ^ ((t as u64 + 1) << 17)
+}
+
+/// The phase scaffolding shared by [`run_scenario`] and
+/// [`run_scenario_batched`]: spawn `threads` workers, release them through
+/// one barrier, sleep the untimed warmup, raise `recording`, time
+/// `duration`, raise `stop`, and join.  Returns each worker's result (in
+/// thread order) plus the measured length of the recorded window.  Keeping
+/// this in one place keeps the two executors' phase semantics identical by
+/// construction.
+fn drive_phases<T, F>(
+    threads: usize,
+    warmup: Duration,
+    duration: Duration,
+    worker: F,
+) -> (Vec<T>, Duration)
+where
+    T: Send,
+    F: Fn(usize, &AtomicBool, &AtomicBool) -> T + Sync,
+{
+    let recording = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (worker, recording, stop, barrier) = (&worker, &recording, &stop, &barrier);
+            handles.push(s.spawn(move || {
+                barrier.wait();
+                worker(t, recording, stop)
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(warmup);
+        recording.store(true, Ordering::Relaxed);
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        let per_thread: Vec<T> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        (per_thread, elapsed)
+    })
+}
+
 /// The conserved-sum check of a bank scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct BankCheck {
@@ -288,64 +337,40 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
     let key_range = if sc.uses_bank() { sc.accounts } else { params.key_range };
     let shared = SharedState::new(key_range);
 
-    let recording = AtomicBool::new(false);
-    let stop = AtomicBool::new(false);
-    let barrier = Barrier::new(params.threads + 1);
-
-    let (per_thread, elapsed) = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(params.threads);
-        for t in 0..params.threads {
-            let recording = &recording;
-            let stop = &stop;
-            let barrier = &barrier;
-            let shared = &shared;
+    let (per_thread, elapsed) =
+        drive_phases(params.threads, params.warmup, params.duration, |t, recording, stop| {
+            let mut gen = OpGen::new(sc, key_range, thread_seed(params.seed, t));
             let bank = bank.as_deref();
-            let map = &*map;
-            let mut gen = OpGen::new(sc, key_range, params.seed ^ ((t as u64 + 1) << 17));
-            handles.push(s.spawn(move || {
-                let mut hist = LatencyHistogram::new();
-                let mut scan_hist = LatencyHistogram::new();
-                let mut ops = 0u64;
-                let mut ok = 0u64;
-                let mut committed = 0u64;
-                barrier.wait();
-                while !stop.load(Ordering::Relaxed) {
-                    let op = gen.next_op(shared);
-                    let success;
-                    if recording.load(Ordering::Relaxed) {
-                        let t0 = Instant::now();
-                        success = apply(map, bank, op);
-                        let ns = t0.elapsed().as_nanos() as u64;
-                        hist.record(ns);
-                        if matches!(op, Op::Scan(..)) {
-                            scan_hist.record(ns);
-                        }
-                        ops += 1;
-                        ok += success as u64;
-                    } else {
-                        success = apply(map, bank, op);
+            let mut hist = LatencyHistogram::new();
+            let mut scan_hist = LatencyHistogram::new();
+            let mut ops = 0u64;
+            let mut ok = 0u64;
+            let mut committed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let op = gen.next_op(&shared);
+                let success;
+                if recording.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    success = apply(map, bank, op);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    hist.record(ns);
+                    if matches!(op, Op::Scan(..)) {
+                        scan_hist.record(ns);
                     }
-                    // Committed transfers are counted in the warmup window
-                    // too: they move money, so the conserved-sum check spans
-                    // every commit, not just the recorded ones.
-                    committed += (success && matches!(op, Op::Transfer { .. })) as u64;
+                    ops += 1;
+                    ok += success as u64;
+                } else {
+                    success = apply(map, bank, op);
                 }
-                (hist, scan_hist, ops, ok, committed)
-            }));
-        }
-        barrier.wait();
-        std::thread::sleep(params.warmup);
-        recording.store(true, Ordering::Relaxed);
-        let start = Instant::now();
-        std::thread::sleep(params.duration);
-        stop.store(true, Ordering::Relaxed);
-        let elapsed = start.elapsed();
-        let per_thread: Vec<_> =
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-        (per_thread, elapsed)
-    });
-    // The scope above joined every worker: from here on the map is
-    // quiescent, which `stats()` requires.
+                // Committed transfers are counted in the warmup window
+                // too: they move money, so the conserved-sum check spans
+                // every commit, not just the recorded ones.
+                committed += (success && matches!(op, Op::Transfer { .. })) as u64;
+            }
+            (hist, scan_hist, ops, ok, committed)
+        });
+    // drive_phases joined every worker: from here on the map is quiescent,
+    // which `stats()` requires.
 
     let mut hist = LatencyHistogram::new();
     let mut scan_hist = LatencyHistogram::new();
@@ -369,6 +394,116 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
     });
     let final_stats = map.stats();
     Outcome { total_ops, ok_ops, elapsed, hist, scan_hist, bank: bank_check, final_stats }
+}
+
+/// A backend that can apply a whole batch of operations at once — the
+/// **service mode** hook.  The canonical implementation is the KV service's
+/// client pool (`server::ServiceMap`), which encodes the batch as one
+/// pipelined burst of request frames, flushes once, and reads the batched
+/// responses; [`LoopBatch`] is the in-process reference that applies the
+/// same batch as a plain loop, so the batched executor can be compared
+/// against the point-op path on identical op streams.
+pub trait BatchApply {
+    /// Apply `ops` in order as one batch; returns how many succeeded (same
+    /// success notion as [`apply`]).  Batches never contain
+    /// [`Op::Transfer`] — the batched executor rejects bank scenarios.
+    fn apply_batch(&self, ops: &[Op]) -> u64;
+}
+
+/// Reference [`BatchApply`] backend: a plain loop of point ops over any
+/// map.  No pipelining — this is the baseline a wire-pipelined backend is
+/// measured against.
+pub struct LoopBatch<'a, M: ConcurrentMap + ?Sized>(pub &'a M);
+
+impl<M: ConcurrentMap + ?Sized> BatchApply for LoopBatch<'_, M> {
+    fn apply_batch(&self, ops: &[Op]) -> u64 {
+        ops.iter().map(|&op| apply(self.0, None, op) as u64).sum()
+    }
+}
+
+/// Run one scenario in **batched (service) mode**: identical phases to
+/// [`run_scenario`] — load through `map`, warmup, timed run — but each
+/// worker generates `depth` operations at a time and hands them to
+/// `backend` as one batch.
+///
+/// Latency accounting follows the client's view of a pipelined request:
+/// every operation in a batch is charged the **whole batch round-trip**
+/// (an op's latency includes the time its batch spent queued and in
+/// flight), so deeper pipelines trade per-op latency for throughput — the
+/// exact curve `bench_service` sweeps.  Scan ops are additionally recorded
+/// into the scan histogram, as in the point-op executor.
+///
+/// # Panics
+/// Panics if `sc` uses the KCAS account bank (transfers are in-process by
+/// construction and cannot be batched over a wire backend) or if
+/// `depth == 0`.
+pub fn run_scenario_batched<M, B>(
+    map: &M,
+    backend: &B,
+    sc: &Scenario,
+    params: &RunParams,
+    depth: usize,
+) -> Outcome
+where
+    M: ConcurrentMap + ?Sized,
+    B: BatchApply + Sync + ?Sized,
+{
+    assert!(!sc.uses_bank(), "{}: bank scenarios cannot run batched", sc.name);
+    assert!(depth >= 1, "batch depth must be at least 1");
+    mapapi::stress::prefill(
+        map,
+        params.key_range,
+        params.prefill,
+        mapapi::stress::prefill_seed(params.seed),
+    );
+    let shared = SharedState::new(params.key_range);
+
+    let (per_thread, elapsed) =
+        drive_phases(params.threads, params.warmup, params.duration, |t, recording, stop| {
+            let mut gen = OpGen::new(sc, params.key_range, thread_seed(params.seed, t));
+            let mut hist = LatencyHistogram::new();
+            let mut scan_hist = LatencyHistogram::new();
+            let mut ops = 0u64;
+            let mut ok = 0u64;
+            let mut batch = Vec::with_capacity(depth);
+            while !stop.load(Ordering::Relaxed) {
+                batch.clear();
+                for _ in 0..depth {
+                    batch.push(gen.next_op(&shared));
+                }
+                if recording.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    ok += backend.apply_batch(&batch);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    for op in &batch {
+                        hist.record(ns);
+                        if matches!(op, Op::Scan(..)) {
+                            scan_hist.record(ns);
+                        }
+                    }
+                    ops += depth as u64;
+                } else {
+                    backend.apply_batch(&batch);
+                }
+            }
+            (hist, scan_hist, ops, ok)
+        });
+
+    let mut hist = LatencyHistogram::new();
+    let mut scan_hist = LatencyHistogram::new();
+    let mut total_ops = 0u64;
+    let mut ok_ops = 0u64;
+    for (h, sh, ops, ok) in &per_thread {
+        hist.merge(h);
+        scan_hist.merge(sh);
+        total_ops += ops;
+        ok_ops += ok;
+    }
+    // Workers are joined: the map is quiescent for `stats()` (over a wire
+    // backend this still holds — the server executes batches synchronously,
+    // so no request is in flight once every client worker has returned).
+    let final_stats = map.stats();
+    Outcome { total_ops, ok_ops, elapsed, hist, scan_hist, bank: None, final_stats }
 }
 
 /// Apply `ops` operations of `sc` to `map` single-threadedly (no timing, no
@@ -503,6 +638,51 @@ mod tests {
             }
         }
         assert!(seen_min && seen_max, "uniform draw never hit an endpoint");
+    }
+
+    #[test]
+    fn batched_runs_match_batch_accounting() {
+        let sc = scenario("service-mixed");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(2, 512, Duration::from_millis(40), 0xBA7C);
+        let out = run_scenario_batched(&map, &LoopBatch(&map), &sc, &params, 8);
+        assert!(out.total_ops > 0);
+        assert_eq!(out.total_ops % 8, 0, "ops are counted in whole batches");
+        assert_eq!(out.hist.count(), out.total_ops);
+        assert!(out.scan_hist.count() > 0, "service-mixed must record scan latencies");
+        assert!(out.ok_ops <= out.total_ops);
+        assert!(out.bank.is_none());
+        // Quiescent stats collected after the join must match a fresh read.
+        assert_eq!(out.final_stats.key_count, map.stats().key_count);
+    }
+
+    #[test]
+    fn batch_depth_one_equals_point_mode_semantics() {
+        let sc = scenario("ycsb-b");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(1, 256, Duration::from_millis(25), 0xD1);
+        let out = run_scenario_batched(&map, &LoopBatch(&map), &sc, &params, 1);
+        assert!(out.total_ops > 0);
+        assert_eq!(out.hist.count(), out.total_ops);
+    }
+
+    #[test]
+    fn loop_batch_counts_successes_like_apply() {
+        let map = LockedBTreeMap::new();
+        map.insert(1, 1);
+        let ops = [Op::Read(1), Op::Read(2), Op::Insert(3), Op::Remove(9), Op::Scan(1, 4)];
+        // read(1) hits, read(2) misses, insert(3) succeeds, remove(9)
+        // fails, scan sees keys 1 and 3 => 3 successes.
+        assert_eq!(LoopBatch(&map).apply_batch(&ops), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank scenarios cannot run batched")]
+    fn batched_executor_rejects_bank_scenarios() {
+        let sc = scenario("txn-transfer");
+        let map = LockedBTreeMap::new();
+        let params = RunParams::standard(1, 64, Duration::from_millis(5), 1);
+        let _ = run_scenario_batched(&map, &LoopBatch(&map), &sc, &params, 4);
     }
 
     #[test]

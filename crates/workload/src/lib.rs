@@ -22,7 +22,10 @@
 //! * [`exec`] — the phased executor (**load → warmup → timed run**) with
 //!   per-thread op generation, latency recording (scans also into their own
 //!   histogram), and quiescent stats collected only after every worker has
-//!   joined;
+//!   joined; [`run_scenario_batched`] is the **service mode** variant that
+//!   hands whole op batches to a [`BatchApply`] backend (the KV service's
+//!   pipelined client pool, or the in-process [`LoopBatch`] reference) and
+//!   charges every op its batch's round-trip;
 //! * [`hist`] — log-bucketed (HDR-style) latency histograms with ≤3.1%
 //!   relative quantization error, O(1) recording, and saturation counting
 //!   above [`TRACKABLE_MAX`];
@@ -43,7 +46,10 @@ pub mod report;
 pub mod spec;
 
 pub use dist::{DistKind, Sampler, SharedState, Zipfian, ZIPFIAN_THETA};
-pub use exec::{apply, run_ops, run_scenario, BankCheck, Op, OpGen, Outcome, RunParams};
+pub use exec::{
+    apply, run_ops, run_scenario, run_scenario_batched, BankCheck, BatchApply, LoopBatch, Op,
+    OpGen, Outcome, RunParams,
+};
 pub use hist::{LatencyHistogram, Percentiles, TRACKABLE_MAX};
 pub use report::{to_csv, to_json, Meta, Row};
 pub use spec::{all_scenarios, scenario, InsertKind, Mix, ScanLen, Scenario, INITIAL_BALANCE};

@@ -12,7 +12,7 @@
 //! with per-scan lengths drawn from the scenario's [`ScanLen`] distribution
 //! (DESIGN.md §7).
 //!
-//! The three extra scenarios exercise exactly the axes where PathCAS's
+//! The four extra scenarios exercise exactly the axes where PathCAS's
 //! validate-then-KCAS design should differentiate:
 //!
 //! * `txn-transfer` — atomic two-key read-modify-writes: a metadata lookup
@@ -22,7 +22,12 @@
 //!   where descriptor reuse and path validation are stress-tested;
 //! * `scan-heavy` — 80% validated range scans with a tunable length
 //!   distribution, the composite-read regime where scans must repeatedly
-//!   re-validate against concurrent updates.
+//!   re-validate against concurrent updates;
+//! * `service-mixed` — every operation kind at once (reads, both update
+//!   flavours, RMW, and short scans), sized for the **service mode**: over
+//!   the wire, mixing fixed-size point responses with variable-size scan
+//!   responses inside one pipeline is what stresses batching depth (see
+//!   [`crate::exec::run_scenario_batched`] and DESIGN.md §8).
 
 use crate::dist::{DistKind, ZIPFIAN_THETA};
 
@@ -227,6 +232,18 @@ pub fn all_scenarios() -> Vec<Scenario> {
             scan_len: Some(ScanLen::Uniform { min: 8, max: 64 }),
             accounts: 0,
         },
+        Scenario {
+            name: "service-mixed",
+            summary: "service pipeline stress: 60% read / 20% update / 10% rmw / 10% scan(8), zipfian",
+            dist: zipf,
+            // Every op kind in one mix: a pipelined batch interleaves
+            // fixed-size point responses with variable-size scan responses,
+            // which is precisely what exercises response batching.
+            mix: Mix { read: 600, insert: 100, remove: 100, rmw: 100, scan: 100, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: Some(ScanLen::Fixed(8)),
+            accounts: 0,
+        },
     ]
 }
 
@@ -252,7 +269,7 @@ mod tests {
         assert_eq!(
             names,
             ["ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "txn-transfer",
-             "contended-hot-set", "scan-heavy"]
+             "contended-hot-set", "scan-heavy", "service-mixed"]
         );
         for s in &all {
             assert!(s.mix.is_valid(), "{}: mix must sum to 1000", s.name);

@@ -7,4 +7,7 @@ pub use mapapi;
 pub use mcms;
 pub use pathcas;
 pub use pathcas_ds;
+pub use server;
+pub use shard;
 pub use stm;
+pub use workload;

@@ -125,4 +125,26 @@ proptest! {
     fn stm_avl_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
         run_differential(&stm::TxAvl::new(stm::Norec::new()), &ops);
     }
+
+    #[test]
+    fn sharded_avl_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..400)) {
+        // Few keys over many shards: scans constantly merge across shard
+        // boundaries, the case the k-way merge must get exactly right.
+        let map = shard::ShardedMap::from_fn(8, |_| {
+            Box::new(pathcas_ds::PathCasAvl::new()) as Box<dyn ConcurrentMap>
+        });
+        run_differential(&map, &ops);
+    }
+
+    #[test]
+    fn sharded_mixed_matches_model(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
+        // Heterogeneous shards: the composition only uses the trait, so a
+        // mixed set must be indistinguishable from a homogeneous one.
+        let map = shard::ShardedMap::new(vec![
+            Box::new(pathcas_ds::PathCasAvl::new()),
+            Box::new(pathcas_ds::PathCasBst::new()),
+            Box::new(mapapi::reference::LockedBTreeMap::new()),
+        ]);
+        run_differential(&map, &ops);
+    }
 }

@@ -129,6 +129,20 @@ fn oracle_scans_never_observe_partial_state() {
     run_suite(&mapapi::reference::LockedBTreeMap::new(), true, 400);
 }
 
+#[test]
+fn sharded_avl_scans_never_observe_partial_state() {
+    // The k-way merge composes per-shard atomic snapshots.  Region keys
+    // never move between shards (ownership is a pure hash of the key), and
+    // each is always present in its owner, so every merged scan must still
+    // observe the full conserved region — even with RMW writers hammering
+    // the region through the per-shard atomic rmw.
+    run_suite(
+        &shard::ShardedMap::from_fn(8, |_| Box::new(pathcas_ds::PathCasAvl::new())),
+        true,
+        400,
+    );
+}
+
 // ---- baselines without an atomic rmw: churn-only (their composed rmw
 // would legitimately make region keys transiently absent) ------------------
 
