@@ -22,6 +22,18 @@
 //! `BENCH_service.csv` (override with `PATHCAS_SERVICE_JSON` /
 //! `PATHCAS_SERVICE_CSV`) in exactly the `BENCH_workloads` row schema.
 //!
+//! The `read-replica` scenario takes the **replication** path instead
+//! (DESIGN.md §9): the served structure becomes a `replica::ReplicatedMap`
+//! primary, `PATHCAS_FOLLOWERS` read-only followers bootstrap from a
+//! checkpoint and tail the primary's change stream over `SUBSCRIBE`, and a
+//! `replica::ReplicaSet` fans the scenario's reads across the follower
+//! sockets while its writes go to the primary socket.  A sampler thread
+//! records each follower's staleness (primary seqno − follower applied
+//! seqno, in sequence numbers) throughout the run into the row's
+//! `staleness_*` columns; after the run every follower is required to
+//! drain the stream and match the primary's key count and keysum exactly,
+//! plus pass the full-scan-vs-stats audit.
+//!
 //! Knobs: the usual `PATHCAS_THREADS` / `PATHCAS_DURATION_MS` /
 //! `PATHCAS_TRIALS` / `PATHCAS_KEYRANGE_SCALE` / `PATHCAS_SEED`, plus:
 //!
@@ -29,24 +41,29 @@
 //!   (default `shard8(int-avl-pathcas)`); unknown names print the valid
 //!   list and exit 2 instead of panicking;
 //! * `PATHCAS_SCENARIOS` — substring filter over all scenarios (default
-//!   for this binary: `ycsb-b`, `scan-heavy`, `service-mixed`);
+//!   for this binary: `ycsb-b`, `scan-heavy`, `service-mixed`,
+//!   `read-replica`);
 //! * `PATHCAS_PIPELINE_DEPTHS` — comma-separated depths for the
-//!   `service-mixed` pipelining sweep (default `1,8,32`).
+//!   `service-mixed` pipelining sweep (default `1,8,32`);
+//! * `PATHCAS_FOLLOWERS` — follower count for `read-replica` (default 2).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use harness::{env_name_filter, name_passes, Config};
 use mapapi::ConcurrentMap;
-use server::{Server, ServiceMap};
+use replica::{Follower, ReplicaSet};
+use server::{Server, ServerOpts, ServiceMap, WireTail};
 use workload::{
     all_scenarios, run_scenario, run_scenario_batched, LatencyHistogram, Meta, Row, RunParams,
     Scenario,
 };
 
 /// Scenarios served by default when `PATHCAS_SCENARIOS` is unset: the
-/// read-mostly YCSB point workload, the range-scan regime, and the
-/// pipelining stressor.
-const DEFAULT_SCENARIOS: [&str; 3] = ["ycsb-b", "scan-heavy", "service-mixed"];
+/// read-mostly YCSB point workload, the range-scan regime, the pipelining
+/// stressor, and the replicated read-fan-out topology.
+const DEFAULT_SCENARIOS: [&str; 4] = ["ycsb-b", "scan-heavy", "service-mixed", "read-replica"];
 
 /// One (scenario, threads, depth) measurement over a fresh server+pool.
 /// `depth` 0 means point mode (plain `run_scenario`); >= 1 is batched mode.
@@ -73,6 +90,121 @@ fn run_service_trial(
     drop(svc);
     server.shutdown();
     out
+}
+
+/// One `read-replica` trial: a replicated primary behind its own server, a
+/// checkpoint-bootstrapped wire-tailing follower fleet behind read-only
+/// servers, and the scenario driven through a [`ReplicaSet`] over the whole
+/// topology.  Returns the workload outcome plus the staleness samples.
+fn run_replica_trial(
+    algo: &str,
+    sc: &Scenario,
+    params: &RunParams,
+    n_followers: usize,
+) -> (workload::Outcome, LatencyHistogram) {
+    // The primary, prefilled in-process so the checkpoint cut already
+    // carries the working set (the scenario's own prefill then sees the
+    // target met and does nothing).
+    let rep = Arc::new(
+        harness::try_make_replicated(algo).expect("algo name was validated at startup"),
+    );
+    mapapi::stress::prefill(
+        &*rep,
+        params.key_range,
+        params.prefill,
+        mapapi::stress::prefill_seed(params.seed),
+    );
+    let ckpt = rep.checkpoint();
+    let log = rep.log();
+    let srv = Server::start_with(
+        Arc::clone(&rep) as Arc<dyn ConcurrentMap>,
+        ServerOpts { log: Some(rep.log()), read_only: false },
+        "127.0.0.1:0",
+    )
+    .expect("binding the primary port");
+    let primary_svc = ServiceMap::connect(srv.local_addr(), params.threads, algo)
+        .expect("connecting the primary pool");
+
+    // Followers: bootstrap from the checkpoint, tail the primary over the
+    // wire, serve reads through a read-only server and their own pool.
+    let mut followers = Vec::new();
+    let mut tails = Vec::new();
+    let mut fsrvs = Vec::new();
+    let mut fsvcs: Vec<Box<dyn ConcurrentMap>> = Vec::new();
+    for i in 0..n_followers {
+        let f = Arc::new(Follower::bootstrap(harness::make(algo), &ckpt));
+        tails.push(
+            WireTail::start(srv.local_addr(), Arc::clone(&f)).expect("subscribing a follower"),
+        );
+        let fsrv = Server::start_with(
+            Arc::clone(&f) as Arc<dyn ConcurrentMap>,
+            ServerOpts { log: None, read_only: true },
+            "127.0.0.1:0",
+        )
+        .expect("binding a follower port");
+        let fsvc = ServiceMap::connect(fsrv.local_addr(), params.threads, &format!("{algo}#f{i}"))
+            .expect("connecting a follower pool");
+        fsvcs.push(Box::new(fsvc));
+        fsrvs.push(fsrv);
+        followers.push(f);
+    }
+    let set = ReplicaSet::new(Box::new(primary_svc), fsvcs);
+
+    // Staleness sampler: primary head seqno minus each follower's applied
+    // seqno, recorded for every follower at each sampling instant.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let (log, followers, stop) = (Arc::clone(&log), followers.clone(), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut h = LatencyHistogram::new();
+            while !stop.load(Ordering::Acquire) {
+                let head = log.seqno();
+                for f in &followers {
+                    h.record(head.saturating_sub(f.applied_seqno()));
+                }
+                std::thread::sleep(Duration::from_micros(250));
+            }
+            h
+        })
+    };
+
+    let out = run_scenario(&set, sc, params);
+    stop.store(true, Ordering::Release);
+    let staleness = sampler.join().expect("joining the staleness sampler");
+
+    // The workers are quiescent, so the log head is final: every follower
+    // must drain to it and then agree with the primary *exactly* — same
+    // key count, same keysum, and a clean full-scan-vs-stats audit.
+    let head = log.seqno();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for f in &followers {
+        while f.applied_seqno() < head {
+            assert!(
+                Instant::now() < deadline,
+                "follower stuck at seqno {} < {head}",
+                f.applied_seqno()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (ps, fs) = (rep.stats(), f.stats());
+        assert_eq!(
+            (ps.key_count, ps.key_sum),
+            (fs.key_count, fs.key_sum),
+            "{}: drained follower diverged from the primary",
+            f.name()
+        );
+        mapapi::suites::check_scan_matches_stats(&**f, &fs);
+    }
+
+    drop(set);
+    for t in tails {
+        t.stop();
+    }
+    for s in fsrvs {
+        s.shutdown();
+    }
+    srv.shutdown();
+    (out, staleness)
 }
 
 fn main() {
@@ -104,22 +236,45 @@ fn main() {
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&d| d >= 1).collect())
         .filter(|v: &Vec<usize>| !v.is_empty())
         .unwrap_or_else(|| vec![1, 8, 32]);
+    let n_followers: usize = std::env::var("PATHCAS_FOLLOWERS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
 
     println!("# service mode: {algo} over loopback TCP");
     println!(
         "key range {key_range}, {} trial(s) x {:?} (+{:?} warmup), seed {:#x}, \
-         pipeline depths {depths:?}\n",
+         pipeline depths {depths:?}, {n_followers} follower(s)\n",
         cfg.trials, cfg.duration, warmup, cfg.seed
     );
 
     let mut rows: Vec<Row> = Vec::new();
     for sc in &scenarios {
+        let replicated = sc.name == "read-replica";
         println!("## {} — {}", sc.name, sc.summary);
-        println!("| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 |");
-        println!("|---|---|---|---|---|---|---|---|---|");
+        if replicated {
+            // The staleness columns are in sequence numbers (events behind
+            // the primary head), not time.
+            println!(
+                "| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 \
+                 | stale p50 | stale p99 |"
+            );
+            println!("|---|---|---|---|---|---|---|---|---|---|---|");
+        } else {
+            println!(
+                "| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 |"
+            );
+            println!("|---|---|---|---|---|---|---|---|---|");
+        }
         // Point mode always; the pipelining sweep only where it's the
-        // point of the scenario (and transfers can't batch at all).
-        let mut modes: Vec<(usize, String)> = vec![(0, format!("svc({algo})"))];
+        // point of the scenario (and transfers can't batch at all).  The
+        // replicated scenario has exactly one mode: the whole topology.
+        let mut modes: Vec<(usize, String)> = if replicated {
+            vec![(0, format!("replset(svc({algo})+{n_followers}f)"))]
+        } else {
+            vec![(0, format!("svc({algo})"))]
+        };
         if sc.name == "service-mixed" {
             modes.extend(depths.iter().map(|&d| (d, format!("svc({algo})@d{d}"))));
         }
@@ -127,6 +282,7 @@ fn main() {
             for &threads in &cfg.threads {
                 let mut hist = LatencyHistogram::new();
                 let mut scan_hist = LatencyHistogram::new();
+                let mut stale_hist = LatencyHistogram::new();
                 let mut total_ops = 0u64;
                 let mut mops_sum = 0.0f64;
                 for trial in 0..cfg.trials.max(1) {
@@ -138,7 +294,13 @@ fn main() {
                         duration: cfg.duration,
                         seed: cfg.seed ^ ((trial as u64) << 40),
                     };
-                    let out = run_service_trial(&algo, sc, &params, *depth);
+                    let out = if replicated {
+                        let (out, stale) = run_replica_trial(&algo, sc, &params, n_followers);
+                        stale_hist.merge(&stale);
+                        out
+                    } else {
+                        run_service_trial(&algo, sc, &params, *depth)
+                    };
                     hist.merge(&out.hist);
                     scan_hist.merge(&out.scan_hist);
                     total_ops += out.total_ops;
@@ -146,9 +308,16 @@ fn main() {
                 }
                 let p = hist.percentiles();
                 let sp = scan_hist.percentiles();
+                let st = stale_hist.percentiles();
                 let mops = mops_sum / cfg.trials.max(1) as f64;
+                let stale_cols = if replicated {
+                    // Raw sequence numbers, not formatted as time.
+                    format!(" {} | {} |", st.p50, st.p99)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "| {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |",
+                    "| {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |{}",
                     label,
                     threads,
                     mops,
@@ -158,6 +327,7 @@ fn main() {
                     workload::report::fmt_ns(p.p999),
                     workload::report::fmt_ns(sp.p50),
                     workload::report::fmt_ns(sp.p99),
+                    stale_cols,
                 );
                 rows.push(Row {
                     scenario: sc.name.to_string(),
@@ -171,6 +341,8 @@ fn main() {
                     saturated: hist.saturated_count(),
                     scan_ops: scan_hist.count(),
                     scan_percentiles: sp,
+                    staleness_samples: stale_hist.count(),
+                    staleness_percentiles: st,
                 });
             }
         }

@@ -142,6 +142,11 @@ fn main() {
                     saturated: hist.saturated_count(),
                     scan_ops: scan_hist.count(),
                     scan_percentiles: sp,
+                    // In-process runs have no replica, hence no staleness;
+                    // the columns exist so every BENCH_*.{json,csv} shares
+                    // one row schema (bench_service fills them).
+                    staleness_samples: 0,
+                    staleness_percentiles: workload::Percentiles::default(),
                 });
             }
         }

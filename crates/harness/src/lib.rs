@@ -17,7 +17,7 @@ pub mod alloc_count;
 pub mod registry;
 pub mod runner;
 
-pub use registry::{make, registry, try_make, AlgoFactory, MAX_SHARDS};
+pub use registry::{make, registry, try_make, try_make_replicated, AlgoFactory, MAX_SHARDS};
 pub use runner::{run_trial, run_trials, Summary, TrialResult, Workload};
 
 use std::time::Duration;

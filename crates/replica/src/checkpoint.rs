@@ -1,0 +1,218 @@
+//! The checkpoint snapshot and its on-disk format.
+
+use std::io;
+use std::path::Path;
+
+use mapapi::{Key, Value};
+
+/// File magic: the first four bytes of every checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PCKP";
+
+/// Current format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Fixed bytes around the sections: magic + version + seqno + section count
+/// up front, FNV-1a checksum at the end.
+const ENVELOPE_BYTES: usize = 4 + 4 + 8 + 4 + 8;
+
+/// An exact snapshot of a replicated map: the change-stream sequence number
+/// of the cut, plus one sorted `(key, value)` section per shard (a single
+/// section for unsharded maps).
+///
+/// The binary format is length-prefixed throughout — every section carries
+/// its pair count, so a reader never scans for terminators:
+///
+/// ```text
+/// magic:    "PCKP"                      (4 bytes)
+/// version:  u32 LE                      (currently 1)
+/// seqno:    u64 LE                      (change-stream cut)
+/// sections: u32 LE                      (section count)
+/// per section:
+///   count:  u64 LE
+///   pairs:  count × (key u64 LE, value u64 LE)
+/// checksum: u64 LE                      (FNV-1a over all preceding bytes)
+/// ```
+///
+/// [`Checkpoint::decode`] verifies magic, version, the checksum, every
+/// count against the remaining length, and that no trailing bytes follow —
+/// corruption is always a `Result::Err`, never a panic or a silent
+/// misparse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The change-stream sequence number this snapshot is exact at: the
+    /// snapshot contains precisely the effects of events `1..=seqno`.
+    pub seqno: u64,
+    /// Per-shard sorted `(key, value)` runs.  Section boundaries are a
+    /// storage detail: restore re-inserts every pair and recomputes shard
+    /// ownership, so a checkpoint moves freely between shard counts.
+    pub sections: Vec<Vec<(Key, Value)>>,
+}
+
+/// FNV-1a over a byte slice — same constants as `shard::fnv1a`, but over
+/// the serialized stream rather than a single key.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Total number of pairs across all sections.
+    pub fn key_count(&self) -> u64 {
+        self.sections.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Serialize to the on-disk format (see the type docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let pairs: usize = self.sections.iter().map(Vec::len).sum();
+        let mut buf = Vec::with_capacity(ENVELOPE_BYTES + self.sections.len() * 8 + pairs * 16);
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.seqno.to_le_bytes());
+        buf.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for section in &self.sections {
+            buf.extend_from_slice(&(section.len() as u64).to_le_bytes());
+            for &(k, v) in section {
+                buf.extend_from_slice(&k.to_le_bytes());
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a_bytes(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Parse a serialized checkpoint, rejecting any corruption with an
+    /// error.  The checksum is verified before anything is parsed, and
+    /// every count is bounds-checked against the remaining bytes before
+    /// allocation — a garbage count cannot commit the reader to a huge
+    /// allocation any more than a garbage frame length can commit the
+    /// server to one.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, String> {
+        if bytes.len() < ENVELOPE_BYTES {
+            return Err(format!("checkpoint too short: {} bytes", bytes.len()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        let computed = fnv1a_bytes(body);
+        if stored != computed {
+            return Err(format!("checkpoint checksum mismatch: stored {stored:#x}, computed {computed:#x}"));
+        }
+        if body[..4] != CHECKPOINT_MAGIC {
+            return Err(format!("bad checkpoint magic {:?}", &body[..4]));
+        }
+        let version = u32::from_le_bytes(body[4..8].try_into().unwrap());
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let seqno = u64::from_le_bytes(body[8..16].try_into().unwrap());
+        let section_count = u32::from_le_bytes(body[16..20].try_into().unwrap()) as usize;
+        let mut rest = &body[20..];
+        let mut sections = Vec::new();
+        for i in 0..section_count {
+            if rest.len() < 8 {
+                return Err(format!("section {i}: truncated count"));
+            }
+            let count = u64::from_le_bytes(rest[..8].try_into().unwrap()) as usize;
+            rest = &rest[8..];
+            let Some(pair_bytes) = count.checked_mul(16).filter(|&n| n <= rest.len()) else {
+                return Err(format!("section {i}: count {count} exceeds remaining {} bytes", rest.len()));
+            };
+            let mut pairs = Vec::with_capacity(count);
+            for chunk in rest[..pair_bytes].chunks_exact(16) {
+                let k = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+                let v = u64::from_le_bytes(chunk[8..].try_into().unwrap());
+                pairs.push((k, v));
+            }
+            rest = &rest[pair_bytes..];
+            sections.push(pairs);
+        }
+        if !rest.is_empty() {
+            return Err(format!("{} trailing bytes after the last section", rest.len()));
+        }
+        Ok(Checkpoint { seqno, sections })
+    }
+
+    /// Write the serialized checkpoint to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Read and parse a checkpoint file; format errors surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn read_from(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::decode(&bytes).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            seqno: 42,
+            sections: vec![vec![(1, 10), (5, 50)], vec![], vec![(2, 2)]],
+        }
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        for ckpt in [sample(), Checkpoint { seqno: 0, sections: vec![] }] {
+            assert_eq!(Checkpoint::decode(&ckpt.encode()), Ok(ckpt));
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            // FNV-1a over the body catches every body flip; a flipped
+            // checksum byte mismatches the recomputed body hash.
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at byte {i} must be rejected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn garbage_counts_do_not_allocate() {
+        // A forged frame with a valid checksum but an absurd section count:
+        // build it by hand so only the count is hostile.
+        let mut body = Vec::new();
+        body.extend_from_slice(&CHECKPOINT_MAGIC);
+        body.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&u64::MAX.to_le_bytes()); // section "count"
+        let mut bytes = body.clone();
+        bytes.extend_from_slice(&fnv1a_bytes(&body).to_le_bytes());
+        let err = Checkpoint::decode(&bytes).unwrap_err();
+        assert!(err.contains("exceeds remaining"), "got: {err}");
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("replica-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.ckpt");
+        let ckpt = sample();
+        ckpt.write_to(&path).unwrap();
+        assert_eq!(Checkpoint::read_from(&path).unwrap(), ckpt);
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert_eq!(Checkpoint::read_from(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

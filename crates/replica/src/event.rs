@@ -1,0 +1,84 @@
+//! One committed mutation, as it travels through the change stream.
+
+use mapapi::{Key, Value};
+
+/// Encoded size of one [`Event`]: kind byte + key + argument, fixed width so
+/// stream frames are trivially seekable.
+pub const EVENT_WIRE_BYTES: usize = 17;
+
+/// A committed mutation on the primary.
+///
+/// There is deliberately no "Rmw" variant: an RMW's closure cannot be
+/// replayed (and over the wire never existed — see DESIGN.md §8), so the
+/// primary logs the **committed post-value** as an absolute [`Event::Set`].
+/// Replaying a `Set` is an upsert, which reproduces the exact state the
+/// primary committed without re-running any computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A successful insert-if-absent (the primary's `insert` returned true).
+    Put(Key, Value),
+    /// A successful remove (the primary's `remove` returned true).
+    Del(Key),
+    /// The committed post-value of an RMW, replayed as an upsert.
+    Set(Key, Value),
+}
+
+impl Event {
+    /// The key this event mutates.
+    pub fn key(&self) -> Key {
+        match *self {
+            Event::Put(k, _) | Event::Del(k) | Event::Set(k, _) => k,
+        }
+    }
+
+    /// Append the fixed-width wire encoding (`kind: u8, key: u64 LE,
+    /// arg: u64 LE`; `Del` carries a zero argument) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let (kind, key, arg) = match *self {
+            Event::Put(k, v) => (1u8, k, v),
+            Event::Del(k) => (2, k, 0),
+            Event::Set(k, v) => (3, k, v),
+        };
+        buf.push(kind);
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&arg.to_le_bytes());
+    }
+
+    /// Decode one fixed-width event.  Unknown kind bytes are an error —
+    /// never a panic — so corrupted streams surface as rejections.
+    pub fn decode(bytes: &[u8; EVENT_WIRE_BYTES]) -> Result<Event, String> {
+        let key = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+        let arg = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+        match bytes[0] {
+            1 => Ok(Event::Put(key, arg)),
+            2 => Ok(Event::Del(key)),
+            3 => Ok(Event::Set(key, arg)),
+            kind => Err(format!("unknown event kind {kind}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in [Event::Put(1, u64::MAX), Event::Del(mapapi::MAX_KEY), Event::Set(7, 0)] {
+            let mut buf = Vec::new();
+            ev.encode(&mut buf);
+            assert_eq!(buf.len(), EVENT_WIRE_BYTES);
+            let arr: [u8; EVENT_WIRE_BYTES] = buf.as_slice().try_into().unwrap();
+            assert_eq!(Event::decode(&arr), Ok(ev));
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let mut buf = [0u8; EVENT_WIRE_BYTES];
+        for kind in [0u8, 4, 99, 255] {
+            buf[0] = kind;
+            assert!(Event::decode(&buf).is_err(), "kind {kind} must be rejected");
+        }
+    }
+}

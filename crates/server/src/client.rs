@@ -6,10 +6,12 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Mutex, MutexGuard};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
 use mapapi::{ConcurrentMap, Key, MapStats, Value};
+use replica::{Event, Follower};
 use workload::{BatchApply, Op};
 
 use crate::proto::{self, Request, Response};
@@ -67,6 +69,81 @@ impl Connection {
         self.writer.flush()?;
         (0..reqs.len()).map(|_| self.read_response()).collect()
     }
+
+    /// Switch this connection into change-stream mode, resuming after
+    /// seqno `after`.  From here on only [`Connection::next_events`] makes
+    /// sense; the server answers nothing else on this connection.
+    pub fn subscribe(&mut self, after: u64) -> io::Result<()> {
+        let mut buf = Vec::new();
+        proto::encode_request(&Request::Subscribe(after), &mut buf);
+        self.writer.write_all(&buf)?;
+        self.writer.flush()
+    }
+
+    /// Block for the next `EVENTS` batch on a subscribed connection.
+    /// Server-side errors (e.g. subscribing to a server without a log) and
+    /// EOF surface as `io::Error`.
+    pub fn next_events(&mut self) -> io::Result<Vec<(u64, Event)>> {
+        match self.read_response()? {
+            Response::Events(entries) => Ok(entries),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("SUBSCRIBE answered with {other:?}"),
+            )),
+        }
+    }
+}
+
+/// A follower's wire-side tail: a dedicated thread holding a subscribed
+/// [`Connection`], applying every received batch to the [`Follower`] in
+/// sequence — the socket counterpart of [`replica::tail_log`].
+///
+/// The tail resumes from `follower.applied_seqno()`, so a follower
+/// bootstrapped from a checkpoint at seqno `S` asks the primary only for
+/// events after `S`.  It runs until [`WireTail::stop`] (or drop) shuts the
+/// socket down, or the primary closes the connection.
+pub struct WireTail {
+    sock: TcpStream,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WireTail {
+    /// Subscribe to the primary at `addr` and start applying events to
+    /// `follower` on a background thread.
+    pub fn start(addr: impl ToSocketAddrs, follower: Arc<Follower>) -> io::Result<WireTail> {
+        let mut conn = Connection::connect(addr)?;
+        let sock = conn.reader.get_ref().try_clone()?;
+        conn.subscribe(follower.applied_seqno())?;
+        let thread = std::thread::spawn(move || {
+            // EOF / reset / shutdown all end the tail; the follower simply
+            // stops advancing (it is stale, not corrupt).
+            while let Ok(entries) = conn.next_events() {
+                for (seq, ev) in entries {
+                    follower.apply(seq, ev);
+                }
+            }
+        });
+        Ok(WireTail { sock, thread: Some(thread) })
+    }
+
+    /// Shut the subscription down and join the tail thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let _ = self.sock.shutdown(Shutdown::Both);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireTail {
+    fn drop(&mut self) {
+        self.halt();
+    }
 }
 
 /// Translate a workload op into its wire request.  `Op::Rmw` maps to the
@@ -93,6 +170,8 @@ fn succeeded(resp: &Response) -> bool {
         Response::Put(ok) | Response::Del(ok) | Response::Rmw(ok) => *ok,
         Response::Scan(pairs) => !pairs.is_empty(),
         Response::Stats(_) => true,
+        // Never answers a workload op; only subscribed connections see it.
+        Response::Events(_) => false,
         Response::Err(_) => false,
     }
 }

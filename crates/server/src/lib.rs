@@ -23,6 +23,11 @@
 //! (`harness::try_make`, including `shardN(inner)` names) and emits the
 //! same `BENCH_*.json`/CSV percentile schema as `bench_workloads`.  See
 //! DESIGN.md §8 for the framing and batching rationale.
+//!
+//! **Replication** (PR 6): a server started with [`ServerOpts`] can publish
+//! a [`replica::ChangeLog`] to `SUBSCRIBE`rs and/or run read-only as a
+//! follower front-end; [`WireTail`] is the client half that keeps a
+//! [`replica::Follower`] applying the stream.  DESIGN.md §9 has the model.
 
 #![warn(missing_docs)]
 
@@ -30,6 +35,6 @@ pub mod client;
 pub mod proto;
 mod srv;
 
-pub use client::{Connection, ServiceMap};
-pub use proto::{Request, Response, MAX_FRAME, MAX_SCAN_LEN};
-pub use srv::Server;
+pub use client::{Connection, ServiceMap, WireTail};
+pub use proto::{Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN};
+pub use srv::{Server, ServerOpts};

@@ -19,6 +19,7 @@
 //! | `RMW`   | 4    | `key: u64, delta: u64`                      |
 //! | `SCAN`  | 5    | `start: u64, len: u32`                      |
 //! | `STATS` | 6    | —                                           |
+//! | `SUBSCRIBE` | 7 | `after: u64` (resume seqno)                |
 //!
 //! Responses reuse the request's code as their tag (so a pipelined client
 //! can sanity-check ordering) with tag `0` reserved for protocol errors:
@@ -32,6 +33,13 @@
 //! | `RMW`   | 4    | `was_present: u8`                                        |
 //! | `SCAN`  | 5    | `count: u32`, then `count × (key: u64, value: u64)`      |
 //! | `STATS` | 6    | `key_count: u64, key_sum: u128, node_count: u64, key_depth_sum: u64, approx_bytes: u64` |
+//! | `EVENTS`| 7    | `count: u32`, then `count × (seqno: u64, event: 17 bytes)` |
+//!
+//! `SUBSCRIBE` switches the connection into streaming mode: the server
+//! answers with `EVENTS` frames — each a batch of change-stream entries in
+//! strict sequence order, encoded with [`replica::Event`]'s fixed-width
+//! codec — for as long as the connection lives.  No other request may
+//! follow a `SUBSCRIBE` on the same connection.
 //!
 //! `RMW` is deliberately a **verb with a delta**, not a shipped closure:
 //! the server applies the workspace's canonical affine update
@@ -44,6 +52,7 @@
 use std::io::{self, BufRead, Write};
 
 use mapapi::{Key, MapStats, Value};
+use replica::{Event, EVENT_WIRE_BYTES};
 
 /// Hard ceiling on a frame's payload size; anything larger is a protocol
 /// error (protects the server from a garbage length prefix committing it to
@@ -57,6 +66,11 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// per scan) already does.  A `SCAN` beyond this answers with a semantic
 /// `Err` response, not a torn connection.
 pub const MAX_SCAN_LEN: usize = (MAX_FRAME - 8) / 16;
+
+/// Largest change-stream batch per `EVENTS` frame.  Well under the
+/// [`MAX_FRAME`]-derived bound (tag + count + 25 bytes per entry); kept
+/// small so a follower's visible staleness moves in modest steps.
+pub const MAX_EVENTS_PER_FRAME: usize = 8192;
 
 /// One client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +87,9 @@ pub enum Request {
     Scan(Key, u32),
     /// Quiescent structural statistics of the served structure.
     Stats,
+    /// Switch this connection into change-stream mode, resuming after the
+    /// given sequence number (0 = from the beginning).
+    Subscribe(u64),
 }
 
 /// One server response (same order as the request stream of a connection).
@@ -90,6 +107,9 @@ pub enum Response {
     Scan(Vec<(Key, Value)>),
     /// The structure's statistics.
     Stats(MapStats),
+    /// A change-stream batch: `(seqno, event)` entries in strict sequence
+    /// order.  Only sent on subscribed connections.
+    Events(Vec<(u64, Event)>),
     /// Protocol-level error; the server closes the connection after it.
     Err(String),
 }
@@ -169,6 +189,10 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             put_u32(buf, len);
         }
         Request::Stats => buf.push(6),
+        Request::Subscribe(after) => {
+            buf.push(7);
+            put_u64(buf, after);
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -184,6 +208,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         4 => Request::Rmw(c.u64()?, c.u64()?),
         5 => Request::Scan(c.u64()?, c.u32()?),
         6 => Request::Stats,
+        7 => Request::Subscribe(c.u64()?),
         op => return Err(format!("unknown request opcode {op}")),
     };
     c.done()?;
@@ -232,6 +257,14 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             put_u64(buf, s.key_depth_sum);
             put_u64(buf, s.approx_bytes);
         }
+        Response::Events(entries) => {
+            buf.push(7);
+            put_u32(buf, entries.len() as u32);
+            for (seq, ev) in entries {
+                put_u64(buf, *seq);
+                ev.encode(buf);
+            }
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -268,6 +301,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             key_depth_sum: c.u64()?,
             approx_bytes: c.u64()?,
         }),
+        7 => {
+            let n = c.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(MAX_FRAME / (8 + EVENT_WIRE_BYTES)));
+            for _ in 0..n {
+                let seq = c.u64()?;
+                let raw: &[u8; EVENT_WIRE_BYTES] =
+                    c.take(EVENT_WIRE_BYTES)?.try_into().unwrap();
+                entries.push((seq, Event::decode(raw)?));
+            }
+            Response::Events(entries)
+        }
         tag => return Err(format!("unknown response tag {tag}")),
     };
     c.done()?;
@@ -330,6 +374,8 @@ mod tests {
         roundtrip_req(Request::Rmw(7, 123));
         roundtrip_req(Request::Scan(10, 4096));
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Subscribe(0));
+        roundtrip_req(Request::Subscribe(u64::MAX));
     }
 
     #[test]
@@ -349,6 +395,25 @@ mod tests {
             approx_bytes: 1000,
         }));
         roundtrip_resp(Response::Err("bad opcode".into()));
+        roundtrip_resp(Response::Events(vec![]));
+        roundtrip_resp(Response::Events(vec![
+            (1, replica::Event::Put(5, 50)),
+            (2, replica::Event::Del(5)),
+            (3, replica::Event::Set(9, u64::MAX)),
+        ]));
+    }
+
+    #[test]
+    fn corrupt_event_frames_are_rejected() {
+        let mut buf = Vec::new();
+        encode_response(&Response::Events(vec![(7, replica::Event::Put(1, 2))]), &mut buf);
+        let mut payload = buf[4..].to_vec();
+        // Flip the event kind byte to an unknown value.
+        payload[5 + 8] = 99;
+        assert!(decode_response(&payload).is_err());
+        // Truncate mid-entry.
+        let cut = payload.len() - 3;
+        assert!(decode_response(&payload[..cut]).is_err());
     }
 
     #[test]

@@ -20,10 +20,31 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use mapapi::ConcurrentMap;
+use replica::ChangeLog;
 
-use crate::proto::{self, Request, Response, MAX_SCAN_LEN};
+use crate::proto::{self, Request, Response, MAX_EVENTS_PER_FRAME, MAX_SCAN_LEN};
+
+/// Optional server roles beyond plain KV serving.
+///
+/// * `log` — publish this [`ChangeLog`] to `SUBSCRIBE`rs.  The server does
+///   **not** tap requests itself: the served map must be the
+///   [`replica::ReplicatedMap`] feeding that log, so only *committed*
+///   mutations appear on the stream, already in per-key order.
+/// * `read_only` — reject PUT/DEL/RMW with a semantic `Err` response (the
+///   connection survives, framing stays intact).  This is the follower
+///   role: the map behind a read-only server is typically a
+///   [`replica::Follower`], whose own write methods panic as a second line
+///   of defense.
+#[derive(Clone, Default)]
+pub struct ServerOpts {
+    /// Change stream served to `SUBSCRIBE`, if any.
+    pub log: Option<Arc<ChangeLog>>,
+    /// Reject write verbs with a semantic error response.
+    pub read_only: bool,
+}
 
 /// One live connection as the server tracks it: the handler thread plus a
 /// socket clone used to unblock its reads at shutdown.
@@ -49,6 +70,16 @@ impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
     /// `map`.  Returns once the listener is accepting.
     pub fn start(map: Arc<dyn ConcurrentMap>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Self::start_with(map, ServerOpts::default(), addr)
+    }
+
+    /// Like [`Server::start`], with explicit [`ServerOpts`] — a primary
+    /// publishing a change stream, or a read-only follower front-end.
+    pub fn start_with(
+        map: Arc<dyn ConcurrentMap>,
+        opts: ServerOpts,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -67,11 +98,13 @@ impl Server {
                     // unblock the handler's blocking reads.
                     let Ok(peer) = stream.try_clone() else { continue };
                     let map = Arc::clone(&map);
+                    let opts = opts.clone();
+                    let shutdown = Arc::clone(&shutdown);
                     let handle = std::thread::spawn(move || {
                         let sock = stream.try_clone().ok();
                         // Protocol errors and broken pipes just end this
                         // connection; they must not take the server down.
-                        let _ = handle_conn(&*map, stream);
+                        let _ = handle_conn(&*map, stream, &opts, &shutdown);
                         // The clone parked in `conns` keeps the fd alive
                         // after this thread drops its handles, so shut the
                         // socket down explicitly — the peer must see EOF
@@ -136,12 +169,25 @@ fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
         )),
         Request::Scan(start, len) => Response::Scan(map.scan(start, len as usize)),
         Request::Stats => Response::Stats(map.stats()),
+        // Handled by `handle_conn` before execute (it takes over the
+        // connection); reaching here means a bug in the dispatch order.
+        Request::Subscribe(_) => Response::Err("SUBSCRIBE is not a point request".into()),
     }
+}
+
+/// Whether a request mutates the map (the verbs a read-only server rejects).
+fn is_write(req: &Request) -> bool {
+    matches!(req, Request::Put(..) | Request::Del(..) | Request::Rmw(..))
 }
 
 /// Serve one connection until EOF, shutdown (surfaced as EOF/reset on the
 /// socket), or a framing error.
-fn handle_conn(map: &dyn ConcurrentMap, stream: TcpStream) -> io::Result<()> {
+fn handle_conn(
+    map: &dyn ConcurrentMap,
+    stream: TcpStream,
+    opts: &ServerOpts,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -150,6 +196,21 @@ fn handle_conn(map: &dyn ConcurrentMap, stream: TcpStream) -> io::Result<()> {
 
     while proto::read_frame(&mut reader, &mut payload)? {
         let resp = match proto::decode_request(&payload) {
+            // SUBSCRIBE flips the connection into streaming mode for good;
+            // flush anything still batched first so pipelined responses
+            // ahead of the subscription are not stranded.
+            Ok(Request::Subscribe(after)) => match &opts.log {
+                Some(log) => {
+                    writer.flush()?;
+                    return stream_events(log, after, &mut writer, shutdown);
+                }
+                None => Response::Err("no change stream: this server has no log".into()),
+            },
+            // Semantic rejection, not a framing error: the connection
+            // survives, exactly like an oversized scan.
+            Ok(req) if opts.read_only && is_write(&req) => {
+                Response::Err("read-only replica: writes go to the primary".into())
+            }
             Ok(req) => execute(map, req),
             Err(msg) => {
                 // Respond with the error, flush, and close: after a framing
@@ -174,4 +235,29 @@ fn handle_conn(map: &dyn ConcurrentMap, stream: TcpStream) -> io::Result<()> {
         }
     }
     writer.flush()
+}
+
+/// The subscribed half of a connection: push `EVENTS` frames as the log
+/// grows, until the peer disconnects (surfaced as a write error) or the
+/// server shuts down.  The bounded wait keeps the loop responsive to
+/// shutdown without busy-spinning on an idle log.
+fn stream_events(
+    log: &ChangeLog,
+    mut after: u64,
+    writer: &mut BufWriter<TcpStream>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut out = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let entries = log.wait_from(after, MAX_EVENTS_PER_FRAME, Duration::from_millis(50));
+        let Some(&(last, _)) = entries.last() else { continue };
+        after = last;
+        out.clear();
+        proto::encode_response(&Response::Events(entries), &mut out);
+        writer.write_all(&out)?;
+        writer.flush()?;
+    }
 }

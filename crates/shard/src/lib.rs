@@ -33,8 +33,11 @@ use mapapi::{ConcurrentMap, Key, MapStats, Value};
 /// 64-bit FNV-1a over the key's little-endian bytes — cheap, deterministic,
 /// and unrelated to the FNV *rank scrambling* the workload samplers use, so
 /// skewed scenarios don't accidentally align their hot set with one shard.
+///
+/// Public because the replication layer reuses the same canonical key hash
+/// for its mutation-serializing stripes.
 #[inline]
-fn fnv1a(key: u64) -> u64 {
+pub fn fnv1a(key: u64) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.to_le_bytes() {
         h ^= b as u64;
@@ -74,6 +77,13 @@ impl ShardedMap {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The composed shards in index order (shard `i` owns the keys with
+    /// `fnv1a(k) % n == i`).  The replication layer checkpoints each shard's
+    /// validated snapshot as its own section through this.
+    pub fn shards(&self) -> &[Box<dyn ConcurrentMap>] {
+        &self.shards
     }
 
     /// The shard owning `key`.

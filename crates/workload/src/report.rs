@@ -32,6 +32,13 @@ pub struct Row {
     /// p50/p90/p99/p99.9 latency of the scan operations alone, nanoseconds
     /// (all zero when `scan_ops == 0`).
     pub scan_percentiles: Percentiles,
+    /// Follower-staleness samples recorded during the run (each one is
+    /// `primary seqno − follower applied seqno` at a sampling instant).
+    /// Zero for non-replicated rows, whose staleness columns are all zero.
+    pub staleness_samples: u64,
+    /// p50/p90/p99/p99.9 of the staleness samples, in **sequence numbers**
+    /// (events behind the primary), not nanoseconds.
+    pub staleness_percentiles: Percentiles,
 }
 
 /// Run-wide metadata recorded at the top of the JSON report.
@@ -67,7 +74,9 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
              \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
              \"max_ns\": {}, \"saturated\": {}, \"scan_ops\": {}, \
              \"scan_p50_ns\": {}, \"scan_p90_ns\": {}, \"scan_p99_ns\": {}, \
-             \"scan_p999_ns\": {}}}{}\n",
+             \"scan_p999_ns\": {}, \"staleness_samples\": {}, \
+             \"staleness_p50\": {}, \"staleness_p90\": {}, \"staleness_p99\": {}, \
+             \"staleness_p999\": {}}}{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -85,6 +94,11 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             r.scan_percentiles.p90,
             r.scan_percentiles.p99,
             r.scan_percentiles.p999,
+            r.staleness_samples,
+            r.staleness_percentiles.p50,
+            r.staleness_percentiles.p90,
+            r.staleness_percentiles.p99,
+            r.staleness_percentiles.p999,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -94,13 +108,16 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
 
 /// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
 pub fn to_csv(rows: &[Row]) -> String {
+    // Staleness columns are appended after the existing ones, so consumers
+    // indexing by header name (or by the old column positions) keep working.
     let mut s = String::from(
         "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,\
-         saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns\n",
+         saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns,\
+         staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -117,7 +134,12 @@ pub fn to_csv(rows: &[Row]) -> String {
             r.scan_percentiles.p50,
             r.scan_percentiles.p90,
             r.scan_percentiles.p99,
-            r.scan_percentiles.p999
+            r.scan_percentiles.p999,
+            r.staleness_samples,
+            r.staleness_percentiles.p50,
+            r.staleness_percentiles.p90,
+            r.staleness_percentiles.p99,
+            r.staleness_percentiles.p999
         ));
     }
     s
@@ -154,6 +176,8 @@ mod tests {
                 saturated: 0,
                 scan_ops: 0,
                 scan_percentiles: Percentiles::default(),
+                staleness_samples: 0,
+                staleness_percentiles: Percentiles::default(),
             },
             Row {
                 scenario: "scan-heavy".into(),
@@ -167,6 +191,8 @@ mod tests {
                 saturated: 1,
                 scan_ops: 1600,
                 scan_percentiles: Percentiles { p50: 800, p90: 1500, p99: 2500, p999: 3500 },
+                staleness_samples: 900,
+                staleness_percentiles: Percentiles { p50: 2, p90: 10, p99: 40, p999: 80 },
             },
         ]
     }
@@ -184,6 +210,9 @@ mod tests {
         assert!(j.contains("\"saturated\": 1"));
         assert!(j.contains("\"scan_ops\": 1600"));
         assert!(j.contains("\"scan_p999_ns\": 3500"));
+        assert!(j.contains("\"staleness_samples\": 900"));
+        assert!(j.contains("\"staleness_p99\": 40"));
+        assert!(j.contains("\"staleness_samples\": 0"));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n  ]"));
     }
@@ -193,9 +222,9 @@ mod tests {
         let c = to_csv(&sample_rows());
         assert_eq!(c.lines().count(), 3);
         assert!(c.starts_with("scenario,structure,threads"));
-        assert!(c.lines().next().unwrap().ends_with("scan_p999_ns"));
+        assert!(c.lines().next().unwrap().ends_with("staleness_p999"));
         assert!(c.contains("scan-heavy,int-bst-pathcas,4,3.2500"));
-        assert!(c.contains(",1,1600,800,1500,2500,3500\n"));
+        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80\n"));
     }
 
     #[test]

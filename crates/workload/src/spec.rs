@@ -244,6 +244,19 @@ pub fn all_scenarios() -> Vec<Scenario> {
             scan_len: Some(ScanLen::Fixed(8)),
             accounts: 0,
         },
+        Scenario {
+            name: "read-replica",
+            summary: "replicated service: 92% read / 4% update / 4% scan(16) — reads fan out to followers, writes go to the primary",
+            dist: zipf,
+            // Read-dominated on purpose: the read side is what followers
+            // scale, while the write side funnels through the primary and
+            // its change stream.  No RMW — over a replica set the workload's
+            // read-back check would race follower staleness by design.
+            mix: Mix { read: 920, insert: 20, remove: 20, scan: 40, ..none },
+            insert_kind: InsertKind::Sampled,
+            scan_len: Some(ScanLen::Fixed(16)),
+            accounts: 0,
+        },
     ]
 }
 
@@ -269,7 +282,7 @@ mod tests {
         assert_eq!(
             names,
             ["ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f", "txn-transfer",
-             "contended-hot-set", "scan-heavy", "service-mixed"]
+             "contended-hot-set", "scan-heavy", "service-mixed", "read-replica"]
         );
         for s in &all {
             assert!(s.mix.is_valid(), "{}: mix must sum to 1000", s.name);

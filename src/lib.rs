@@ -7,6 +7,7 @@ pub use mapapi;
 pub use mcms;
 pub use pathcas;
 pub use pathcas_ds;
+pub use replica;
 pub use server;
 pub use shard;
 pub use stm;

@@ -31,8 +31,29 @@ fn region_keysum() -> u128 {
 /// Run churn + (optionally) region RMW writers while the main thread scans
 /// the region and asserts the conserved count/sum on every observation.
 fn run_suite<M: ConcurrentMap + ?Sized>(map: &M, with_rmw: bool, scans: usize) {
-    for k in REGION_START..REGION_END {
-        assert!(map.insert(k, k), "{}: region prefill {k}", map.name());
+    run_suite_on(map, map, true, with_rmw, scans);
+}
+
+/// The generalized suite: all writes (prefill, churn, RMW) go to
+/// `write_map`, all scans go to `scan_map`.  For ordinary structures the two
+/// are the same object; for replication they are a primary and a follower
+/// observing it through the change stream — whose scans must *still* conserve
+/// the region on every observation, because sequential event application
+/// means any follower state is a consistent (if stale) prefix of the
+/// primary's history.  `prefill_region` is false when the caller already
+/// installed the region (e.g. before cutting the checkpoint a follower
+/// bootstraps from, so the region is never mid-replay during a scan).
+fn run_suite_on<W: ConcurrentMap + ?Sized, S: ConcurrentMap + ?Sized>(
+    write_map: &W,
+    scan_map: &S,
+    prefill_region: bool,
+    with_rmw: bool,
+    scans: usize,
+) {
+    if prefill_region {
+        for k in REGION_START..REGION_END {
+            assert!(write_map.insert(k, k), "{}: region prefill {k}", write_map.name());
+        }
     }
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -41,7 +62,7 @@ fn run_suite<M: ConcurrentMap + ?Sized>(map: &M, with_rmw: bool, scans: usize) {
         // region's ancestors without ever changing the region itself.
         for (lo, hi, seed) in [(1u64, REGION_START - 1, 0x1111u64), (REGION_END, 3000, 0x2222)] {
             let stop = &stop;
-            let map = &*map;
+            let map = &*write_map;
             s.spawn(move || {
                 let mut x = seed;
                 while !stop.load(Ordering::Relaxed) {
@@ -60,15 +81,20 @@ fn run_suite<M: ConcurrentMap + ?Sized>(map: &M, with_rmw: bool, scans: usize) {
             // values stay multiples of their key only if the RMW is atomic.
             for seed in [0x3333u64, 0x4444] {
                 let stop = &stop;
-                let map = &*map;
+                let map = &*write_map;
                 s.spawn(move || {
                     let mut x = seed;
                     while !stop.load(Ordering::Relaxed) {
                         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                         let k = REGION_START + x % REGION_LEN as u64;
-                        let was_present = map.rmw(k, &mut |v| {
-                            v.expect("region key vanished inside rmw") + k
-                        });
+                        // The closure tolerates `None`: PathCAS `rmw` may
+                        // invoke it speculatively on a stale not-found
+                        // traversal whose validation then fails and retries,
+                        // so the key only *looks* absent.  No detection power
+                        // is lost — if such an insert ever committed, the
+                        // `was_present` assert below would fire and the scan
+                        // invariant would reject the value 0.
+                        let was_present = map.rmw(k, &mut |v| v.map_or(0, |v| v + k));
                         assert!(was_present, "{}: rmw found region key {k} absent", map.name());
                     }
                 });
@@ -76,21 +102,25 @@ fn run_suite<M: ConcurrentMap + ?Sized>(map: &M, with_rmw: bool, scans: usize) {
         }
 
         for i in 0..scans {
-            let got = map.scan(REGION_START, REGION_LEN);
+            let got = scan_map.scan(REGION_START, REGION_LEN);
             assert_eq!(
                 got.len(),
                 REGION_LEN,
                 "{}: scan #{i} lost region keys: {:?}",
-                map.name(),
+                scan_map.name(),
                 got.iter().map(|&(k, _)| k).collect::<Vec<_>>()
             );
             let mut sum = 0u128;
             for (j, &(k, v)) in got.iter().enumerate() {
-                assert_eq!(k, REGION_START + j as u64, "{}: scan #{i} out of order", map.name());
-                assert!(v >= k && v % k == 0, "{}: scan #{i} saw torn value {v} at {k}", map.name());
+                assert_eq!(k, REGION_START + j as u64, "{}: scan #{i} out of order", scan_map.name());
+                assert!(
+                    v >= k && v % k == 0,
+                    "{}: scan #{i} saw torn value {v} at {k}",
+                    scan_map.name()
+                );
                 sum += k as u128;
             }
-            assert_eq!(sum, region_keysum(), "{}: scan #{i} keysum not conserved", map.name());
+            assert_eq!(sum, region_keysum(), "{}: scan #{i} keysum not conserved", scan_map.name());
         }
         stop.store(true, Ordering::Relaxed);
     });
@@ -161,6 +191,63 @@ fn ticket_bst_scans_never_observe_partial_state_under_churn() {
     // Best-effort scan, but single-key updates still publish atomically and
     // the region is immutable — so the conserved region must be observed.
     run_suite(&baselines::TicketBst::new(), false, 400);
+}
+
+// ---- replication: writes on the primary, scans on a live follower --------
+
+/// The conserved region observed **through the change stream**: churn and
+/// region RMW hammer the primary while the main thread scans a follower
+/// that a background thread is tailing.  The region was checkpointed before
+/// the follower bootstrapped, so it is present at every applied seqno, and
+/// sequential replay means every follower scan is a consistent prefix of
+/// the primary's history — the conserved count/sum and the
+/// multiple-of-key value discipline must hold on every observation even
+/// though the follower is arbitrarily stale.  At the end the drained
+/// follower must match the primary exactly.
+#[test]
+fn follower_scans_never_observe_partial_state() {
+    let primary = replica::ReplicatedMap::new(Box::new(pathcas_ds::PathCasAvl::new()));
+    for k in REGION_START..REGION_END {
+        assert!(primary.insert(k, k), "region prefill {k}");
+    }
+    // A different structure on purpose: replay is shape-independent.
+    let follower =
+        replica::Follower::bootstrap(Box::new(pathcas_ds::PathCasBst::new()), &primary.checkpoint());
+    let log = primary.log();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        s.spawn(|| replica::tail_log(&log, &follower, &stop));
+        run_suite_on(&primary, &follower, false, true, 400);
+        stop.store(true, Ordering::Release);
+    });
+    // `tail_log` drains before exiting: the follower is now *exactly* the
+    // primary, not just a prefix of it.
+    assert_eq!(follower.applied_seqno(), primary.log().seqno());
+    let (ps, fs) = (primary.stats(), follower.stats());
+    assert_eq!((ps.key_count, ps.key_sum), (fs.key_count, fs.key_sum), "drained follower diverged");
+    mapapi::suites::check_scan_matches_stats(&follower, &fs);
+}
+
+// ---- the composition served over loopback TCP ----------------------------
+
+/// The conserved region through the full service stack: `shard8(avl)`
+/// behind a real TCP server, driven through a `ServiceMap` pool.  Churn-only
+/// (the wire RMW is the masked affine update `(v + δ) & MAX_KEY`, whose even
+/// mask breaks the multiple-of-key value discipline for odd keys), which is
+/// exactly the scan-atomicity oracle: framing, pipelining, and the k-way
+/// shard merge must never lose, duplicate, or reorder a region key.
+#[test]
+fn service_scans_never_observe_partial_state_under_churn() {
+    let map: std::sync::Arc<dyn ConcurrentMap> =
+        std::sync::Arc::from(harness::make("shard8(int-avl-pathcas)"));
+    let srv = server::Server::start(map, "127.0.0.1:0").unwrap();
+    // 2 churn writers + the scanning main thread; one spare connection.
+    let svc = server::ServiceMap::connect(srv.local_addr(), 4, "shard8(int-avl-pathcas)").unwrap();
+    run_suite(&svc, false, 150);
+    let stats = svc.stats();
+    mapapi::suites::check_scan_matches_stats(&svc, &stats);
+    drop(svc);
+    srv.shutdown();
 }
 
 /// Differential check under concurrency: the same region discipline on the
