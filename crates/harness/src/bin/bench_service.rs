@@ -45,7 +45,10 @@
 //!   `read-replica`);
 //! * `PATHCAS_PIPELINE_DEPTHS` — comma-separated depths for the
 //!   `service-mixed` pipelining sweep (default `1,8,32`);
-//! * `PATHCAS_FOLLOWERS` — follower count for `read-replica` (default 2).
+//! * `PATHCAS_FOLLOWERS` — follower count for `read-replica` (default 2);
+//! * `PATHCAS_BACKEND` — `threads` or `reactor` to measure one serving
+//!   backend; unset (or `both`) sweeps both in one run.  Every row carries
+//!   the backend in the schema-appended `backend` column.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,7 +57,7 @@ use std::time::{Duration, Instant};
 use harness::{env_name_filter, name_passes, Config};
 use mapapi::ConcurrentMap;
 use replica::{Follower, ReplicaSet};
-use server::{Server, ServerOpts, ServiceMap, WireTail};
+use server::{Backend, Server, ServerOpts, ServiceMap, WireTail};
 use workload::{
     all_scenarios, run_scenario, run_scenario_batched, LatencyHistogram, Meta, Row, RunParams,
     Scenario,
@@ -72,10 +75,16 @@ fn run_service_trial(
     sc: &Scenario,
     params: &RunParams,
     depth: usize,
+    backend: Backend,
 ) -> workload::Outcome {
     let map = harness::try_make(algo).expect("algo name was validated at startup");
     let map: Arc<dyn ConcurrentMap> = Arc::from(map);
-    let server = Server::start(map, "127.0.0.1:0").expect("binding a loopback port");
+    let server = Server::start_with(
+        map,
+        ServerOpts { backend, ..ServerOpts::default() },
+        "127.0.0.1:0",
+    )
+    .expect("binding a loopback port");
     let svc = ServiceMap::connect(server.local_addr(), params.threads, algo)
         .expect("connecting the loopback pool");
     let out = if depth == 0 {
@@ -101,6 +110,7 @@ fn run_replica_trial(
     sc: &Scenario,
     params: &RunParams,
     n_followers: usize,
+    backend: Backend,
 ) -> (workload::Outcome, LatencyHistogram) {
     // The primary, prefilled in-process so the checkpoint cut already
     // carries the working set (the scenario's own prefill then sees the
@@ -118,7 +128,7 @@ fn run_replica_trial(
     let log = rep.log();
     let srv = Server::start_with(
         Arc::clone(&rep) as Arc<dyn ConcurrentMap>,
-        ServerOpts { log: Some(rep.log()), read_only: false },
+        ServerOpts { log: Some(rep.log()), backend, ..ServerOpts::default() },
         "127.0.0.1:0",
     )
     .expect("binding the primary port");
@@ -138,7 +148,7 @@ fn run_replica_trial(
         );
         let fsrv = Server::start_with(
             Arc::clone(&f) as Arc<dyn ConcurrentMap>,
-            ServerOpts { log: None, read_only: true },
+            ServerOpts { log: None, read_only: true, backend, ..ServerOpts::default() },
             "127.0.0.1:0",
         )
         .expect("binding a follower port");
@@ -241,12 +251,22 @@ fn main() {
         .and_then(|s| s.trim().parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(2);
+    // Both serving backends in one sweep by default; PATHCAS_BACKEND
+    // restricts the run to one of them.
+    let backends: Vec<Backend> = match Backend::from_env() {
+        Some(b) => vec![b],
+        None => Backend::ALL.to_vec(),
+    };
 
     println!("# service mode: {algo} over loopback TCP");
     println!(
         "key range {key_range}, {} trial(s) x {:?} (+{:?} warmup), seed {:#x}, \
-         pipeline depths {depths:?}, {n_followers} follower(s)\n",
-        cfg.trials, cfg.duration, warmup, cfg.seed
+         pipeline depths {depths:?}, {n_followers} follower(s), backends {:?}\n",
+        cfg.trials,
+        cfg.duration,
+        warmup,
+        cfg.seed,
+        backends.iter().map(|b| b.label()).collect::<Vec<_>>()
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -257,15 +277,16 @@ fn main() {
             // The staleness columns are in sequence numbers (events behind
             // the primary head), not time.
             println!(
-                "| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 \
-                 | stale p50 | stale p99 |"
+                "| structure | backend | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 \
+                 | scan p99 | stale p50 | stale p99 |"
             );
-            println!("|---|---|---|---|---|---|---|---|---|---|---|");
+            println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
         } else {
             println!(
-                "| structure | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 | scan p99 |"
+                "| structure | backend | threads | Mops/s | p50 | p90 | p99 | p99.9 | scan p50 \
+                 | scan p99 |"
             );
-            println!("|---|---|---|---|---|---|---|---|---|");
+            println!("|---|---|---|---|---|---|---|---|---|---|");
         }
         // Point mode always; the pipelining sweep only where it's the
         // point of the scenario (and transfers can't batch at all).  The
@@ -279,71 +300,76 @@ fn main() {
             modes.extend(depths.iter().map(|&d| (d, format!("svc({algo})@d{d}"))));
         }
         for (depth, label) in &modes {
-            for &threads in &cfg.threads {
-                let mut hist = LatencyHistogram::new();
-                let mut scan_hist = LatencyHistogram::new();
-                let mut stale_hist = LatencyHistogram::new();
-                let mut total_ops = 0u64;
-                let mut mops_sum = 0.0f64;
-                for trial in 0..cfg.trials.max(1) {
-                    let params = RunParams {
-                        threads,
-                        key_range,
-                        prefill: key_range / 2,
-                        warmup,
-                        duration: cfg.duration,
-                        seed: cfg.seed ^ ((trial as u64) << 40),
-                    };
-                    let out = if replicated {
-                        let (out, stale) = run_replica_trial(&algo, sc, &params, n_followers);
-                        stale_hist.merge(&stale);
-                        out
+            for &backend in &backends {
+                for &threads in &cfg.threads {
+                    let mut hist = LatencyHistogram::new();
+                    let mut scan_hist = LatencyHistogram::new();
+                    let mut stale_hist = LatencyHistogram::new();
+                    let mut total_ops = 0u64;
+                    let mut mops_sum = 0.0f64;
+                    for trial in 0..cfg.trials.max(1) {
+                        let params = RunParams {
+                            threads,
+                            key_range,
+                            prefill: key_range / 2,
+                            warmup,
+                            duration: cfg.duration,
+                            seed: cfg.seed ^ ((trial as u64) << 40),
+                        };
+                        let out = if replicated {
+                            let (out, stale) =
+                                run_replica_trial(&algo, sc, &params, n_followers, backend);
+                            stale_hist.merge(&stale);
+                            out
+                        } else {
+                            run_service_trial(&algo, sc, &params, *depth, backend)
+                        };
+                        hist.merge(&out.hist);
+                        scan_hist.merge(&out.scan_hist);
+                        total_ops += out.total_ops;
+                        mops_sum += out.mops();
+                    }
+                    let p = hist.percentiles();
+                    let sp = scan_hist.percentiles();
+                    let st = stale_hist.percentiles();
+                    let mops = mops_sum / cfg.trials.max(1) as f64;
+                    let stale_cols = if replicated {
+                        // Raw sequence numbers, not formatted as time.
+                        format!(" {} | {} |", st.p50, st.p99)
                     } else {
-                        run_service_trial(&algo, sc, &params, *depth)
+                        String::new()
                     };
-                    hist.merge(&out.hist);
-                    scan_hist.merge(&out.scan_hist);
-                    total_ops += out.total_ops;
-                    mops_sum += out.mops();
+                    println!(
+                        "| {} | {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |{}",
+                        label,
+                        backend.label(),
+                        threads,
+                        mops,
+                        workload::report::fmt_ns(p.p50),
+                        workload::report::fmt_ns(p.p90),
+                        workload::report::fmt_ns(p.p99),
+                        workload::report::fmt_ns(p.p999),
+                        workload::report::fmt_ns(sp.p50),
+                        workload::report::fmt_ns(sp.p99),
+                        stale_cols,
+                    );
+                    rows.push(Row {
+                        scenario: sc.name.to_string(),
+                        structure: label.clone(),
+                        threads,
+                        mops,
+                        total_ops,
+                        mean_ns: hist.mean(),
+                        percentiles: p,
+                        max_ns: hist.max(),
+                        saturated: hist.saturated_count(),
+                        scan_ops: scan_hist.count(),
+                        scan_percentiles: sp,
+                        staleness_samples: stale_hist.count(),
+                        staleness_percentiles: st,
+                        backend: backend.label().to_string(),
+                    });
                 }
-                let p = hist.percentiles();
-                let sp = scan_hist.percentiles();
-                let st = stale_hist.percentiles();
-                let mops = mops_sum / cfg.trials.max(1) as f64;
-                let stale_cols = if replicated {
-                    // Raw sequence numbers, not formatted as time.
-                    format!(" {} | {} |", st.p50, st.p99)
-                } else {
-                    String::new()
-                };
-                println!(
-                    "| {} | {} | {:.3} | {} | {} | {} | {} | {} | {} |{}",
-                    label,
-                    threads,
-                    mops,
-                    workload::report::fmt_ns(p.p50),
-                    workload::report::fmt_ns(p.p90),
-                    workload::report::fmt_ns(p.p99),
-                    workload::report::fmt_ns(p.p999),
-                    workload::report::fmt_ns(sp.p50),
-                    workload::report::fmt_ns(sp.p99),
-                    stale_cols,
-                );
-                rows.push(Row {
-                    scenario: sc.name.to_string(),
-                    structure: label.clone(),
-                    threads,
-                    mops,
-                    total_ops,
-                    mean_ns: hist.mean(),
-                    percentiles: p,
-                    max_ns: hist.max(),
-                    saturated: hist.saturated_count(),
-                    scan_ops: scan_hist.count(),
-                    scan_percentiles: sp,
-                    staleness_samples: stale_hist.count(),
-                    staleness_percentiles: st,
-                });
             }
         }
         println!();

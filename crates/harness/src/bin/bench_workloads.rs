@@ -147,6 +147,7 @@ fn main() {
                     // one row schema (bench_service fills them).
                     staleness_samples: 0,
                     staleness_percentiles: workload::Percentiles::default(),
+                    backend: "inproc".to_string(),
                 });
             }
         }

@@ -33,8 +33,9 @@
 
 pub mod client;
 pub mod proto;
+mod reactor;
 mod srv;
 
 pub use client::{Connection, ServiceMap, WireTail};
-pub use proto::{Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN};
-pub use srv::{Server, ServerOpts};
+pub use proto::{FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN};
+pub use srv::{Backend, Server, ServerOpts};

@@ -346,6 +346,132 @@ pub fn write_frames<W: Write>(w: &mut W, frames: &[u8]) -> io::Result<()> {
     w.write_all(frames)
 }
 
+/// How many bytes [`FrameDecoder::fill_from`] asks the source for per call.
+/// Big enough that a pipelined burst of point requests arrives in one read;
+/// small enough that a connection's retained buffer stays modest.
+pub const READ_CHUNK: usize = 64 << 10;
+
+/// An **incremental** frame decoder: the nonblocking counterpart of
+/// [`read_frame`], for readers that receive bytes in whatever pieces the
+/// network delivers (the reactor's per-connection state machine).
+///
+/// Bytes accumulate in one internal buffer ([`FrameDecoder::fill_from`]
+/// reads straight into its tail — no staging copy) and
+/// [`FrameDecoder::next_frame`] yields each complete payload as a borrowed
+/// slice.  Two properties the battery asserts:
+///
+/// * **chunking-oblivious**: any split of a byte stream — down to one byte
+///   at a time — decodes to exactly the frame sequence the one-shot
+///   [`read_frame`] oracle produces (proptest-differential);
+/// * **bounded**: a frame's length prefix is validated against
+///   [`MAX_FRAME`] *before* any buffer growth beyond the bytes actually
+///   received, so a hostile length can never force an allocation past the
+///   ceiling — and the buffer only ever grows toward the one frame it is
+///   assembling (plus up to one [`READ_CHUNK`] of lookahead).
+///
+/// Consumed bytes are compacted away lazily; capacity is retained across
+/// frames and connections (the reactor pools decoders), which is what makes
+/// the steady-state read path allocation-free.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder (no buffer until the first fill).
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes by hand — the test-side entry point; socket readers use
+    /// [`FrameDecoder::fill_from`].
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read once from `r` into the buffer's tail, growing it by at most
+    /// [`READ_CHUNK`].  Returns the byte count (0 = EOF); `WouldBlock` and
+    /// friends propagate untouched.
+    pub fn fill_from<R: io::Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        // Zero-fill the read window; with retained capacity this is a
+        // memset, not an allocation.
+        self.buf.resize(old + READ_CHUNK, 0);
+        match r.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// The next complete frame payload, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes"; `Err` means the stream is
+    /// poisoned (hostile length prefix) and the connection must die —
+    /// exactly when the [`read_frame`] oracle errors.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, String> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        self.start += 4 + len;
+        Ok(Some(&self.buf[self.start - len..self.start]))
+    }
+
+    /// Whether undecoded bytes remain — i.e. the stream ended mid-frame if
+    /// no more input is coming.
+    pub fn has_partial(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The buffer's capacity — what the allocation-bound property test
+    /// checks against [`MAX_FRAME`] `+` [`READ_CHUNK`] slack.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Forget buffered bytes but keep the allocation: the pool-return path.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Drop the consumed prefix once it dominates the buffer, so the buffer
+    /// tracks the frames in flight instead of the bytes ever received.
+    /// Amortized O(1) per byte: each byte is copied at most once per
+    /// half-buffer of consumption.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= READ_CHUNK.max(self.buf.len() / 2) {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +578,57 @@ mod tests {
         let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
         let mut r = BufReader::new(&huge[..]);
         assert!(read_frame(&mut r, &mut payload).is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_handles_any_split() {
+        let reqs = [Request::Get(1), Request::Put(2, 20), Request::Scan(1, 8), Request::Stats];
+        let mut stream = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut stream);
+        }
+        // Feed the whole stream one byte at a time; every frame must pop
+        // out exactly once, in order, at the moment its last byte lands.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.feed(&[b]);
+            while let Some(payload) = dec.next_frame().unwrap() {
+                got.push(decode_request(payload).unwrap());
+            }
+        }
+        assert_eq!(got, reqs);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_hostile_lengths_without_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+        // The rejection happened at the prefix: four bytes buffered, no
+        // multi-megabyte reservation.
+        assert!(dec.capacity() < 1024, "hostile prefix grew the buffer");
+    }
+
+    #[test]
+    fn incremental_decoder_retains_capacity_across_frames_and_reset() {
+        let mut dec = FrameDecoder::new();
+        let mut stream = Vec::new();
+        encode_request(&Request::Put(1, 1), &mut stream);
+        for _ in 0..100 {
+            dec.feed(&stream);
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        let cap = dec.capacity();
+        assert!(cap > 0);
+        dec.reset();
+        assert_eq!(dec.capacity(), cap, "reset must keep the allocation");
+        assert_eq!(dec.buffered(), 0);
+        // Mid-frame state is visible: feed a prefix only.
+        dec.feed(&stream[..3]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.has_partial());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! The epoll reactor backend: a fixed pool of event-loop threads
+//! multiplexing every connection through readiness notifications
+//! (DESIGN.md §10).
+//!
+//! Where the threaded backend spends an OS thread (stack, scheduler slot,
+//! context switches) per connection, the reactor spends a few hundred
+//! bytes of state machine: each connection is a nonblocking socket, an
+//! incremental [`FrameDecoder`], and a staged write queue.  N reactor
+//! threads (default 2, `PATHCAS_REACTOR_THREADS`) each run their own epoll
+//! instance; the **accept fd is shared** — the nonblocking listener is
+//! registered level-triggered in every loop, and whichever thread wins the
+//! `accept` race owns that connection for its whole life (no cross-thread
+//! migration, so a connection's frames are processed strictly in order
+//! with no locking).
+//!
+//! The wire protocol, request execution, and error behavior are
+//! byte-identical to the threaded backend — [`crate::srv::execute`] is
+//! literally the same function — which is what lets the entire loopback /
+//! fault / replication battery run differentially against both
+//! (`tests/common/mod.rs::for_each_backend`).
+//!
+//! **Batching.**  A readability wakeup drains the socket until
+//! `WouldBlock`, decodes every complete frame, stages all responses into
+//! the connection's write queue, and only then writes — so a pipelined
+//! burst of D requests is answered with one `write` syscall, exactly the
+//! depth-D batching win the threaded backend gets from its
+//! flush-when-drained rule, except here it compounds across thousands of
+//! connections instead of thousands of threads.
+//!
+//! **Pooling.**  Decoders and write queues are recycled through per-thread
+//! free lists when connections close, and both retain their capacity
+//! across frames — the steady-state read path (fill → decode → execute →
+//! encode) performs zero heap allocations, asserted by the
+//! counting-allocator test in `tests/zero_alloc_wire.rs`.
+//!
+//! **Backpressure.**  A slow reader's write queue simply grows (staged
+//! bytes, not blocked threads) while `EPOLLOUT` drains it as the peer
+//! permits; no connection can wedge another, asserted by
+//! `tests/reactor_faults.rs`.
+//!
+//! **Streaming.**  `SUBSCRIBE` flips a connection's mode: instead of
+//! decoding requests, the loop polls the change log (bounded 10 ms epoll
+//! timeout while any subscriber exists) and stages `EVENTS` frames
+//! whenever the previous batch has fully drained — the in-flight batch is
+//! the natural backpressure bound.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use epoll_shim::{Epoll, Events, Interest, WakeFd};
+use mapapi::ConcurrentMap;
+
+use crate::proto::{self, FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME};
+use crate::srv::{execute, is_write, ServerOpts, NO_LOG_MSG, READ_ONLY_MSG};
+
+/// Token of the shared listener in every reactor thread's epoll set.
+const TOK_LISTENER: u64 = 0;
+/// Token of the per-thread shutdown eventfd.
+const TOK_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const TOK_CONN0: u64 = 2;
+
+/// Kernel events drained per `epoll_wait` call.
+const WAIT_EVENTS: usize = 256;
+
+/// Epoll timeout while any subscribed connection exists: the change-log
+/// poll cadence (the threaded backend's condvar wait is 50 ms; the reactor
+/// polls faster because one timeout serves every subscriber).
+const STREAM_POLL_MS: i32 = 10;
+
+/// The epoll-backend server handle.
+pub(crate) struct ReactorServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    wakes: Vec<Arc<WakeFd>>,
+}
+
+impl ReactorServer {
+    pub(crate) fn start(
+        map: Arc<dyn ConcurrentMap>,
+        opts: ServerOpts,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<ReactorServer> {
+        assert!(opts.reactor_threads >= 1, "a reactor needs at least one thread");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut threads = Vec::new();
+        let mut wakes = Vec::new();
+        for _ in 0..opts.reactor_threads {
+            let wake = Arc::new(WakeFd::new()?);
+            let epoll = Epoll::new()?;
+            epoll.add(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+            epoll.add(wake.as_raw_fd(), TOK_WAKE, Interest::READ)?;
+            let mut loop_ = ReactorLoop {
+                epoll,
+                wake: Arc::clone(&wake),
+                listener: Arc::clone(&listener),
+                map: Arc::clone(&map),
+                opts: opts.clone(),
+                shutdown: Arc::clone(&shutdown),
+                conns: HashMap::new(),
+                next_token: TOK_CONN0,
+                streaming: 0,
+                dec_pool: Vec::new(),
+                out_pool: Vec::new(),
+                dead: Vec::new(),
+            };
+            wakes.push(wake);
+            threads.push(std::thread::spawn(move || loop_.run()));
+        }
+        Ok(ReactorServer { local_addr, shutdown, threads, wakes })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flag every loop down, wake them out of `epoll_wait`, and join.
+    /// Dropping the loops closes every connection socket (clients see
+    /// EOF/reset) and the last listener Arc (the port stops accepting).
+    pub(crate) fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        for wake in &self.wakes {
+            wake.wake();
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// What a connection is currently doing.
+enum Mode {
+    /// Decoding requests, staging responses.
+    Request,
+    /// `SUBSCRIBE`d: the loop pushes `EVENTS` frames past this seqno.
+    Streaming { after: u64 },
+}
+
+/// One connection's entire state — this is what replaces a thread.
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Staged response bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    /// Prefix of `out` already written.
+    out_pos: usize,
+    mode: Mode,
+    /// No more requests will be processed; close once `out` drains.  Set
+    /// on clean EOF and after a framing-error response is staged.
+    closing: bool,
+    /// Whether `EPOLLOUT` is currently registered.
+    want_write: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// One reactor thread's state.  `run` is the event loop.
+struct ReactorLoop {
+    epoll: Epoll,
+    wake: Arc<WakeFd>,
+    listener: Arc<TcpListener>,
+    map: Arc<dyn ConcurrentMap>,
+    opts: ServerOpts,
+    shutdown: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Live `Mode::Streaming` connections owned by this thread.
+    streaming: usize,
+    /// Recycled decoders / write queues from closed connections.
+    dec_pool: Vec<FrameDecoder>,
+    out_pool: Vec<Vec<u8>>,
+    /// Scratch list of tokens to close after an iteration phase.
+    dead: Vec<u64>,
+}
+
+impl ReactorLoop {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(WAIT_EVENTS);
+        loop {
+            let timeout = if self.streaming > 0 { Some(STREAM_POLL_MS) } else { None };
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                // An unusable epoll fd means this loop cannot continue;
+                // its connections die with it.
+                break;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            for ev in events.iter() {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKE => {
+                        self.wake.drain();
+                    }
+                    token => {
+                        let Some(conn) = self.conns.get_mut(&token) else { continue };
+                        // Hangup is handled through the read path: the
+                        // socket stays readable until the error/EOF has
+                        // been consumed, and buffered request bytes that
+                        // raced the close are still served.
+                        let was_streaming = matches!(conn.mode, Mode::Streaming { .. });
+                        let mut dead = false;
+                        if ev.readable || ev.hangup {
+                            dead = handle_readable(conn, &*self.map, &self.opts);
+                        }
+                        if !dead && (ev.writable || conn.pending_out() || conn.closing) {
+                            dead = flush(conn, &self.epoll, token);
+                        }
+                        if !was_streaming && matches!(conn.mode, Mode::Streaming { .. }) {
+                            self.streaming += 1;
+                        }
+                        if dead {
+                            self.close(token);
+                        }
+                    }
+                }
+            }
+            if self.streaming > 0 {
+                self.pump_streams();
+            }
+        }
+        // Drop everything: sockets close, peers see EOF/reset.
+        self.conns.clear();
+    }
+
+    /// Accept until the shared listener runs dry.  Losing the race to a
+    /// sibling thread surfaces as `WouldBlock`, which is the load balancer.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Mirror the threaded accept loop: a connection that
+                    // fails setup is dropped, the server keeps serving.
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err()
+                    {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.epoll.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            dec: self.dec_pool.pop().unwrap_or_default(),
+                            out: self.out_pool.pop().unwrap_or_default(),
+                            out_pos: 0,
+                            mode: Mode::Request,
+                            closing: false,
+                            want_write: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // ECONNABORTED and friends: that one connection is gone,
+                // the listener is fine.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Stage the next `EVENTS` batch on every subscriber whose previous
+    /// batch has fully drained — the in-flight frame is the backpressure
+    /// bound, so a stalled subscriber costs one batch of memory, not an
+    /// unbounded queue.
+    fn pump_streams(&mut self) {
+        debug_assert!(self.dead.is_empty());
+        for (&token, conn) in &mut self.conns {
+            let Mode::Streaming { after } = conn.mode else { continue };
+            if conn.pending_out() {
+                continue;
+            }
+            let Some(log) = &self.opts.log else { continue };
+            let entries = log.read_from(after, MAX_EVENTS_PER_FRAME);
+            let Some(&(last, _)) = entries.last() else { continue };
+            conn.mode = Mode::Streaming { after: last };
+            conn.out.clear();
+            conn.out_pos = 0;
+            proto::encode_response(&Response::Events(entries), &mut conn.out);
+            if flush(conn, &self.epoll, token) {
+                self.dead.push(token);
+            }
+        }
+        while let Some(token) = self.dead.pop() {
+            self.close(token);
+        }
+    }
+
+    /// Tear a connection down and recycle its buffers.
+    fn close(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else { return };
+        if matches!(conn.mode, Mode::Streaming { .. }) {
+            self.streaming -= 1;
+        }
+        // Closing the fd deregisters it from epoll implicitly; the explicit
+        // delete keeps the set tidy if the stream clone semantics change.
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        conn.dec.reset();
+        conn.out.clear();
+        self.dec_pool.push(conn.dec);
+        self.out_pool.push(conn.out);
+        // `conn.stream` drops here: FIN (or RST if the peer sent bytes we
+        // never read), exactly like the threaded handler's socket teardown.
+    }
+}
+
+/// Drain the socket and process every complete frame.  Returns whether the
+/// connection is already dead (reset, or EOF with nothing left to write).
+fn handle_readable(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -> bool {
+    let mut eof = false;
+    loop {
+        match conn.dec.fill_from(&mut conn.stream) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(_) => {
+                if matches!(conn.mode, Mode::Streaming { .. }) {
+                    // Nothing may follow SUBSCRIBE; drop the bytes (the
+                    // threaded backend simply never reads them).
+                    conn.dec.reset();
+                } else if !conn.closing {
+                    process_frames(conn, map, opts);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Reset mid-read: the connection is gone, staged output and
+            // all — matching the threaded handler's `?` on a failed read.
+            Err(_) => return true,
+        }
+    }
+    if eof {
+        // Clean EOF at a frame boundary: flush staged responses, then
+        // close.  Mid-frame EOF (a torn frame) closes without a response,
+        // like the threaded path's UnexpectedEof.
+        conn.closing = true;
+        if !conn.pending_out() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decode and execute every complete frame currently buffered, staging the
+/// responses in order.  Mirrors `srv::handle_conn`'s dispatch exactly.
+fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) {
+    while !conn.closing {
+        // The decoded request is `Copy`, so the borrow on the decoder ends
+        // before the response is staged into `conn.out`.
+        let req = match conn.dec.next_frame() {
+            Ok(Some(payload)) => proto::decode_request(payload),
+            Ok(None) => break,
+            Err(_) => {
+                // Hostile length prefix: torn connection, no response —
+                // the same observable as the threaded read_frame error.
+                conn.closing = true;
+                conn.out.clear();
+                conn.out_pos = 0;
+                break;
+            }
+        };
+        let resp = match req {
+            Ok(Request::Subscribe(after)) => match &opts.log {
+                Some(_) => {
+                    // Pipelined responses ahead of the subscription stay
+                    // staged in `out` and flush before the first EVENTS
+                    // frame — same ordering as the threaded flush-then-
+                    // stream.  Anything after SUBSCRIBE is undefined by
+                    // the protocol; drop it.
+                    conn.mode = Mode::Streaming { after };
+                    conn.dec.reset();
+                    return;
+                }
+                None => Response::Err(NO_LOG_MSG.into()),
+            },
+            Ok(req) if opts.read_only && is_write(&req) => Response::Err(READ_ONLY_MSG.into()),
+            Ok(req) => execute(map, req),
+            Err(msg) => {
+                // Framing error: answer, then close once it flushes.
+                conn.closing = true;
+                Response::Err(msg)
+            }
+        };
+        proto::encode_response(&resp, &mut conn.out);
+    }
+}
+
+/// Write staged bytes until drained or the kernel pushes back.  Arms and
+/// disarms `EPOLLOUT` as the queue transitions; returns whether the
+/// connection is dead (write error, or drained with `closing` set).
+fn flush(conn: &mut Conn, epoll: &Epoll, token: u64) -> bool {
+    while conn.pending_out() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !conn.want_write {
+                    conn.want_write = true;
+                    if epoll
+                        .modify(conn.stream.as_raw_fd(), token, Interest::READ_WRITE)
+                        .is_err()
+                    {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    // Fully drained: recycle the staging buffer's window.
+    conn.out.clear();
+    conn.out_pos = 0;
+    if conn.want_write {
+        conn.want_write = false;
+        if epoll.modify(conn.stream.as_raw_fd(), token, Interest::READ).is_err() {
+            return true;
+        }
+    }
+    conn.closing
+}

@@ -1,5 +1,16 @@
-//! The threaded TCP server: one acceptor thread, one handler thread per
-//! connection, responses batched per pipeline burst.
+//! The server front door — backend selection — plus the threaded backend:
+//! one acceptor thread, one handler thread per connection, responses
+//! batched per pipeline burst.
+//!
+//! [`Server`] itself is a thin facade over two interchangeable backends
+//! speaking the identical wire protocol (the whole test battery runs
+//! against both; see [`Backend`]):
+//!
+//! * **threads** — the model documented below: simple, blocking, one OS
+//!   thread per connection;
+//! * **reactor** — the epoll-driven event loop in [`crate::reactor`]: a
+//!   fixed thread pool multiplexing every connection through readiness
+//!   notifications, which is what scales past a few hundred connections.
 //!
 //! A handler decodes and executes requests one at a time but only flushes
 //! its write buffer when the read side has drained — so a client that
@@ -38,24 +49,156 @@ use crate::proto::{self, Request, Response, MAX_EVENTS_PER_FRAME, MAX_SCAN_LEN};
 ///   role: the map behind a read-only server is typically a
 ///   [`replica::Follower`], whose own write methods panic as a second line
 ///   of defense.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ServerOpts {
     /// Change stream served to `SUBSCRIBE`, if any.
     pub log: Option<Arc<ChangeLog>>,
     /// Reject write verbs with a semantic error response.
     pub read_only: bool,
+    /// Which serving backend runs the connections.
+    pub backend: Backend,
+    /// Reactor thread count (ignored by the threaded backend).  Each
+    /// reactor thread runs its own epoll loop; they share the accept fd.
+    pub reactor_threads: usize,
 }
 
-/// One live connection as the server tracks it: the handler thread plus a
-/// socket clone used to unblock its reads at shutdown.
-type ConnHandle = (JoinHandle<()>, TcpStream);
+impl Default for ServerOpts {
+    /// No log, writable, backend from `PATHCAS_BACKEND` (threads if
+    /// unset), reactor threads from `PATHCAS_REACTOR_THREADS` (default 2).
+    fn default() -> ServerOpts {
+        ServerOpts {
+            log: None,
+            read_only: false,
+            backend: Backend::from_env().unwrap_or(Backend::Threads),
+            reactor_threads: default_reactor_threads(),
+        }
+    }
+}
 
-/// A running KV service bound to a local address.
+/// `PATHCAS_REACTOR_THREADS`, defaulting to 2 — enough that reactor-vs-
+/// threads differences in the battery are about the model, not parallelism.
+fn default_reactor_threads() -> usize {
+    std::env::var("PATHCAS_REACTOR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// The two serving backends.  Both speak the byte-identical wire protocol
+/// against the same [`ServiceMap`](crate::ServiceMap)/
+/// [`Connection`](crate::Connection) clients; the `PATHCAS_BACKEND`
+/// environment knob selects one for code that uses [`ServerOpts::default`]
+/// (tests pass a `Backend` explicitly via `for_each_backend`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// One blocking handler thread per connection (the PR 5 model).
+    Threads,
+    /// A fixed pool of epoll reactor threads multiplexing all connections.
+    Reactor,
+}
+
+impl Backend {
+    /// Both backends — what the differential batteries iterate over.
+    pub const ALL: [Backend; 2] = [Backend::Threads, Backend::Reactor];
+
+    /// The knob spelling: `threads` / `reactor`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Reactor => "reactor",
+        }
+    }
+
+    /// Parse `PATHCAS_BACKEND`.  Unset or `both` means "no preference"
+    /// (`None`); anything else unrecognized panics loudly — a typoed CI
+    /// knob must not silently fall back to the default backend.
+    pub fn from_env() -> Option<Backend> {
+        match std::env::var("PATHCAS_BACKEND") {
+            Err(_) => None,
+            Ok(v) => match v.trim() {
+                "" | "both" => None,
+                "threads" => Some(Backend::Threads),
+                "reactor" => Some(Backend::Reactor),
+                other => panic!("PATHCAS_BACKEND={other:?}: expected threads|reactor|both"),
+            },
+        }
+    }
+}
+
+/// A running KV service bound to a local address, on either backend.
 ///
 /// Dropping the handle **without** calling [`Server::shutdown`] detaches the
 /// threads (they keep serving until the process exits); the benches and
 /// tests always shut down explicitly so a clean exit is observable.
 pub struct Server {
+    inner: Inner,
+}
+
+enum Inner {
+    Threads(ThreadedServer),
+    Reactor(crate::reactor::ReactorServer),
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `map` on the default backend.  Returns once the listener is
+    /// accepting.
+    pub fn start(map: Arc<dyn ConcurrentMap>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Self::start_with(map, ServerOpts::default(), addr)
+    }
+
+    /// Like [`Server::start`], with explicit [`ServerOpts`] — a primary
+    /// publishing a change stream, a read-only follower front-end, or a
+    /// specific [`Backend`].
+    pub fn start_with(
+        map: Arc<dyn ConcurrentMap>,
+        opts: ServerOpts,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Server> {
+        let inner = match opts.backend {
+            Backend::Threads => Inner::Threads(ThreadedServer::start(map, opts, addr)?),
+            Backend::Reactor => {
+                Inner::Reactor(crate::reactor::ReactorServer::start(map, opts, addr)?)
+            }
+        };
+        Ok(Server { inner })
+    }
+
+    /// The bound address (with the actual port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        match &self.inner {
+            Inner::Threads(s) => s.local_addr,
+            Inner::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    /// Which backend is serving.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            Inner::Threads(_) => Backend::Threads,
+            Inner::Reactor(_) => Backend::Reactor,
+        }
+    }
+
+    /// Stop accepting, unblock every connection, and join all threads.
+    /// Returns when the last serving thread has exited — the "clean
+    /// shutdown" the CI smoke step asserts via the process exit code.
+    /// Clients still connected see EOF (or a reset mid-request).
+    pub fn shutdown(self) {
+        match self.inner {
+            Inner::Threads(s) => s.shutdown(),
+            Inner::Reactor(s) => s.shutdown(),
+        }
+    }
+}
+
+/// One live connection as the threaded backend tracks it: the handler
+/// thread plus a socket clone used to unblock its reads at shutdown.
+type ConnHandle = (JoinHandle<()>, TcpStream);
+
+/// The thread-per-connection backend.
+struct ThreadedServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -66,20 +209,12 @@ pub struct Server {
     conns: Arc<Mutex<Vec<ConnHandle>>>,
 }
 
-impl Server {
-    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `map`.  Returns once the listener is accepting.
-    pub fn start(map: Arc<dyn ConcurrentMap>, addr: impl ToSocketAddrs) -> io::Result<Server> {
-        Self::start_with(map, ServerOpts::default(), addr)
-    }
-
-    /// Like [`Server::start`], with explicit [`ServerOpts`] — a primary
-    /// publishing a change stream, or a read-only follower front-end.
-    pub fn start_with(
+impl ThreadedServer {
+    fn start(
         map: Arc<dyn ConcurrentMap>,
         opts: ServerOpts,
         addr: impl ToSocketAddrs,
-    ) -> io::Result<Server> {
+    ) -> io::Result<ThreadedServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -119,19 +254,11 @@ impl Server {
             })
         };
 
-        Ok(Server { local_addr, shutdown, acceptor: Some(acceptor), conns })
-    }
-
-    /// The bound address (with the actual port when started on port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        Ok(ThreadedServer { local_addr, shutdown, acceptor: Some(acceptor), conns })
     }
 
     /// Stop accepting, unblock every handler, and join all threads.
-    /// Returns when the last connection thread has exited — the "clean
-    /// shutdown" the CI smoke step asserts via the process exit code.
-    /// Clients still connected see EOF (or a reset mid-request).
-    pub fn shutdown(mut self) {
+    fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
         // Unblock the acceptor's blocking `incoming()`.
         let _ = TcpStream::connect(self.local_addr);
@@ -147,8 +274,9 @@ impl Server {
     }
 }
 
-/// Execute one decoded request against the map.
-fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
+/// Execute one decoded request against the map.  Shared by both backends —
+/// byte-identical semantics is the point.
+pub(crate) fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
     match req {
         Request::Get(k) => Response::Get(map.get(k)),
         Request::Put(k, v) => Response::Put(map.insert(k, v)),
@@ -176,9 +304,16 @@ fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
 }
 
 /// Whether a request mutates the map (the verbs a read-only server rejects).
-fn is_write(req: &Request) -> bool {
+pub(crate) fn is_write(req: &Request) -> bool {
     matches!(req, Request::Put(..) | Request::Del(..) | Request::Rmw(..))
 }
+
+/// Rejection for write verbs on a read-only server — shared verbatim by
+/// both backends so the wire bytes are identical.
+pub(crate) const READ_ONLY_MSG: &str = "read-only replica: writes go to the primary";
+
+/// Rejection for `SUBSCRIBE` on a server without a change stream.
+pub(crate) const NO_LOG_MSG: &str = "no change stream: this server has no log";
 
 /// Serve one connection until EOF, shutdown (surfaced as EOF/reset on the
 /// socket), or a framing error.
@@ -204,12 +339,12 @@ fn handle_conn(
                     writer.flush()?;
                     return stream_events(log, after, &mut writer, shutdown);
                 }
-                None => Response::Err("no change stream: this server has no log".into()),
+                None => Response::Err(NO_LOG_MSG.into()),
             },
             // Semantic rejection, not a framing error: the connection
             // survives, exactly like an oversized scan.
             Ok(req) if opts.read_only && is_write(&req) => {
-                Response::Err("read-only replica: writes go to the primary".into())
+                Response::Err(READ_ONLY_MSG.into())
             }
             Ok(req) => execute(map, req),
             Err(msg) => {

@@ -1,0 +1,196 @@
+//! Differential property tests for the reactor's incremental
+//! [`FrameDecoder`] against the one-shot blocking [`proto::read_frame`]
+//! oracle (the threaded backend's framing path since PR 5): over arbitrary
+//! byte streams — valid pipelined request bursts, hostile garbage, and
+//! mixes — split into arbitrary chunkings, both must produce **exactly**
+//! the same frame sequence and agree on how the stream ends.  Plus the
+//! memory bound: a hostile length prefix can never make the decoder
+//! allocate past [`MAX_FRAME`] (+ one read chunk of lookahead slack).
+
+use std::io::{BufReader, Read};
+
+use proptest::prelude::*;
+use server::proto::{self, READ_CHUNK};
+use server::{FrameDecoder, Request, MAX_FRAME};
+
+/// How the oracle saw the stream end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum End {
+    /// Clean EOF exactly at a frame boundary.
+    Clean,
+    /// EOF inside a length prefix or frame body.
+    Torn,
+    /// A length prefix beyond `MAX_FRAME`.
+    Oversize,
+}
+
+/// Run the blocking one-shot oracle over the whole stream.
+fn oracle_frames(stream: &[u8]) -> (Vec<Vec<u8>>, End) {
+    let mut r = BufReader::new(stream);
+    let mut frames = Vec::new();
+    let mut payload = Vec::new();
+    loop {
+        match proto::read_frame(&mut r, &mut payload) {
+            Ok(true) => frames.push(payload.clone()),
+            Ok(false) => return (frames, End::Clean),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return (frames, End::Oversize)
+            }
+            Err(_) => return (frames, End::Torn),
+        }
+    }
+}
+
+/// Feed the stream into the incremental decoder in the given chunking and
+/// collect every complete frame.  Returns the frames and the equivalent
+/// [`End`] classification.
+fn incremental_frames(stream: &[u8], chunks: &[usize]) -> (Vec<Vec<u8>>, End) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut off = 0;
+    // The generated chunk sizes, then everything left in one final piece.
+    for &c in chunks.iter().chain(std::iter::once(&usize::MAX)) {
+        if off >= stream.len() {
+            break;
+        }
+        let end = stream.len().min(off.saturating_add(c));
+        dec.feed(&stream[off..end]);
+        off = end;
+        loop {
+            match dec.next_frame() {
+                Ok(Some(p)) => frames.push(p.to_vec()),
+                Ok(None) => break,
+                Err(_) => return (frames, End::Oversize),
+            }
+        }
+    }
+    let end = if dec.has_partial() { End::Torn } else { End::Clean };
+    (frames, end)
+}
+
+/// One segment of a generated stream: a well-formed encoded request, a
+/// frame of raw bytes (unknown opcodes included — framing-valid), or plain
+/// garbage bytes spliced in unframed.
+fn segment_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // A well-formed request frame.
+        (0u8..7, any::<u64>(), any::<u64>()).prop_map(|(op, a, b)| {
+            let req = match op {
+                0 => Request::Get(a),
+                1 => Request::Put(a, b),
+                2 => Request::Del(a),
+                3 => Request::Rmw(a, b),
+                4 => Request::Scan(a, b as u32),
+                5 => Request::Stats,
+                _ => Request::Subscribe(a),
+            };
+            let mut buf = Vec::new();
+            proto::encode_request(&req, &mut buf);
+            buf
+        }),
+        // A framing-valid frame of arbitrary payload bytes.
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|body| {
+            let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+            buf.extend_from_slice(&body);
+            buf
+        }),
+        // Unframed garbage: usually tears the tail of the stream (or, by
+        // luck, parses as more frames — the oracle decides).
+        proptest::collection::vec(any::<u8>(), 1..12),
+    ]
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(segment_strategy(), 0..12)
+        .prop_map(|segs| segs.concat())
+}
+
+fn chunking_strategy() -> impl Strategy<Value = Vec<usize>> {
+    // Chunk sizes from single bytes up past READ_CHUNK-ish bursts.
+    proptest::collection::vec(
+        prop_oneof![1usize..4, 4usize..64, 64usize..4096],
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn incremental_decode_matches_the_one_shot_oracle(
+        input in (stream_strategy(), chunking_strategy())
+    ) {
+        let (stream, chunks) = input;
+        let (want, want_end) = oracle_frames(&stream);
+        let (got, got_end) = incremental_frames(&stream, &chunks);
+        // Frames the oracle saw before its stop condition must all be
+        // produced, identically and in order.  (On Oversize the oracle
+        // stops at the bad prefix; the incremental decoder stops at the
+        // same point by construction.)
+        assert_eq!(got, want, "frame sequences diverged");
+        assert_eq!(got_end, want_end, "stream-end classification diverged");
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_all_at_once(stream in stream_strategy()) {
+        let one = incremental_frames(&stream, &vec![1; stream.len()]);
+        let all = incremental_frames(&stream, &[]);
+        assert_eq!(one, all);
+    }
+
+    #[test]
+    fn hostile_lengths_never_allocate_past_the_ceiling(
+        input in ((MAX_FRAME as u32 + 1)..=u32::MAX, proptest::collection::vec(any::<u8>(), 0..256))
+    ) {
+        let (len, junk) = input;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&len.to_le_bytes());
+        dec.feed(&junk);
+        assert!(dec.next_frame().is_err(), "oversize prefix must be an error");
+        assert!(
+            dec.capacity() <= MAX_FRAME + READ_CHUNK,
+            "hostile length grew the buffer to {}",
+            dec.capacity()
+        );
+    }
+
+    #[test]
+    fn fill_from_is_equivalent_to_feed(
+        input in (stream_strategy(), chunking_strategy())
+    ) {
+        let (stream, chunks) = input;
+        // A reader that returns at most the next chunk size per read call,
+        // exercising the decoder's direct-into-buffer fill path.
+        struct Chunked<'a> { data: &'a [u8], chunks: std::vec::IntoIter<usize> }
+        impl Read for Chunked<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                let cap = self.chunks.next().unwrap_or(usize::MAX).min(out.len());
+                let n = cap.min(self.data.len());
+                out[..n].copy_from_slice(&self.data[..n]);
+                self.data = &self.data[n..];
+                Ok(n)
+            }
+        }
+        let mut r = Chunked { data: &stream, chunks: chunks.iter().map(|&c| c.max(1)).collect::<Vec<_>>().into_iter() };
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        let end = loop {
+            match dec.next_frame() {
+                Ok(Some(p)) => { frames.push(p.to_vec()); continue }
+                Ok(None) => {}
+                Err(_) => break End::Oversize,
+            }
+            match dec.fill_from(&mut r) {
+                Ok(0) => break if dec.has_partial() { End::Torn } else { End::Clean },
+                Ok(_) => {}
+                Err(_) => unreachable!("Chunked never errors"),
+            }
+        };
+        let (want, want_end) = oracle_frames(&stream);
+        assert_eq!(frames, want);
+        assert_eq!(end, want_end);
+        // In steady state the buffer is bounded by one frame plus a chunk
+        // of lookahead, regardless of how reads were sliced.
+        assert!(dec.capacity() <= MAX_FRAME + READ_CHUNK);
+    }
+}

@@ -3,18 +3,24 @@
 //! The invariant throughout: a misbehaving connection only ever hurts
 //! itself — the server never panics and every other connection keeps
 //! serving.
+//!
+//! Each fault runs against **both** serving backends; the reactor must be
+//! exactly as fault-isolated as a thread per connection was.
+
+mod common;
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
+use common::{for_each_backend, start_on};
 use mapapi::ConcurrentMap;
-use server::{Connection, Request, Response, Server, MAX_FRAME};
+use server::{Backend, Connection, Request, Response, Server, MAX_FRAME};
 
-fn start() -> (Server, Arc<dyn ConcurrentMap>) {
+fn start(backend: Backend) -> (Server, Arc<dyn ConcurrentMap>) {
     let map: Arc<dyn ConcurrentMap> = Arc::new(pathcas_ds::PathCasAvl::new());
-    let srv = Server::start(Arc::clone(&map), "127.0.0.1:0").unwrap();
+    let srv = start_on(Arc::clone(&map), backend);
     (srv, map)
 }
 
@@ -27,108 +33,125 @@ fn assert_still_serving(srv: &Server, key: u64) {
 
 #[test]
 fn disconnect_mid_frame_only_kills_that_connection() {
-    let (srv, _map) = start();
-    // A frame promising 100 bytes, delivering 10, then gone.
-    let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
-    raw.write_all(&100u32.to_le_bytes()).unwrap();
-    raw.write_all(&[0u8; 10]).unwrap();
-    drop(raw);
-    assert_still_serving(&srv, 1);
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let (srv, _map) = start(backend);
+        // A frame promising 100 bytes, delivering 10, then gone.
+        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 10]).unwrap();
+        drop(raw);
+        assert_still_serving(&srv, 1);
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn truncated_length_prefix_only_kills_that_connection() {
-    let (srv, _map) = start();
-    // Two bytes of a four-byte prefix, then EOF: the server must treat the
-    // torn prefix as an error end-of-connection, not hang waiting.
-    let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
-    raw.write_all(&[0x12, 0x34]).unwrap();
-    raw.shutdown(std::net::Shutdown::Write).unwrap();
-    // The server closes without a response.
-    let mut buf = Vec::new();
-    raw.read_to_end(&mut buf).unwrap();
-    assert!(buf.is_empty(), "no response frame for a torn prefix");
-    assert_still_serving(&srv, 2);
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let (srv, _map) = start(backend);
+        // Two bytes of a four-byte prefix, then EOF: the server must treat the
+        // torn prefix as an error end-of-connection, not hang waiting.
+        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+        raw.write_all(&[0x12, 0x34]).unwrap();
+        raw.shutdown(std::net::Shutdown::Write).unwrap();
+        // The server closes without a response.
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        assert!(buf.is_empty(), "no response frame for a torn prefix");
+        assert_still_serving(&srv, 2);
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn frame_exactly_at_the_ceiling_is_read_and_answered() {
-    let (srv, _map) = start();
-    // len == MAX_FRAME is legal framing: the server reads the whole
-    // payload.  Its first byte is an unknown opcode, so the answer is an
-    // Err response followed by connection close — proving the frame was
-    // consumed, not rejected at the prefix.
-    let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
-    raw.write_all(&(MAX_FRAME as u32).to_le_bytes()).unwrap();
-    raw.write_all(&vec![0xAAu8; MAX_FRAME]).unwrap();
-    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
-    let mut payload = Vec::new();
-    assert!(server::proto::read_frame(&mut reader, &mut payload).unwrap());
-    match server::proto::decode_response(&payload).unwrap() {
-        Response::Err(msg) => assert!(msg.contains("opcode"), "got: {msg}"),
-        other => panic!("expected Err, got {other:?}"),
-    }
-    assert!(!server::proto::read_frame(&mut reader, &mut payload).unwrap(), "closed after Err");
-    assert_still_serving(&srv, 3);
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let (srv, _map) = start(backend);
+        // len == MAX_FRAME is legal framing: the server reads the whole
+        // payload.  Its first byte is an unknown opcode, so the answer is an
+        // Err response followed by connection close — proving the frame was
+        // consumed, not rejected at the prefix.
+        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+        raw.write_all(&(MAX_FRAME as u32).to_le_bytes()).unwrap();
+        raw.write_all(&vec![0xAAu8; MAX_FRAME]).unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        let mut payload = Vec::new();
+        assert!(server::proto::read_frame(&mut reader, &mut payload).unwrap());
+        match server::proto::decode_response(&payload).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("opcode"), "got: {msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        assert!(
+            !server::proto::read_frame(&mut reader, &mut payload).unwrap(),
+            "closed after Err"
+        );
+        assert_still_serving(&srv, 3);
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn frame_above_the_ceiling_is_rejected_before_allocation() {
-    let (srv, _map) = start();
-    let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
-    raw.write_all(&(MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
-    // The connection is torn with no response: the server refused at the
-    // prefix and never tried to read (or allocate) the body.
-    let mut buf = Vec::new();
-    raw.read_to_end(&mut buf).unwrap();
-    assert!(buf.is_empty(), "no response frame for an oversized prefix");
-    assert_still_serving(&srv, 4);
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let (srv, _map) = start(backend);
+        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+        raw.write_all(&(MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
+        // The connection is torn with no response: the server refused at the
+        // prefix and never tried to read (or allocate) the body.
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        assert!(buf.is_empty(), "no response frame for an oversized prefix");
+        assert_still_serving(&srv, 4);
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn a_slow_reader_stalls_only_itself() {
-    let (srv, map) = start();
-    for k in 1..=4096u64 {
-        map.insert(k, k);
-    }
-    // Pipeline a burst of big scans and then *don't read*: the responses
-    // (~16 MB total) overflow the socket buffers and block the handler in
-    // its write path.
-    const BURST: usize = 256;
-    let mut slow = Connection::connect(srv.local_addr()).unwrap();
-    let mut reqs = Vec::new();
-    for _ in 0..BURST {
-        reqs.push(Request::Scan(1, 4096));
-    }
-    let mut buf = Vec::new();
-    for r in &reqs {
-        server::proto::encode_request(r, &mut buf);
-    }
-    {
-        // Write the burst through the raw socket half so no read happens.
-        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
-        raw.write_all(&buf).unwrap();
-        // While that handler is wedged on writes, everyone else is live.
-        std::thread::sleep(Duration::from_millis(50));
-        for k in 0..20 {
-            assert_still_serving(&srv, 100_000 + k);
+    for_each_backend(|backend| {
+        let (srv, map) = start(backend);
+        for k in 1..=4096u64 {
+            map.insert(k, k);
         }
-        // Now drain: every response arrives, complete and in order.
-        let mut reader = std::io::BufReader::new(raw);
-        let mut payload = Vec::new();
-        for i in 0..BURST {
-            assert!(server::proto::read_frame(&mut reader, &mut payload).unwrap(), "frame {i}");
-            match server::proto::decode_response(&payload).unwrap() {
-                Response::Scan(pairs) => assert_eq!(pairs.len(), 4096, "scan {i}"),
-                other => panic!("scan {i} answered {other:?}"),
+        // Pipeline a burst of big scans and then *don't read*: the responses
+        // (~16 MB total) overflow the socket buffers and block the handler in
+        // its write path (threads) or park the staged bytes behind EPOLLOUT
+        // (reactor).
+        const BURST: usize = 256;
+        let mut slow = Connection::connect(srv.local_addr()).unwrap();
+        let mut reqs = Vec::new();
+        for _ in 0..BURST {
+            reqs.push(Request::Scan(1, 4096));
+        }
+        let mut buf = Vec::new();
+        for r in &reqs {
+            server::proto::encode_request(r, &mut buf);
+        }
+        {
+            // Write the burst through the raw socket half so no read happens.
+            let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+            raw.write_all(&buf).unwrap();
+            // While that handler is wedged on writes, everyone else is live.
+            std::thread::sleep(Duration::from_millis(50));
+            for k in 0..20 {
+                assert_still_serving(&srv, 100_000 + k);
+            }
+            // Now drain: every response arrives, complete and in order.
+            let mut reader = std::io::BufReader::new(raw);
+            let mut payload = Vec::new();
+            for i in 0..BURST {
+                assert!(
+                    server::proto::read_frame(&mut reader, &mut payload).unwrap(),
+                    "frame {i}"
+                );
+                match server::proto::decode_response(&payload).unwrap() {
+                    Response::Scan(pairs) => assert_eq!(pairs.len(), 4096, "scan {i}"),
+                    other => panic!("scan {i} answered {other:?}"),
+                }
             }
         }
-    }
-    // The pooled connection still works too.
-    assert_eq!(slow.request(&Request::Stats).unwrap(), Response::Stats(map.stats()));
-    srv.shutdown();
+        // The pooled connection still works too.
+        assert_eq!(slow.request(&Request::Stats).unwrap(), Response::Stats(map.stats()));
+        srv.shutdown();
+    });
 }

@@ -1,19 +1,25 @@
 //! The wire half of replication: SUBSCRIBE streaming, WireTail-driven
-//! followers, and the read-only follower front-end.
+//! followers, and the read-only follower front-end — on both backends,
+//! since the reactor ports streaming and read-only mode.
+
+mod common;
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use common::for_each_backend;
 use mapapi::ConcurrentMap;
 use replica::{Checkpoint, Event, Follower, ReplicatedMap};
-use server::{Connection, Request, Response, Server, ServerOpts, ServiceMap, WireTail};
+use server::{
+    Backend, Connection, Request, Response, Server, ServerOpts, ServiceMap, WireTail,
+};
 
 fn primary() -> Arc<ReplicatedMap> {
     Arc::new(ReplicatedMap::new(Box::new(pathcas_ds::PathCasAvl::new())))
 }
 
-fn start_primary(map: &Arc<ReplicatedMap>) -> Server {
-    let opts = ServerOpts { log: Some(map.log()), read_only: false };
+fn start_primary(map: &Arc<ReplicatedMap>, backend: Backend) -> Server {
+    let opts = ServerOpts { log: Some(map.log()), backend, ..ServerOpts::default() };
     Server::start_with(Arc::clone(map) as Arc<dyn ConcurrentMap>, opts, "127.0.0.1:0").unwrap()
 }
 
@@ -27,138 +33,149 @@ fn await_seqno(f: &Follower, want: u64) {
 
 #[test]
 fn subscribe_streams_committed_mutations_in_order() {
-    let map = primary();
-    let srv = start_primary(&map);
+    for_each_backend(|backend| {
+        let map = primary();
+        let srv = start_primary(&map, backend);
 
-    let mut sub = Connection::connect(srv.local_addr()).unwrap();
-    sub.subscribe(0).unwrap();
+        let mut sub = Connection::connect(srv.local_addr()).unwrap();
+        sub.subscribe(0).unwrap();
 
-    let mut writer = Connection::connect(srv.local_addr()).unwrap();
-    assert_eq!(writer.request(&Request::Put(1, 10)).unwrap(), Response::Put(true));
-    assert_eq!(writer.request(&Request::Put(1, 10)).unwrap(), Response::Put(false));
-    assert_eq!(writer.request(&Request::Rmw(1, 5)).unwrap(), Response::Rmw(true));
-    assert_eq!(writer.request(&Request::Del(1)).unwrap(), Response::Del(true));
-    assert_eq!(writer.request(&Request::Del(1)).unwrap(), Response::Del(false));
+        let mut writer = Connection::connect(srv.local_addr()).unwrap();
+        assert_eq!(writer.request(&Request::Put(1, 10)).unwrap(), Response::Put(true));
+        assert_eq!(writer.request(&Request::Put(1, 10)).unwrap(), Response::Put(false));
+        assert_eq!(writer.request(&Request::Rmw(1, 5)).unwrap(), Response::Rmw(true));
+        assert_eq!(writer.request(&Request::Del(1)).unwrap(), Response::Del(true));
+        assert_eq!(writer.request(&Request::Del(1)).unwrap(), Response::Del(false));
 
-    // Only the three *committed* mutations stream, densely numbered; the
-    // failed duplicate PUT and no-op DEL never appear.
-    let mut got = Vec::new();
-    while got.len() < 3 {
-        got.extend(sub.next_events().unwrap());
-    }
-    assert_eq!(
-        got,
-        vec![
-            (1, Event::Put(1, 10)),
-            // RMW streams as its committed post-value — the canonical
-            // affine update (10 + 5) & MAX_KEY, whose even mask drops bit 0.
-            (2, Event::Set(1, 14)),
-            (3, Event::Del(1)),
-        ]
-    );
-    srv.shutdown();
+        // Only the three *committed* mutations stream, densely numbered; the
+        // failed duplicate PUT and no-op DEL never appear.
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            got.extend(sub.next_events().unwrap());
+        }
+        assert_eq!(
+            got,
+            vec![
+                (1, Event::Put(1, 10)),
+                // RMW streams as its committed post-value — the canonical
+                // affine update (10 + 5) & MAX_KEY, whose even mask drops bit 0.
+                (2, Event::Set(1, 14)),
+                (3, Event::Del(1)),
+            ]
+        );
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn subscribe_resumes_after_a_given_seqno() {
-    let map = primary();
-    for k in 1..=20u64 {
-        map.insert(k, k);
-    }
-    let srv = start_primary(&map);
-    let mut sub = Connection::connect(srv.local_addr()).unwrap();
-    sub.subscribe(18).unwrap();
-    let got = sub.next_events().unwrap();
-    assert_eq!(got, vec![(19, Event::Put(19, 19)), (20, Event::Put(20, 20))]);
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let map = primary();
+        for k in 1..=20u64 {
+            map.insert(k, k);
+        }
+        let srv = start_primary(&map, backend);
+        let mut sub = Connection::connect(srv.local_addr()).unwrap();
+        sub.subscribe(18).unwrap();
+        let got = sub.next_events().unwrap();
+        assert_eq!(got, vec![(19, Event::Put(19, 19)), (20, Event::Put(20, 20))]);
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn subscribing_to_a_logless_server_errors_but_does_not_kill_it() {
-    let map: Arc<dyn ConcurrentMap> = Arc::new(pathcas_ds::PathCasAvl::new());
-    let srv = Server::start(map, "127.0.0.1:0").unwrap();
-    let mut conn = Connection::connect(srv.local_addr()).unwrap();
-    conn.subscribe(0).unwrap();
-    let err = conn.next_events().unwrap_err();
-    assert!(err.to_string().contains("no change stream"), "got: {err}");
-    // Semantic error: the same connection keeps serving point ops.
-    assert_eq!(conn.request(&Request::Put(5, 5)).unwrap(), Response::Put(true));
-    srv.shutdown();
+    for_each_backend(|backend| {
+        let map: Arc<dyn ConcurrentMap> = Arc::new(pathcas_ds::PathCasAvl::new());
+        let srv = common::start_on(map, backend);
+        let mut conn = Connection::connect(srv.local_addr()).unwrap();
+        conn.subscribe(0).unwrap();
+        let err = conn.next_events().unwrap_err();
+        assert!(err.to_string().contains("no change stream"), "got: {err}");
+        // Semantic error: the same connection keeps serving point ops.
+        assert_eq!(conn.request(&Request::Put(5, 5)).unwrap(), Response::Put(true));
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn wire_tail_follower_tracks_the_primary_and_serves_reads() {
-    let map = primary();
-    for k in 1..=100u64 {
-        map.insert(k, k);
-    }
-    let ckpt = map.checkpoint();
-    let srv = start_primary(&map);
-
-    // Bootstrap from the checkpoint, then tail over the wire from there.
-    let follower = Arc::new(Follower::bootstrap(Box::new(pathcas_ds::PathCasBst::new()), &ckpt));
-    let tail = WireTail::start(srv.local_addr(), Arc::clone(&follower)).unwrap();
-
-    // Mutations after the cut arrive through the subscription.
-    let mut writer = Connection::connect(srv.local_addr()).unwrap();
-    for k in 101..=200u64 {
-        assert_eq!(writer.request(&Request::Put(k, k)).unwrap(), Response::Put(true));
-    }
-    writer.request(&Request::Del(50)).unwrap();
-    writer.request(&Request::Rmw(60, 7)).unwrap();
-
-    await_seqno(&follower, map.log().seqno());
-    assert_eq!(follower.get(50), None);
-    assert_eq!(follower.get(60), Some((60 + 7) & mapapi::MAX_KEY));
-    assert_eq!(follower.get(200), Some(200));
-    let (ps, fs) = (map.stats(), follower.stats());
-    assert_eq!((ps.key_count, ps.key_sum), (fs.key_count, fs.key_sum));
-
-    // Serve the follower read-only over its own socket.
-    let fsrv = Server::start_with(
-        Arc::clone(&follower) as Arc<dyn ConcurrentMap>,
-        ServerOpts { log: None, read_only: true },
-        "127.0.0.1:0",
-    )
-    .unwrap();
-    let mut conn = Connection::connect(fsrv.local_addr()).unwrap();
-    assert_eq!(conn.request(&Request::Get(200)).unwrap(), Response::Get(Some(200)));
-    // Writes are rejected with a semantic error and the connection survives.
-    for req in [Request::Put(9999, 1), Request::Del(200), Request::Rmw(200, 1)] {
-        match conn.request(&req).unwrap() {
-            Response::Err(msg) => assert!(msg.contains("read-only"), "got: {msg}"),
-            other => panic!("read-only server answered {req:?} with {other:?}"),
+    for_each_backend(|backend| {
+        let map = primary();
+        for k in 1..=100u64 {
+            map.insert(k, k);
         }
-    }
-    assert_eq!(conn.request(&Request::Get(200)).unwrap(), Response::Get(Some(200)));
-    // The read-only rejection happened before the map: key 9999 absent.
-    assert_eq!(conn.request(&Request::Get(9999)).unwrap(), Response::Get(None));
+        let ckpt = map.checkpoint();
+        let srv = start_primary(&map, backend);
 
-    // And the full ConcurrentMap surface works against it via ServiceMap.
-    let svc = ServiceMap::connect(fsrv.local_addr(), 2, "follower").unwrap();
-    let stats = svc.stats();
-    mapapi::suites::check_scan_matches_stats(&svc, &stats);
+        // Bootstrap from the checkpoint, then tail over the wire from there.
+        let follower =
+            Arc::new(Follower::bootstrap(Box::new(pathcas_ds::PathCasBst::new()), &ckpt));
+        let tail = WireTail::start(srv.local_addr(), Arc::clone(&follower)).unwrap();
 
-    fsrv.shutdown();
-    tail.stop();
-    srv.shutdown();
+        // Mutations after the cut arrive through the subscription.
+        let mut writer = Connection::connect(srv.local_addr()).unwrap();
+        for k in 101..=200u64 {
+            assert_eq!(writer.request(&Request::Put(k, k)).unwrap(), Response::Put(true));
+        }
+        writer.request(&Request::Del(50)).unwrap();
+        writer.request(&Request::Rmw(60, 7)).unwrap();
+
+        await_seqno(&follower, map.log().seqno());
+        assert_eq!(follower.get(50), None);
+        assert_eq!(follower.get(60), Some((60 + 7) & mapapi::MAX_KEY));
+        assert_eq!(follower.get(200), Some(200));
+        let (ps, fs) = (map.stats(), follower.stats());
+        assert_eq!((ps.key_count, ps.key_sum), (fs.key_count, fs.key_sum));
+
+        // Serve the follower read-only over its own socket, on the same
+        // backend under test.
+        let fsrv = Server::start_with(
+            Arc::clone(&follower) as Arc<dyn ConcurrentMap>,
+            ServerOpts { log: None, read_only: true, backend, ..ServerOpts::default() },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut conn = Connection::connect(fsrv.local_addr()).unwrap();
+        assert_eq!(conn.request(&Request::Get(200)).unwrap(), Response::Get(Some(200)));
+        // Writes are rejected with a semantic error and the connection survives.
+        for req in [Request::Put(9999, 1), Request::Del(200), Request::Rmw(200, 1)] {
+            match conn.request(&req).unwrap() {
+                Response::Err(msg) => assert!(msg.contains("read-only"), "got: {msg}"),
+                other => panic!("read-only server answered {req:?} with {other:?}"),
+            }
+        }
+        assert_eq!(conn.request(&Request::Get(200)).unwrap(), Response::Get(Some(200)));
+        // The read-only rejection happened before the map: key 9999 absent.
+        assert_eq!(conn.request(&Request::Get(9999)).unwrap(), Response::Get(None));
+
+        // And the full ConcurrentMap surface works against it via ServiceMap.
+        let svc = ServiceMap::connect(fsrv.local_addr(), 2, "follower").unwrap();
+        let stats = svc.stats();
+        mapapi::suites::check_scan_matches_stats(&svc, &stats);
+
+        fsrv.shutdown();
+        tail.stop();
+        srv.shutdown();
+    });
 }
 
 #[test]
 fn wire_tail_survives_primary_shutdown() {
-    let map = primary();
-    let srv = start_primary(&map);
-    let follower =
-        Arc::new(Follower::bootstrap(Box::new(pathcas_ds::PathCasAvl::new()), &Checkpoint {
-            seqno: 0,
-            sections: vec![],
-        }));
-    let tail = WireTail::start(srv.local_addr(), Arc::clone(&follower)).unwrap();
-    map.insert(1, 1);
-    await_seqno(&follower, 1);
-    // Primary goes away: the tail thread ends cleanly, the follower keeps
-    // serving its (now frozen) state.
-    srv.shutdown();
-    tail.stop();
-    assert_eq!(follower.get(1), Some(1));
+    for_each_backend(|backend| {
+        let map = primary();
+        let srv = start_primary(&map, backend);
+        let follower = Arc::new(Follower::bootstrap(
+            Box::new(pathcas_ds::PathCasAvl::new()),
+            &Checkpoint { seqno: 0, sections: vec![] },
+        ));
+        let tail = WireTail::start(srv.local_addr(), Arc::clone(&follower)).unwrap();
+        map.insert(1, 1);
+        await_seqno(&follower, 1);
+        // Primary goes away: the tail thread ends cleanly, the follower keeps
+        // serving its (now frozen) state.
+        srv.shutdown();
+        tail.stop();
+        assert_eq!(follower.get(1), Some(1));
+    });
 }

@@ -1,0 +1,127 @@
+//! Asserts the reactor's steady-state allocation contract (DESIGN.md §10):
+//! once a connection's pooled decoder and write queue are warm, a GET
+//! round-trip through the epoll reactor — fill → incremental decode →
+//! execute → encode → flush — performs **zero** heap allocations, counted
+//! process-wide by a counting global allocator.  The client side of the
+//! measured window is raw pre-encoded frames into fixed buffers, so the
+//! whole process is allocation-silent while frames flow.
+//!
+//! A scan phase then shows the counter is live (Response::Scan carries a
+//! Vec, which must allocate) — keeping the zero honest.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mapapi::reference::LockedBTreeMap;
+use mapapi::ConcurrentMap;
+use server::{proto, Backend, Request, Server, ServerOpts};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers to `System` for every operation; only adds counting.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// GET request frame: `[len=9][op=1][key u64]`.
+const GET_FRAME: usize = 13;
+/// GET response frame: `[len=10][tag=1][found u8][value u64]`.
+const GET_RESP: usize = 14;
+
+/// One #[test] so no sibling test's bookkeeping can allocate concurrently
+/// with the measured window — the counter is process-global.
+#[test]
+fn reactor_steady_state_get_path_is_allocation_free() {
+    // The served map must not allocate on reads either: a locked BTree's
+    // get is lock + lookup, nothing else.
+    let map: Arc<dyn ConcurrentMap> = Arc::new(LockedBTreeMap::new());
+    map.insert(1, 10);
+    for k in 2..=64 {
+        map.insert(k, k);
+    }
+    let srv = Server::start_with(
+        Arc::clone(&map),
+        // Pinned to the reactor regardless of PATHCAS_BACKEND: this test IS
+        // the reactor's allocation contract.
+        ServerOpts { backend: Backend::Reactor, ..ServerOpts::default() },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+
+    let mut sock = TcpStream::connect(srv.local_addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+
+    let mut get = Vec::with_capacity(GET_FRAME);
+    proto::encode_request(&Request::Get(1), &mut get);
+    assert_eq!(get.len(), GET_FRAME);
+    let mut resp = [0u8; GET_RESP];
+
+    // Warm up: the connection's pooled decoder grows to its read chunk, the
+    // write queue to a response, the kernel-side windows settle.
+    for _ in 0..256 {
+        sock.write_all(&get).unwrap();
+        sock.read_exact(&mut resp).unwrap();
+    }
+    // [len=10][tag=GET][found=1][value=10 LE]
+    assert_eq!(resp[..6], [10, 0, 0, 0, 1, 1]);
+    assert_eq!(u64::from_le_bytes(resp[6..].try_into().unwrap()), 10);
+
+    let before = allocations();
+    for _ in 0..2000 {
+        sock.write_all(&get).unwrap();
+        sock.read_exact(&mut resp).unwrap();
+    }
+    let after = allocations();
+    assert_eq!(resp[..6], [10, 0, 0, 0, 1, 1]);
+    assert_eq!(
+        after - before,
+        0,
+        "the reactor's warm GET path must not allocate (got {} allocations over 2000 \
+         round-trips)",
+        after - before
+    );
+
+    // Counter sanity: a SCAN response carries a Vec server-side, so the
+    // same connection, same window, must show allocations.
+    let mut scan = Vec::new();
+    proto::encode_request(&Request::Scan(1, 16), &mut scan);
+    // [len][tag=SCAN][count=16][16 × (key,value)]
+    let mut scan_resp = [0u8; 4 + 1 + 4 + 16 * 16];
+    let before = allocations();
+    for _ in 0..100 {
+        sock.write_all(&scan).unwrap();
+        sock.read_exact(&mut scan_resp).unwrap();
+    }
+    let delta = allocations() - before;
+    assert!(
+        delta >= 100,
+        "the scan path should allocate its result Vec every op (got {delta} over 100 ops) — \
+         if this fires, the zero above is not trustworthy"
+    );
+    drop(sock);
+    srv.shutdown();
+}

@@ -39,6 +39,9 @@ pub struct Row {
     /// p50/p90/p99/p99.9 of the staleness samples, in **sequence numbers**
     /// (events behind the primary), not nanoseconds.
     pub staleness_percentiles: Percentiles,
+    /// How the structure was reached: `inproc` for in-process benchmarks,
+    /// or the serving backend (`threads`, `reactor`) for service mode.
+    pub backend: String,
 }
 
 /// Run-wide metadata recorded at the top of the JSON report.
@@ -76,7 +79,7 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
              \"scan_p50_ns\": {}, \"scan_p90_ns\": {}, \"scan_p99_ns\": {}, \
              \"scan_p999_ns\": {}, \"staleness_samples\": {}, \
              \"staleness_p50\": {}, \"staleness_p90\": {}, \"staleness_p99\": {}, \
-             \"staleness_p999\": {}}}{}\n",
+             \"staleness_p999\": {}, \"backend\": \"{}\"}}{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -99,6 +102,7 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             r.staleness_percentiles.p90,
             r.staleness_percentiles.p99,
             r.staleness_percentiles.p999,
+            r.backend,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -108,16 +112,17 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
 
 /// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
 pub fn to_csv(rows: &[Row]) -> String {
-    // Staleness columns are appended after the existing ones, so consumers
-    // indexing by header name (or by the old column positions) keep working.
+    // New columns (staleness, then backend) are appended after the existing
+    // ones, so consumers indexing by header name (or by the old column
+    // positions) keep working.
     let mut s = String::from(
         "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,\
          saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns,\
-         staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999\n",
+         staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999,backend\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -139,7 +144,8 @@ pub fn to_csv(rows: &[Row]) -> String {
             r.staleness_percentiles.p50,
             r.staleness_percentiles.p90,
             r.staleness_percentiles.p99,
-            r.staleness_percentiles.p999
+            r.staleness_percentiles.p999,
+            r.backend
         ));
     }
     s
@@ -178,6 +184,7 @@ mod tests {
                 scan_percentiles: Percentiles::default(),
                 staleness_samples: 0,
                 staleness_percentiles: Percentiles::default(),
+                backend: "inproc".into(),
             },
             Row {
                 scenario: "scan-heavy".into(),
@@ -193,6 +200,7 @@ mod tests {
                 scan_percentiles: Percentiles { p50: 800, p90: 1500, p99: 2500, p999: 3500 },
                 staleness_samples: 900,
                 staleness_percentiles: Percentiles { p50: 2, p90: 10, p99: 40, p999: 80 },
+                backend: "reactor".into(),
             },
         ]
     }
@@ -213,6 +221,8 @@ mod tests {
         assert!(j.contains("\"staleness_samples\": 900"));
         assert!(j.contains("\"staleness_p99\": 40"));
         assert!(j.contains("\"staleness_samples\": 0"));
+        assert!(j.contains("\"backend\": \"inproc\""));
+        assert!(j.contains("\"backend\": \"reactor\""));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n  ]"));
     }
@@ -222,9 +232,9 @@ mod tests {
         let c = to_csv(&sample_rows());
         assert_eq!(c.lines().count(), 3);
         assert!(c.starts_with("scenario,structure,threads"));
-        assert!(c.lines().next().unwrap().ends_with("staleness_p999"));
+        assert!(c.lines().next().unwrap().ends_with("staleness_p999,backend"));
         assert!(c.contains("scan-heavy,int-bst-pathcas,4,3.2500"));
-        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80\n"));
+        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80,reactor\n"));
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn crash_recovery_checkpoint_plus_replay_is_exact() {
     let log = rep.log();
     let srv = Server::start_with(
         Arc::clone(&rep) as Arc<dyn ConcurrentMap>,
-        ServerOpts { log: Some(rep.log()), read_only: false },
+        ServerOpts { log: Some(rep.log()), ..ServerOpts::default() },
         "127.0.0.1:0",
     )
     .unwrap();

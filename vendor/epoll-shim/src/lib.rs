@@ -1,0 +1,356 @@
+//! Vendored epoll bindings (Linux only), in the spirit of the other
+//! `vendor/` shims: the build environment is offline, so instead of the
+//! `libc`/`mio` crates this crate declares the four syscalls a readiness
+//! reactor needs — `epoll_create1` / `epoll_ctl` / `epoll_wait`, `eventfd`
+//! for cross-thread wakeups, and `getrlimit`/`setrlimit` so connection-soak
+//! tests can raise the open-file ceiling — and wraps them in a minimal safe
+//! API.
+//!
+//! The surface is deliberately tiny and level-triggered:
+//!
+//! * [`Epoll`] — one epoll instance: [`Epoll::add`] / [`Epoll::modify`] /
+//!   [`Epoll::delete`] registrations keyed by a caller-chosen `u64` token,
+//!   and [`Epoll::wait`] filling a reusable [`Events`] buffer (no
+//!   allocation per wait, which the wire-path zero-allocation audit
+//!   relies on);
+//! * [`Interest`] — the readable/writable interest set (peer-hangup
+//!   `EPOLLRDHUP` is always registered: a reactor must see half-closes);
+//! * [`WakeFd`] — an `eventfd` the reactor blocks on so another thread can
+//!   interrupt an indefinite `wait` (shutdown, new work);
+//! * [`raise_nofile_limit`] — lift `RLIMIT_NOFILE`'s soft limit toward its
+//!   hard limit, for tests that open thousands of sockets.
+//!
+//! Everything returns `io::Result` with the raw OS error attached; nothing
+//! here panics on syscall failure.
+
+#![warn(missing_docs)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// The syscall ABI, straight from the Linux uapi headers.  `epoll_event` is
+// `__attribute__((packed))` on x86-64, which `repr(C, packed)` reproduces
+// exactly (and is harmless on architectures where the natural layout
+// already has no padding).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// The readable/writable interest set for a registration.  Peer hangup
+/// (`EPOLLRDHUP`) and error conditions are always reported by the kernel
+/// regardless of the set, so they are not part of it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer half-closes).
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Readable and writable — a connection with queued output.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+
+    fn bits(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Ready {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes a half-closed peer: there may still be buffered
+    /// bytes to drain before EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup: the connection is (or is about to be) dead.  The
+    /// kernel sets these regardless of the registered interest.
+    pub hangup: bool,
+}
+
+/// A reusable buffer of kernel-reported events.  Allocated once and handed
+/// to every [`Epoll::wait`] call — waiting never allocates.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        assert!(capacity > 0, "an Events buffer must hold at least one event");
+        Events { buf: vec![EpollEvent { events: 0, data: 0 }; capacity], len: 0 }
+    }
+
+    /// The notifications delivered by the most recent wait.
+    pub fn iter(&self) -> impl Iterator<Item = Ready> + '_ {
+        self.buf[..self.len].iter().map(|e| {
+            // Copy out of the packed struct before touching the fields.
+            let (events, data) = (e.events, e.data);
+            Ready {
+                token: data,
+                readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: events & EPOLLOUT != 0,
+                hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+            }
+        })
+    }
+}
+
+/// One epoll instance (level-triggered).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with the given token and interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some(EpollEvent { events: interest.bits(), data: token }))
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some(EpollEvent { events: interest.bits(), data: token }))
+    }
+
+    /// Remove a registration.  Harmless to call on an fd the kernel already
+    /// dropped (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Block until at least one registered fd is ready, `timeout_ms`
+    /// elapses (`None` = wait indefinitely), or a signal interrupts the
+    /// wait (reported as zero events, like a timeout — callers loop).
+    /// Returns the number of notifications now in `events`.
+    pub fn wait(&self, events: &mut Events, timeout_ms: Option<i32>) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        // SAFETY: the buffer is valid for `capacity` events for the whole
+        // call; the kernel writes at most that many.
+        let n = unsafe {
+            epoll_wait(self.fd, events.buf.as_mut_ptr(), events.buf.len() as c_int, timeout)
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// An `eventfd`-backed wakeup channel: any thread calls [`WakeFd::wake`],
+/// the epoll blocked on the fd sees it readable, and [`WakeFd::drain`]
+/// resets it.  Nonblocking, so a drain after a spurious wake is a no-op.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Create the eventfd (nonblocking, close-on-exec).
+    pub fn new() -> io::Result<WakeFd> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(WakeFd { fd })
+    }
+
+    /// The fd to register with an [`Epoll`].
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the fd readable, waking any epoll waiting on it.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a valid stack slot.  An EAGAIN (the
+        // counter is already saturated) still leaves the fd readable, which
+        // is all a wakeup needs.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Reset the fd to unreadable.  Returns whether it was readable.
+    pub fn drain(&self) -> bool {
+        let mut count: u64 = 0;
+        // SAFETY: reads 8 bytes into a valid stack slot.
+        let n = unsafe { read(self.fd, (&mut count as *mut u64).cast(), 8) };
+        n == 8
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Raise `RLIMIT_NOFILE`'s soft limit to `min(want, hard limit)` and return
+/// the soft limit now in effect.  Never lowers it.  For tests that open
+/// thousands of loopback sockets (default soft limits are often 1024).
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimit { rlim_cur: 0, rlim_max: 0 };
+    // SAFETY: the struct outlives both calls; the kernel fills/reads it.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wakefd_rouses_an_indefinite_wait() {
+        let ep = Epoll::new().unwrap();
+        let wake = std::sync::Arc::new(WakeFd::new().unwrap());
+        ep.add(wake.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        // Nothing pending: a bounded wait times out empty.
+        assert_eq!(ep.wait(&mut events, Some(10)).unwrap(), 0);
+        let waker = {
+            let wake = std::sync::Arc::clone(&wake);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                wake.wake();
+            })
+        };
+        assert_eq!(ep.wait(&mut events, None).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable && !ev.writable && !ev.hangup);
+        assert!(wake.drain());
+        assert!(!wake.drain(), "a second drain finds the counter reset");
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn sockets_report_read_write_and_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(served.as_raw_fd(), 1, Interest::READ_WRITE).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        // An idle established socket is writable but not readable.
+        assert!(ep.wait(&mut events, Some(100)).unwrap() >= 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.writable && !ev.readable);
+
+        // Level-triggered: bytes keep it readable until drained.
+        client.write_all(b"ping").unwrap();
+        ep.modify(served.as_raw_fd(), 1, Interest::READ).unwrap();
+        assert!(ep.wait(&mut events, Some(1000)).unwrap() >= 1);
+        assert!(events.iter().next().unwrap().readable);
+
+        // Peer close surfaces as readable (EOF must be observable).
+        drop(client);
+        assert!(ep.wait(&mut events, Some(1000)).unwrap() >= 1);
+        assert!(events.iter().next().unwrap().readable);
+
+        ep.delete(served.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, Some(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_monotone() {
+        let now = raise_nofile_limit(0).unwrap();
+        assert!(now > 0);
+        // Asking again for the current value (or less) changes nothing.
+        assert_eq!(raise_nofile_limit(now).unwrap(), now);
+    }
+}

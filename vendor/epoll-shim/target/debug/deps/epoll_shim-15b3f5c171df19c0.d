@@ -1,0 +1,5 @@
+/root/repo/vendor/epoll-shim/target/debug/deps/epoll_shim-15b3f5c171df19c0.d: src/lib.rs
+
+/root/repo/vendor/epoll-shim/target/debug/deps/epoll_shim-15b3f5c171df19c0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/epoll-shim/target/debug/deps/epoll_shim-f3ebc7834ea487d9.d: src/lib.rs
+
+/root/repo/vendor/epoll-shim/target/debug/deps/libepoll_shim-f3ebc7834ea487d9.rlib: src/lib.rs
+
+/root/repo/vendor/epoll-shim/target/debug/deps/libepoll_shim-f3ebc7834ea487d9.rmeta: src/lib.rs
+
+src/lib.rs:
