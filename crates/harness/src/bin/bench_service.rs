@@ -68,19 +68,31 @@ use workload::{
 /// stressor, and the replicated read-fan-out topology.
 const DEFAULT_SCENARIOS: [&str; 4] = ["ycsb-b", "scan-heavy", "service-mixed", "read-replica"];
 
+/// Run an audit closure; if it panics, dump the slow-op flight recorder to
+/// stderr first — the last slow ops before the inconsistency are exactly
+/// the postmortem context a failed audit wants — then re-panic.
+fn audit_with_flight_dump(f: impl FnOnce()) {
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        eprintln!("audit failed — slow-op flight recorder:\n{}", server::metrics::flight_dump());
+        std::panic::resume_unwind(payload);
+    }
+}
+
 /// One (scenario, threads, depth) measurement over a fresh server+pool.
 /// `depth` 0 means point mode (plain `run_scenario`); >= 1 is batched mode.
+/// Returns the outcome plus the served map's shard imbalance (0.0 when the
+/// structure doesn't track per-shard loads).
 fn run_service_trial(
     algo: &str,
     sc: &Scenario,
     params: &RunParams,
     depth: usize,
     backend: Backend,
-) -> workload::Outcome {
+) -> (workload::Outcome, f64) {
     let map = harness::try_make(algo).expect("algo name was validated at startup");
     let map: Arc<dyn ConcurrentMap> = Arc::from(map);
     let server = Server::start_with(
-        map,
+        Arc::clone(&map),
         ServerOpts { backend, ..ServerOpts::default() },
         "127.0.0.1:0",
     )
@@ -94,11 +106,14 @@ fn run_service_trial(
     };
     if sc.mix.scan > 0 {
         // Quiescent wire audit: chunked SCAN walk vs the STATS verb.
-        mapapi::suites::check_scan_matches_stats(&svc, &out.final_stats);
+        audit_with_flight_dump(|| {
+            mapapi::suites::check_scan_matches_stats(&svc, &out.final_stats)
+        });
     }
     drop(svc);
     server.shutdown();
-    out
+    let imbalance = harness::shard_imbalance(&map.shard_loads());
+    (out, imbalance)
 }
 
 /// One `read-replica` trial: a replicated primary behind its own server, a
@@ -111,7 +126,7 @@ fn run_replica_trial(
     params: &RunParams,
     n_followers: usize,
     backend: Backend,
-) -> (workload::Outcome, LatencyHistogram) {
+) -> (workload::Outcome, LatencyHistogram, f64) {
     // The primary, prefilled in-process so the checkpoint cut already
     // carries the working set (the scenario's own prefill then sees the
     // target met and does nothing).
@@ -196,14 +211,16 @@ fn run_replica_trial(
             );
             std::thread::sleep(Duration::from_millis(1));
         }
-        let (ps, fs) = (rep.stats(), f.stats());
-        assert_eq!(
-            (ps.key_count, ps.key_sum),
-            (fs.key_count, fs.key_sum),
-            "{}: drained follower diverged from the primary",
-            f.name()
-        );
-        mapapi::suites::check_scan_matches_stats(&**f, &fs);
+        audit_with_flight_dump(|| {
+            let (ps, fs) = (rep.stats(), f.stats());
+            assert_eq!(
+                (ps.key_count, ps.key_sum),
+                (fs.key_count, fs.key_sum),
+                "{}: drained follower diverged from the primary",
+                f.name()
+            );
+            mapapi::suites::check_scan_matches_stats(&**f, &fs);
+        });
     }
 
     drop(set);
@@ -214,7 +231,8 @@ fn run_replica_trial(
         s.shutdown();
     }
     srv.shutdown();
-    (out, staleness)
+    let imbalance = harness::shard_imbalance(&rep.shard_loads());
+    (out, staleness, imbalance)
 }
 
 fn main() {
@@ -307,6 +325,13 @@ fn main() {
                     let mut stale_hist = LatencyHistogram::new();
                     let mut total_ops = 0u64;
                     let mut mops_sum = 0.0f64;
+                    let mut imbalance_sum = 0.0f64;
+                    // Telemetry counters are process-global, so per-row
+                    // numbers are deltas around the row's trial loop.
+                    let reads0 = harness::counter("reactor_read_syscalls_total");
+                    let writes0 = harness::counter("reactor_write_syscalls_total");
+                    let wakeups0 = harness::counter("reactor_wakeups_total");
+                    let retries0 = harness::counter("kcas_retries_total");
                     for trial in 0..cfg.trials.max(1) {
                         let params = RunParams {
                             threads,
@@ -317,12 +342,16 @@ fn main() {
                             seed: cfg.seed ^ ((trial as u64) << 40),
                         };
                         let out = if replicated {
-                            let (out, stale) =
+                            let (out, stale, imbalance) =
                                 run_replica_trial(&algo, sc, &params, n_followers, backend);
                             stale_hist.merge(&stale);
+                            imbalance_sum += imbalance;
                             out
                         } else {
-                            run_service_trial(&algo, sc, &params, *depth, backend)
+                            let (out, imbalance) =
+                                run_service_trial(&algo, sc, &params, *depth, backend);
+                            imbalance_sum += imbalance;
+                            out
                         };
                         hist.merge(&out.hist);
                         scan_hist.merge(&out.scan_hist);
@@ -368,6 +397,13 @@ fn main() {
                         staleness_samples: stale_hist.count(),
                         staleness_percentiles: st,
                         backend: backend.label().to_string(),
+                        wire_read_syscalls: harness::counter("reactor_read_syscalls_total")
+                            - reads0,
+                        wire_write_syscalls: harness::counter("reactor_write_syscalls_total")
+                            - writes0,
+                        reactor_wakeups: harness::counter("reactor_wakeups_total") - wakeups0,
+                        kcas_retries: harness::counter("kcas_retries_total") - retries0,
+                        shard_imbalance: imbalance_sum / cfg.trials.max(1) as f64,
                     });
                 }
             }

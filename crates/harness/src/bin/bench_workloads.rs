@@ -80,6 +80,10 @@ fn main() {
                 let mut scan_hist = LatencyHistogram::new();
                 let mut total_ops = 0u64;
                 let mut mops_sum = 0.0f64;
+                let mut imbalance_sum = 0.0f64;
+                // KCAS retries are a process-global telemetry counter, so
+                // the row value is the delta around its own trial loop.
+                let retries0 = harness::counter("kcas_retries_total");
                 for trial in 0..cfg.trials.max(1) {
                     let map = (algo.build)();
                     let params = RunParams {
@@ -114,6 +118,7 @@ fn main() {
                     scan_hist.merge(&out.scan_hist);
                     total_ops += out.total_ops;
                     mops_sum += out.mops();
+                    imbalance_sum += harness::shard_imbalance(&map.shard_loads());
                 }
                 let p = hist.percentiles();
                 let sp = scan_hist.percentiles();
@@ -148,6 +153,13 @@ fn main() {
                     staleness_samples: 0,
                     staleness_percentiles: workload::Percentiles::default(),
                     backend: "inproc".to_string(),
+                    // No sockets in-process; the wire columns stay 0 so the
+                    // schema matches bench_service exactly.
+                    wire_read_syscalls: 0,
+                    wire_write_syscalls: 0,
+                    reactor_wakeups: 0,
+                    kcas_retries: harness::counter("kcas_retries_total") - retries0,
+                    shard_imbalance: imbalance_sum / cfg.trials.max(1) as f64,
                 });
             }
         }

@@ -110,6 +110,26 @@ pub fn name_passes(filter: &Option<Vec<String>>, name: &str) -> bool {
     })
 }
 
+/// A registered telemetry counter's current value, 0 when the subsystem
+/// that registers it has not run yet — the form the bench binaries want
+/// for before/after deltas around a trial loop.
+pub fn counter(name: &str) -> u64 {
+    telemetry::value(name).unwrap_or(0)
+}
+
+/// Shard load imbalance from a map's per-shard point-op counters: max over
+/// shards divided by the mean.  1.0 is perfectly even, higher is skewed;
+/// 0.0 means the structure doesn't track per-shard loads (unsharded) or
+/// saw no point ops at all.  Fills the `shard_imbalance` bench column.
+pub fn shard_imbalance(loads: &[mapapi::ShardLoad]) -> f64 {
+    let total: u64 = loads.iter().map(|l| l.point_ops).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = loads.iter().map(|l| l.point_ops).max().unwrap_or(0);
+    max as f64 * loads.len() as f64 / total as f64
+}
+
 /// Print a Markdown-style table: one row per algorithm, one column per thread
 /// count, entries in millions of operations per second.
 pub fn print_throughput_table(

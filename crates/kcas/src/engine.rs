@@ -64,6 +64,7 @@ pub(crate) fn read_raw(word: &CasWord) -> u64 {
 /// shared word — pooled or boxed, according to the tag.
 pub(crate) fn help_by_word(raw: u64, guard: &Guard) {
     debug_assert!(is_any_kcas_desc(raw));
+    crate::metrics::metrics().help_events.inc();
     if is_kcas_boxed(raw) {
         // SAFETY: the boxed descriptor was observed in a shared word while
         // `guard` was pinned, so it is protected from reclamation until we
@@ -134,6 +135,7 @@ pub(crate) fn help_pooled(
                         break;
                     }
                     // Locked by a different operation: help it, then retry.
+                    crate::metrics::metrics().retries.inc();
                     help_by_word(seen, guard);
                     continue;
                 }
@@ -304,6 +306,7 @@ pub(crate) fn help_boxed(desc: &Descriptor, self_word: u64, guard: &Guard) -> bo
                     if seen == self_word {
                         break;
                     }
+                    crate::metrics::metrics().retries.inc();
                     help_by_word(seen, guard);
                     continue;
                 }
@@ -470,6 +473,7 @@ fn with_stack_entries<R>(
 /// memory) — this is the same contract as the paper's C++ implementation,
 /// where operations run under a DEBRA guard.
 pub fn execute(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) -> bool {
+    crate::metrics::metrics().ops.inc();
     if entries.len() <= SLOT_ENTRY_CAP && path.len() <= SLOT_PATH_CAP {
         with_stack_entries(
             entries.len(),
@@ -488,6 +492,7 @@ pub fn execute(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) ->
             },
         )
     } else {
+        crate::metrics::metrics().boxed_fallbacks.inc();
         let mut raw: Vec<RawEntry> = entries
             .iter()
             .map(|a| RawEntry { addr: a.addr, old: a.old, new: a.new })
@@ -512,6 +517,7 @@ pub fn execute(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) ->
 /// owned by the caller), exactly as if they had been passed by reference
 /// through [`KcasArg`] / [`VisitArg`].
 pub unsafe fn execute_raw(entries: &[RawEntry], path: &[RawVisit], guard: &Guard) -> bool {
+    crate::metrics::metrics().ops.inc();
     if entries.len() <= SLOT_ENTRY_CAP && path.len() <= SLOT_PATH_CAP {
         with_stack_entries(
             entries.len(),
@@ -522,6 +528,7 @@ pub unsafe fn execute_raw(entries: &[RawEntry], path: &[RawVisit], guard: &Guard
             },
         )
     } else {
+        crate::metrics::metrics().boxed_fallbacks.inc();
         let mut raw = entries.to_vec();
         let n = sort_dedup(&mut raw);
         publish_boxed(&raw[..n], path, guard)
@@ -538,6 +545,7 @@ pub unsafe fn execute_raw(entries: &[RawEntry], path: &[RawVisit], guard: &Guard
 /// to [`execute`], and both kinds of operation interoperate freely on the
 /// same words.
 pub fn execute_alloc(entries: &[KcasArg<'_>], path: &[VisitArg<'_>], guard: &Guard) -> bool {
+    crate::metrics::metrics().ops.inc();
     let mut raw: Vec<RawEntry> =
         entries.iter().map(|a| RawEntry { addr: a.addr, old: a.old, new: a.new }).collect();
     let n = sort_dedup(&mut raw);

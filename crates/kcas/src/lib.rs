@@ -52,6 +52,7 @@
 mod dcss;
 mod descriptor;
 mod engine;
+pub mod metrics;
 pub mod pool;
 pub mod word;
 

@@ -1,0 +1,61 @@
+//! KCAS telemetry: striped wait-free counters for the contention events the
+//! substrate's performance story turns on — helping, phase-1 retries, and
+//! descriptor-pool overflow — exposed through the global `telemetry`
+//! registry (and from there over the server's `METRICS` verb).
+//!
+//! Everything here is allocation-free on the increment path: the counters
+//! are `static`s and [`metrics`]'s `Once` fast path is a single atomic load,
+//! so instrumented KCAS operations keep the zero-heap-allocation success
+//! path the descriptor-reuse transformation bought
+//! (`crates/kcas/tests/zero_alloc.rs` asserts this *with* the counters
+//! firing).
+
+use std::sync::Once;
+
+use telemetry::{Counter, Handle};
+
+/// The substrate-level event counters (see module docs).
+pub struct KcasMetrics {
+    /// KCAS/PathCAS operations started ([`crate::execute`],
+    /// [`crate::execute_raw`], [`crate::execute_alloc`] — and therefore
+    /// [`crate::kcas`], which goes through `execute`).
+    pub ops: Counter,
+    /// Phase-1 lock-acquisition retries: an address was found "locked" by a
+    /// *different* operation's descriptor, which was helped before the
+    /// acquisition was retried. The direct contention signal.
+    pub retries: Counter,
+    /// Helping events: every time any thread helped an operation it did not
+    /// own because it encountered that operation's descriptor in a word
+    /// (from `read` or from a phase-1 conflict).
+    pub help_events: Counter,
+    /// Operations too large for a pooled descriptor slot that fell back to
+    /// the legacy heap-allocated descriptor ([`crate::execute`] /
+    /// [`crate::execute_raw`] overflow only; the explicit
+    /// [`crate::execute_alloc`] baseline is not an overflow).
+    pub boxed_fallbacks: Counter,
+}
+
+static METRICS: KcasMetrics = KcasMetrics {
+    ops: Counter::new(),
+    retries: Counter::new(),
+    help_events: Counter::new(),
+    boxed_fallbacks: Counter::new(),
+};
+
+static REGISTER: Once = Once::new();
+
+/// The global KCAS counters, registering them with the `telemetry` registry
+/// on first call. The fast path after registration is one atomic load.
+#[inline]
+pub fn metrics() -> &'static KcasMetrics {
+    REGISTER.call_once(|| {
+        telemetry::register("kcas_ops_total", Handle::Counter(&METRICS.ops));
+        telemetry::register("kcas_retries_total", Handle::Counter(&METRICS.retries));
+        telemetry::register("kcas_help_events_total", Handle::Counter(&METRICS.help_events));
+        telemetry::register(
+            "kcas_boxed_fallbacks_total",
+            Handle::Counter(&METRICS.boxed_fallbacks),
+        );
+    });
+    &METRICS
+}

@@ -3,6 +3,11 @@
 //! success path of a KCAS / PathCAS publish performs **zero** heap
 //! allocations — and the legacy baseline (`execute_alloc`) does not, which
 //! keeps this test honest about what it is measuring.
+//!
+//! Since PR 8 the success window also proves the telemetry layer rides
+//! along for free: the striped `kcas_ops_total` counter (always on) must
+//! advance by exactly the measured op count while the allocation delta
+//! stays zero — DESIGN.md §11's zero-overhead claim, enforced.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +66,9 @@ fn success_path_kcas_performs_zero_heap_allocations() {
     }
 
     let base = words[0].load_quiescent();
+    // Read the registry outside the measured window (rendering/lookup may
+    // allocate); the in-window increments must not.
+    let ops_before = telemetry::value("kcas_ops_total").expect("kcas metrics registered");
     let before = allocations();
     for i in 0..1_000u64 {
         let guard = crossbeam_epoch::pin();
@@ -85,6 +93,12 @@ fn success_path_kcas_performs_zero_heap_allocations() {
         0,
         "the pooled KCAS success path must not allocate (got {} allocations over 1000 ops)",
         after - before
+    );
+    // The zero-alloc window was fully counted: telemetry is on, not off.
+    assert_eq!(
+        telemetry::value("kcas_ops_total").unwrap() - ops_before,
+        1_000,
+        "kcas_ops_total missed ops inside the zero-alloc window"
     );
 }
 

@@ -76,6 +76,20 @@ impl MapStats {
     }
 }
 
+/// Cumulative per-shard operation counts reported by sharded structures (see
+/// [`ConcurrentMap::shard_loads`]). Together with the per-shard
+/// [`MapStats::key_count`] from [`ConcurrentMap::shard_stats`], this is the
+/// load evidence the ROADMAP's elastic-sharding arc needs: which shard the
+/// traffic actually hits, not just where the keys sit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Point operations (insert/remove/contains/get/rmw) routed to the shard.
+    pub point_ops: u64,
+    /// Scan visits: ordered scans that touched the shard (a cross-shard
+    /// k-way merge counts once per shard it reads).
+    pub scan_ops: u64,
+}
+
 /// A concurrent ordered map (dictionary) with `u64` keys and values.
 ///
 /// `insert` has *insert-if-absent* semantics, like the trees in the paper:
@@ -147,6 +161,33 @@ pub trait ConcurrentMap: Send + Sync {
     /// Quiescent structural statistics (not linearizable; call only while no
     /// other thread is operating on the map).
     fn stats(&self) -> MapStats;
+
+    /// Number of shards this structure partitions keys across. Unsharded
+    /// structures are a single shard.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard index (`< shard_count()`) that owns `key`. The default
+    /// single-shard structure owns every key in shard 0.
+    fn shard_of(&self, _key: Key) -> usize {
+        0
+    }
+
+    /// Quiescent per-shard structural statistics, indexed by shard. The
+    /// aggregate [`Self::stats`] is always the element-wise sum of this
+    /// breakdown; the default single-shard structure reports one entry.
+    fn shard_stats(&self) -> Vec<MapStats> {
+        vec![self.stats()]
+    }
+
+    /// Cumulative per-shard operation counts, indexed by shard. Structures
+    /// that do not track per-shard load (everything unsharded) return an
+    /// empty vector, which consumers must treat as "untracked" rather than
+    /// "zero load".
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        Vec::new()
+    }
 }
 
 /// Blanket implementation so harness code can box trait objects.
@@ -175,6 +216,18 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     fn stats(&self) -> MapStats {
         (**self).stats()
     }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn shard_of(&self, key: Key) -> usize {
+        (**self).shard_of(key)
+    }
+    fn shard_stats(&self) -> Vec<MapStats> {
+        (**self).shard_stats()
+    }
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        (**self).shard_loads()
+    }
 }
 
 /// Blanket implementation so harness code can hand out `Arc<T>` etc.
@@ -202,6 +255,18 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
     }
     fn stats(&self) -> MapStats {
         (**self).stats()
+    }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn shard_of(&self, key: Key) -> usize {
+        (**self).shard_of(key)
+    }
+    fn shard_stats(&self) -> Vec<MapStats> {
+        (**self).shard_stats()
+    }
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        (**self).shard_loads()
     }
 }
 

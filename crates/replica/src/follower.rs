@@ -73,6 +73,9 @@ impl Follower {
             }
         }
         self.applied.store(seq, Ordering::Release);
+        let m = crate::metrics::metrics();
+        m.follower_applied_seqno.set(seq);
+        m.events_applied.inc();
     }
 
     /// Drain everything the log currently holds beyond `applied_seqno()`.
@@ -122,6 +125,22 @@ impl ConcurrentMap for Follower {
 
     fn stats(&self) -> MapStats {
         self.inner.stats()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        self.inner.shard_of(key)
+    }
+
+    fn shard_stats(&self) -> Vec<MapStats> {
+        self.inner.shard_stats()
+    }
+
+    fn shard_loads(&self) -> Vec<mapapi::ShardLoad> {
+        self.inner.shard_loads()
     }
 }
 
@@ -200,6 +219,22 @@ impl ConcurrentMap for ReplicaSet {
 
     fn stats(&self) -> MapStats {
         self.primary.stats()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.primary.shard_count()
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        self.primary.shard_of(key)
+    }
+
+    fn shard_stats(&self) -> Vec<MapStats> {
+        self.primary.shard_stats()
+    }
+
+    fn shard_loads(&self) -> Vec<mapapi::ShardLoad> {
+        self.primary.shard_loads()
     }
 }
 

@@ -37,6 +37,7 @@ mod event;
 mod follower;
 mod log;
 mod map;
+pub mod metrics;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use event::{Event, EVENT_WIRE_BYTES};

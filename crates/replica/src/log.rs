@@ -37,6 +37,7 @@ impl ChangeLog {
         events.push(ev);
         let seq = events.len() as u64;
         drop(events);
+        crate::metrics::metrics().log_seqno.set(seq);
         self.grew.notify_all();
         seq
     }

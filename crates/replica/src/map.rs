@@ -177,6 +177,22 @@ impl ConcurrentMap for ReplicatedMap {
     fn stats(&self) -> MapStats {
         self.backing.map().stats()
     }
+
+    fn shard_count(&self) -> usize {
+        self.backing.map().shard_count()
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        self.backing.map().shard_of(key)
+    }
+
+    fn shard_stats(&self) -> Vec<MapStats> {
+        self.backing.map().shard_stats()
+    }
+
+    fn shard_loads(&self) -> Vec<mapapi::ShardLoad> {
+        self.backing.map().shard_loads()
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,20 @@ impl Connection {
         (0..reqs.len()).map(|_| self.read_response()).collect()
     }
 
+    /// Pull the server's telemetry exposition (the `METRICS` verb at
+    /// [`crate::proto::METRICS_VERSION`]): sorted `name value` lines plus
+    /// `#`-prefixed annotations — see `server::metrics` for the layout.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics(proto::METRICS_VERSION))? {
+            Response::Metrics(text) => Ok(text),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("METRICS answered with {other:?}"),
+            )),
+        }
+    }
+
     /// Switch this connection into change-stream mode, resuming after
     /// seqno `after`.  From here on only [`Connection::next_events`] makes
     /// sense; the server answers nothing else on this connection.
@@ -170,8 +184,9 @@ fn succeeded(resp: &Response) -> bool {
         Response::Put(ok) | Response::Del(ok) | Response::Rmw(ok) => *ok,
         Response::Scan(pairs) => !pairs.is_empty(),
         Response::Stats(_) => true,
-        // Never answers a workload op; only subscribed connections see it.
-        Response::Events(_) => false,
+        // Never answer workload ops: EVENTS only reaches subscribed
+        // connections, METRICS only explicit telemetry pulls.
+        Response::Events(_) | Response::Metrics(_) => false,
         Response::Err(_) => false,
     }
 }

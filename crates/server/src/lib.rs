@@ -2,8 +2,8 @@
 //!
 //! Serves any [`mapapi::ConcurrentMap`] — in practice a registry structure
 //! or a `shard::ShardedMap` composition — over TCP with a small
-//! length-prefixed binary protocol (GET/PUT/DEL/RMW/SCAN/STATS), using
-//! nothing beyond `std::net`.  Three pieces:
+//! length-prefixed binary protocol (GET/PUT/DEL/RMW/SCAN/STATS/METRICS),
+//! using nothing beyond `std::net`.  Three pieces:
 //!
 //! * [`proto`] — frame layout, opcodes, and the encode/decode pairs (the
 //!   tables live in the module docs);
@@ -32,10 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 mod reactor;
 mod srv;
 
 pub use client::{Connection, ServiceMap, WireTail};
-pub use proto::{FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN};
+pub use proto::{
+    FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN,
+    METRICS_VERSION,
+};
 pub use srv::{Backend, Server, ServerOpts};

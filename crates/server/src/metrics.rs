@@ -1,0 +1,303 @@
+//! Server-side telemetry: per-verb counters, the op-latency histogram,
+//! reactor loop instrumentation, and the slow-op flight recorder — plus
+//! `render`, the text exposition the `METRICS` verb answers with.
+//!
+//! Everything here is process-global (the same striped counters no matter
+//! how many `Server`s a test process starts), so readers work in *deltas*:
+//! snapshot before, snapshot after, subtract.  The per-shard load section
+//! of the exposition is the exception — it comes from the *served map's*
+//! own [`mapapi::ConcurrentMap::shard_loads`] counters, so it is
+//! per-instance.
+//!
+//! The increment path is the whole point: one `Once` check to reach the
+//! statics, then per-thread-striped relaxed `fetch_add`s — no locks, no
+//! heap, nothing the counting-allocator suites (`tests/zero_alloc_wire.rs`)
+//! can see.  DESIGN.md §11 has the overhead argument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+use std::time::Duration;
+
+use mapapi::ConcurrentMap;
+use telemetry::{Counter, FlightRecorder, Handle, Histogram};
+
+use crate::proto::METRICS_VERSION;
+use crate::srv::Backend;
+
+/// Slow-op records kept by the flight recorder (a power of two; older
+/// records are overwritten ring-style).
+pub const FLIGHT_CAPACITY: usize = 128;
+
+/// Default slow-op threshold: 1 ms.  Loopback point ops sit far under
+/// this, so in a healthy run the recorder stays near-empty and the
+/// recorder's cost is one relaxed load per op.
+pub const DEFAULT_SLOW_OP_THRESHOLD_NS: u64 = 1_000_000;
+
+/// The server's global metric set.  Counters cover both backends; the
+/// `reactor_*` group only moves when the reactor backend serves.
+pub(crate) struct ServerMetrics {
+    /// `GET`s executed.
+    pub ops_get: Counter,
+    /// `PUT`s executed.
+    pub ops_put: Counter,
+    /// `DEL`s executed.
+    pub ops_del: Counter,
+    /// `RMW`s executed.
+    pub ops_rmw: Counter,
+    /// `SCAN`s executed (including oversized ones answered with an error).
+    pub ops_scan: Counter,
+    /// `STATS` executed.
+    pub ops_stats: Counter,
+    /// `METRICS` executed.  The exposition a call returns is rendered
+    /// *before* its own counter bump, so the first call reports 0 here.
+    pub ops_metrics: Counter,
+    /// Ops whose wall time crossed the slow-op threshold (each also lands
+    /// in the flight recorder).
+    pub slow_ops: Counter,
+    /// Connections accepted, both backends.
+    pub conns_accepted: Counter,
+    /// Wall time per executed op, nanoseconds.
+    pub op_ns: Histogram,
+    /// Reactor: `epoll_wait` returns that delivered at least one event.
+    pub reactor_wakeups: Counter,
+    /// Reactor: complete frames decoded per productive wakeup (recorded
+    /// only when a wakeup decoded at least one frame, so idle streaming
+    /// polls don't drown the distribution in zeros).
+    pub reactor_frames_per_wakeup: Histogram,
+    /// Reactor: `read` syscalls issued (including the final `WouldBlock`
+    /// probe that ends every drain — that read is real work the kernel did).
+    pub reactor_read_syscalls: Counter,
+    /// Reactor: `write` syscalls issued.
+    pub reactor_write_syscalls: Counter,
+    /// Reactor: staged bytes pending at each flush attempt — the write-
+    /// queue depth distribution.
+    pub reactor_write_queue_bytes: Histogram,
+    /// Reactor: flushes that hit `WouldBlock` and had to arm `EPOLLOUT` —
+    /// one per backpressure stall, not per retried write.
+    pub reactor_epollout_stalls: Counter,
+    /// Reactor: accepted connections served by a recycled decoder/queue.
+    pub reactor_pool_hits: Counter,
+    /// Reactor: accepted connections that had to allocate fresh buffers.
+    pub reactor_pool_misses: Counter,
+}
+
+static METRICS: ServerMetrics = ServerMetrics {
+    ops_get: Counter::new(),
+    ops_put: Counter::new(),
+    ops_del: Counter::new(),
+    ops_rmw: Counter::new(),
+    ops_scan: Counter::new(),
+    ops_stats: Counter::new(),
+    ops_metrics: Counter::new(),
+    slow_ops: Counter::new(),
+    conns_accepted: Counter::new(),
+    op_ns: Histogram::new(),
+    reactor_wakeups: Counter::new(),
+    reactor_frames_per_wakeup: Histogram::new(),
+    reactor_read_syscalls: Counter::new(),
+    reactor_write_syscalls: Counter::new(),
+    reactor_write_queue_bytes: Histogram::new(),
+    reactor_epollout_stalls: Counter::new(),
+    reactor_pool_hits: Counter::new(),
+    reactor_pool_misses: Counter::new(),
+};
+
+/// The last [`FLIGHT_CAPACITY`] slow ops, ring-style.
+static FLIGHT: FlightRecorder<FLIGHT_CAPACITY> = FlightRecorder::new();
+
+/// Nanosecond threshold above which an op is "slow".
+static SLOW_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_OP_THRESHOLD_NS);
+
+static INIT: Once = Once::new();
+
+/// The server metric set, registering every name on first use.  The fast
+/// path after the first call is a single atomic load — the increment sites
+/// in the hot loops pay essentially nothing for registration.
+pub(crate) fn metrics() -> &'static ServerMetrics {
+    INIT.call_once(|| {
+        telemetry::register("srv_ops_get_total", Handle::Counter(&METRICS.ops_get));
+        telemetry::register("srv_ops_put_total", Handle::Counter(&METRICS.ops_put));
+        telemetry::register("srv_ops_del_total", Handle::Counter(&METRICS.ops_del));
+        telemetry::register("srv_ops_rmw_total", Handle::Counter(&METRICS.ops_rmw));
+        telemetry::register("srv_ops_scan_total", Handle::Counter(&METRICS.ops_scan));
+        telemetry::register("srv_ops_stats_total", Handle::Counter(&METRICS.ops_stats));
+        telemetry::register("srv_ops_metrics_total", Handle::Counter(&METRICS.ops_metrics));
+        telemetry::register("srv_slow_ops_total", Handle::Counter(&METRICS.slow_ops));
+        telemetry::register("srv_conns_accepted_total", Handle::Counter(&METRICS.conns_accepted));
+        telemetry::register("srv_op_ns", Handle::Histogram(&METRICS.op_ns));
+        telemetry::register("reactor_wakeups_total", Handle::Counter(&METRICS.reactor_wakeups));
+        telemetry::register(
+            "reactor_frames_per_wakeup",
+            Handle::Histogram(&METRICS.reactor_frames_per_wakeup),
+        );
+        telemetry::register(
+            "reactor_read_syscalls_total",
+            Handle::Counter(&METRICS.reactor_read_syscalls),
+        );
+        telemetry::register(
+            "reactor_write_syscalls_total",
+            Handle::Counter(&METRICS.reactor_write_syscalls),
+        );
+        telemetry::register(
+            "reactor_write_queue_bytes",
+            Handle::Histogram(&METRICS.reactor_write_queue_bytes),
+        );
+        telemetry::register(
+            "reactor_epollout_stalls_total",
+            Handle::Counter(&METRICS.reactor_epollout_stalls),
+        );
+        telemetry::register("reactor_pool_hits_total", Handle::Counter(&METRICS.reactor_pool_hits));
+        telemetry::register(
+            "reactor_pool_misses_total",
+            Handle::Counter(&METRICS.reactor_pool_misses),
+        );
+        // Materialize the subsystem registries too, so a METRICS call sees
+        // the identical name set on every backend (and on a server that has
+        // not yet executed a single KCAS or replication op).
+        let _ = kcas::metrics::metrics();
+        let _ = replica::metrics::metrics();
+    });
+    &METRICS
+}
+
+/// Current slow-op threshold in nanoseconds.
+pub fn slow_op_threshold_ns() -> u64 {
+    SLOW_NS.load(Ordering::Relaxed)
+}
+
+/// Set the slow-op threshold.  `0` records every op — what the metrics
+/// battery uses to exercise the recorder deterministically.
+pub fn set_slow_op_threshold_ns(ns: u64) {
+    SLOW_NS.store(ns, Ordering::Relaxed);
+}
+
+/// The wire opcode and subject key of a request — the flight recorder's
+/// `op`/`key` fields.  Keyless verbs report key 0.
+pub(crate) fn op_tag(req: &crate::proto::Request) -> (u64, u64) {
+    use crate::proto::Request;
+    match *req {
+        Request::Get(k) => (1, k),
+        Request::Put(k, _) => (2, k),
+        Request::Del(k) => (3, k),
+        Request::Rmw(k, _) => (4, k),
+        Request::Scan(start, _) => (5, start),
+        Request::Stats => (6, 0),
+        Request::Subscribe(_) => (7, 0),
+        Request::Metrics(_) => (8, 0),
+    }
+}
+
+/// Opcode → verb name, for the slow-op dump.
+fn op_name(op: u64) -> &'static str {
+    match op {
+        1 => "GET",
+        2 => "PUT",
+        3 => "DEL",
+        4 => "RMW",
+        5 => "SCAN",
+        6 => "STATS",
+        7 => "SUBSCRIBE",
+        8 => "METRICS",
+        _ => "?",
+    }
+}
+
+/// Backend → flight-record code (0 = threads, 1 = reactor).
+pub(crate) fn backend_code(backend: Backend) -> u64 {
+    match backend {
+        Backend::Threads => 0,
+        Backend::Reactor => 1,
+    }
+}
+
+fn backend_name(code: u64) -> &'static str {
+    match code {
+        0 => "threads",
+        1 => "reactor",
+        _ => "?",
+    }
+}
+
+/// Account one executed request: latency histogram, the per-verb counter,
+/// and — past the slow threshold — a flight record tagged with the key's
+/// owning shard.  Zero heap allocations on every path, slow or not.
+pub(crate) fn record_op(
+    op: u64,
+    key: u64,
+    elapsed: Duration,
+    map: &dyn ConcurrentMap,
+    backend: Backend,
+) {
+    let m = metrics();
+    let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    m.op_ns.record(ns);
+    match op {
+        1 => m.ops_get.inc(),
+        2 => m.ops_put.inc(),
+        3 => m.ops_del.inc(),
+        4 => m.ops_rmw.inc(),
+        5 => m.ops_scan.inc(),
+        6 => m.ops_stats.inc(),
+        8 => m.ops_metrics.inc(),
+        _ => {}
+    }
+    if ns >= SLOW_NS.load(Ordering::Relaxed) {
+        m.slow_ops.inc();
+        FLIGHT.record(op, key, ns, map.shard_of(key) as u64, backend_code(backend));
+    }
+}
+
+/// The slow-op flight recorder's current contents as `# slowop ...` lines,
+/// oldest first.  Also dumped by `bench_service` when a quiescent audit
+/// fails — the last slow ops before the inconsistency are exactly what you
+/// want in the postmortem.
+pub fn flight_dump() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# slowops recorded={} capacity={}", FLIGHT.recorded(), FLIGHT_CAPACITY);
+    for r in FLIGHT.snapshot() {
+        let _ = writeln!(
+            out,
+            "# slowop ticket={} op={} key={} latency_ns={} shard={} backend={}",
+            r.ticket,
+            op_name(r.op),
+            r.key,
+            r.latency_ns,
+            r.shard,
+            backend_name(r.backend),
+        );
+    }
+    out
+}
+
+/// Render the full text exposition the `METRICS` verb answers with.
+///
+/// Layout (one metric per line, `name value`; `#` lines are annotations):
+///
+/// ```text
+/// # pathcas-metrics v1 backend=reactor
+/// kcas_ops_total 1024
+/// ...registry lines, sorted by name...
+/// srv_shard_point_ops{shard="0"} 217
+/// srv_shard_scan_ops{shard="0"} 3
+/// # slowops recorded=2 capacity=128
+/// # slowop ticket=0 op=SCAN key=0 latency_ns=1980211 shard=0 backend=reactor
+/// ```
+///
+/// The registry section is global; the `srv_shard_*` section reads the
+/// *served map's* per-shard load counters (absent entirely when the map
+/// doesn't track them).  Both backends produce this through the same code
+/// path, so the byte layout is identical — only the values differ.
+pub(crate) fn render(map: &dyn ConcurrentMap, backend: Backend) -> String {
+    use std::fmt::Write;
+    metrics();
+    let mut out = String::new();
+    let _ = writeln!(out, "# pathcas-metrics v{METRICS_VERSION} backend={}", backend.label());
+    out.push_str(&telemetry::render());
+    for (i, load) in map.shard_loads().iter().enumerate() {
+        let _ = writeln!(out, "srv_shard_point_ops{{shard=\"{i}\"}} {}", load.point_ops);
+        let _ = writeln!(out, "srv_shard_scan_ops{{shard=\"{i}\"}} {}", load.scan_ops);
+    }
+    out.push_str(&flight_dump());
+    out
+}

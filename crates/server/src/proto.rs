@@ -20,6 +20,7 @@
 //! | `SCAN`  | 5    | `start: u64, len: u32`                      |
 //! | `STATS` | 6    | —                                           |
 //! | `SUBSCRIBE` | 7 | `after: u64` (resume seqno)                |
+//! | `METRICS` | 8  | `version: u8` (must be [`METRICS_VERSION`]) |
 //!
 //! Responses reuse the request's code as their tag (so a pipelined client
 //! can sanity-check ordering) with tag `0` reserved for protocol errors:
@@ -34,6 +35,14 @@
 //! | `SCAN`  | 5    | `count: u32`, then `count × (key: u64, value: u64)`      |
 //! | `STATS` | 6    | `key_count: u64, key_sum: u128, node_count: u64, key_depth_sum: u64, approx_bytes: u64` |
 //! | `EVENTS`| 7    | `count: u32`, then `count × (seqno: u64, event: 17 bytes)` |
+//! | `METRICS`| 8   | `text: [u8]` (UTF-8 exposition, rest of frame)           |
+//!
+//! `METRICS` is versioned on the *request*: the client names the exposition
+//! version it understands, and a version the server does not speak answers
+//! with a semantic `Err` response (connection stays usable) rather than a
+//! silently different format.  The exposition body is produced by code
+//! shared between both serving backends, so its byte layout is a pure
+//! function of the registered metric names and their values.
 //!
 //! `SUBSCRIBE` switches the connection into streaming mode: the server
 //! answers with `EVENTS` frames — each a batch of change-stream entries in
@@ -72,6 +81,11 @@ pub const MAX_SCAN_LEN: usize = (MAX_FRAME - 8) / 16;
 /// small so a follower's visible staleness moves in modest steps.
 pub const MAX_EVENTS_PER_FRAME: usize = 8192;
 
+/// The text-exposition version this server speaks.  A `METRICS` request
+/// carrying any other version gets a semantic `Err` response, so clients
+/// can probe for compatibility without risking a misparse.
+pub const METRICS_VERSION: u8 = 1;
+
 /// One client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Request {
@@ -90,6 +104,9 @@ pub enum Request {
     /// Switch this connection into change-stream mode, resuming after the
     /// given sequence number (0 = from the beginning).
     Subscribe(u64),
+    /// Telemetry text exposition in the named version (see
+    /// [`METRICS_VERSION`]).  A read: permitted on read-only servers.
+    Metrics(u8),
 }
 
 /// One server response (same order as the request stream of a connection).
@@ -110,6 +127,8 @@ pub enum Response {
     /// A change-stream batch: `(seqno, event)` entries in strict sequence
     /// order.  Only sent on subscribed connections.
     Events(Vec<(u64, Event)>),
+    /// The telemetry text exposition (UTF-8).
+    Metrics(String),
     /// Protocol-level error; the server closes the connection after it.
     Err(String),
 }
@@ -193,6 +212,10 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             buf.push(7);
             put_u64(buf, after);
         }
+        Request::Metrics(version) => {
+            buf.push(8);
+            buf.push(version);
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -209,6 +232,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         5 => Request::Scan(c.u64()?, c.u32()?),
         6 => Request::Stats,
         7 => Request::Subscribe(c.u64()?),
+        8 => Request::Metrics(c.u8()?),
         op => return Err(format!("unknown request opcode {op}")),
     };
     c.done()?;
@@ -265,6 +289,10 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
                 ev.encode(buf);
             }
         }
+        Response::Metrics(text) => {
+            buf.push(8);
+            buf.extend_from_slice(text.as_bytes());
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -311,6 +339,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 entries.push((seq, Event::decode(raw)?));
             }
             Response::Events(entries)
+        }
+        8 => {
+            let rest = c.take(payload.len() - 1)?;
+            match String::from_utf8(rest.to_vec()) {
+                Ok(text) => Response::Metrics(text),
+                Err(_) => return Err("METRICS exposition is not valid UTF-8".into()),
+            }
         }
         tag => return Err(format!("unknown response tag {tag}")),
     };
@@ -502,6 +537,9 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Subscribe(0));
         roundtrip_req(Request::Subscribe(u64::MAX));
+        roundtrip_req(Request::Metrics(METRICS_VERSION));
+        roundtrip_req(Request::Metrics(0));
+        roundtrip_req(Request::Metrics(u8::MAX));
     }
 
     #[test]
@@ -527,6 +565,10 @@ mod tests {
             (2, replica::Event::Del(5)),
             (3, replica::Event::Set(9, u64::MAX)),
         ]));
+        roundtrip_resp(Response::Metrics(String::new()));
+        roundtrip_resp(Response::Metrics("srv_ops_get_total 42\nsrv_ops_put_total 7\n".into()));
+        // Non-UTF-8 exposition bytes are rejected, not lossily decoded.
+        assert!(decode_response(&[8, 0xFF, 0xFE]).is_err());
     }
 
     #[test]

@@ -55,8 +55,9 @@ use std::thread::JoinHandle;
 use epoll_shim::{Epoll, Events, Interest, WakeFd};
 use mapapi::ConcurrentMap;
 
+use crate::metrics::metrics;
 use crate::proto::{self, FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME};
-use crate::srv::{execute, is_write, ServerOpts, NO_LOG_MSG, READ_ONLY_MSG};
+use crate::srv::{execute, is_write, Backend, ServerOpts, NO_LOG_MSG, READ_ONLY_MSG};
 
 /// Token of the shared listener in every reactor thread's epoll set.
 const TOK_LISTENER: u64 = 0;
@@ -201,7 +202,10 @@ impl ReactorLoop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
+            let mut any = false;
+            let mut frames = 0u64;
             for ev in events.iter() {
+                any = true;
                 match ev.token {
                     TOK_LISTENER => self.accept_ready(),
                     TOK_WAKE => {
@@ -216,7 +220,7 @@ impl ReactorLoop {
                         let was_streaming = matches!(conn.mode, Mode::Streaming { .. });
                         let mut dead = false;
                         if ev.readable || ev.hangup {
-                            dead = handle_readable(conn, &*self.map, &self.opts);
+                            dead = handle_readable(conn, &*self.map, &self.opts, &mut frames);
                         }
                         if !dead && (ev.writable || conn.pending_out() || conn.closing) {
                             dead = flush(conn, &self.epoll, token);
@@ -229,6 +233,16 @@ impl ReactorLoop {
                         }
                     }
                 }
+            }
+            // A wakeup that delivered events is the unit the batching story
+            // is told in: frames-per-wakeup is the depth the pipeline
+            // actually achieved (recorded only when frames arrived, so the
+            // 10 ms streaming polls don't bury the distribution in zeros).
+            if any {
+                metrics().reactor_wakeups.inc();
+            }
+            if frames > 0 {
+                metrics().reactor_frames_per_wakeup.record(frames);
             }
             if self.streaming > 0 {
                 self.pump_streams();
@@ -255,11 +269,26 @@ impl ReactorLoop {
                     if self.epoll.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
                         continue;
                     }
+                    let m = metrics();
+                    m.conns_accepted.inc();
+                    // Pool hit rate: a recycled decoder arrives warm (its
+                    // buffers retain capacity), so a high hit rate is what
+                    // keeps steady-state accepts allocation-light.
+                    let dec = match self.dec_pool.pop() {
+                        Some(dec) => {
+                            m.reactor_pool_hits.inc();
+                            dec
+                        }
+                        None => {
+                            m.reactor_pool_misses.inc();
+                            FrameDecoder::default()
+                        }
+                    };
                     self.conns.insert(
                         token,
                         Conn {
                             stream,
-                            dec: self.dec_pool.pop().unwrap_or_default(),
+                            dec,
                             out: self.out_pool.pop().unwrap_or_default(),
                             out_pos: 0,
                             mode: Mode::Request,
@@ -322,11 +351,18 @@ impl ReactorLoop {
     }
 }
 
-/// Drain the socket and process every complete frame.  Returns whether the
-/// connection is already dead (reset, or EOF with nothing left to write).
-fn handle_readable(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -> bool {
+/// Drain the socket and process every complete frame, adding the number of
+/// frames executed to `frames`.  Returns whether the connection is already
+/// dead (reset, or EOF with nothing left to write).
+fn handle_readable(
+    conn: &mut Conn,
+    map: &dyn ConcurrentMap,
+    opts: &ServerOpts,
+    frames: &mut u64,
+) -> bool {
     let mut eof = false;
     loop {
+        metrics().reactor_read_syscalls.inc();
         match conn.dec.fill_from(&mut conn.stream) {
             Ok(0) => {
                 eof = true;
@@ -338,7 +374,7 @@ fn handle_readable(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) 
                     // threaded backend simply never reads them).
                     conn.dec.reset();
                 } else if !conn.closing {
-                    process_frames(conn, map, opts);
+                    *frames += process_frames(conn, map, opts);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -361,13 +397,18 @@ fn handle_readable(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) 
 }
 
 /// Decode and execute every complete frame currently buffered, staging the
-/// responses in order.  Mirrors `srv::handle_conn`'s dispatch exactly.
-fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) {
+/// responses in order; returns how many frames were consumed.  Mirrors
+/// `srv::handle_conn`'s dispatch exactly.
+fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -> u64 {
+    let mut frames = 0u64;
     while !conn.closing {
         // The decoded request is `Copy`, so the borrow on the decoder ends
         // before the response is staged into `conn.out`.
         let req = match conn.dec.next_frame() {
-            Ok(Some(payload)) => proto::decode_request(payload),
+            Ok(Some(payload)) => {
+                frames += 1;
+                proto::decode_request(payload)
+            }
             Ok(None) => break,
             Err(_) => {
                 // Hostile length prefix: torn connection, no response —
@@ -388,12 +429,12 @@ fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) {
                     // the protocol; drop it.
                     conn.mode = Mode::Streaming { after };
                     conn.dec.reset();
-                    return;
+                    return frames;
                 }
                 None => Response::Err(NO_LOG_MSG.into()),
             },
             Ok(req) if opts.read_only && is_write(&req) => Response::Err(READ_ONLY_MSG.into()),
-            Ok(req) => execute(map, req),
+            Ok(req) => execute(map, req, Backend::Reactor),
             Err(msg) => {
                 // Framing error: answer, then close once it flushes.
                 conn.closing = true;
@@ -402,18 +443,29 @@ fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) {
         };
         proto::encode_response(&resp, &mut conn.out);
     }
+    frames
 }
 
 /// Write staged bytes until drained or the kernel pushes back.  Arms and
 /// disarms `EPOLLOUT` as the queue transitions; returns whether the
 /// connection is dead (write error, or drained with `closing` set).
 fn flush(conn: &mut Conn, epoll: &Epoll, token: u64) -> bool {
+    let m = metrics();
+    if conn.pending_out() {
+        // Queue depth at flush time — the backpressure signal: staged
+        // bytes a slow peer has not yet accepted.
+        m.reactor_write_queue_bytes.record((conn.out.len() - conn.out_pos) as u64);
+    }
     while conn.pending_out() {
+        m.reactor_write_syscalls.inc();
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => return true,
             Ok(n) => conn.out_pos += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if !conn.want_write {
+                    // Counted once per stall (arming EPOLLOUT), not per
+                    // retried write while already armed.
+                    m.reactor_epollout_stalls.inc();
                     conn.want_write = true;
                     if epoll
                         .modify(conn.stream.as_raw_fd(), token, Interest::READ_WRITE)

@@ -156,6 +156,10 @@ impl Server {
         opts: ServerOpts,
         addr: impl ToSocketAddrs,
     ) -> io::Result<Server> {
+        // Register every metric name (server + kcas + replica) before the
+        // first connection, so both backends expose the identical name set
+        // from their very first METRICS response.
+        crate::metrics::metrics();
         let inner = match opts.backend {
             Backend::Threads => Inner::Threads(ThreadedServer::start(map, opts, addr)?),
             Backend::Reactor => {
@@ -232,6 +236,7 @@ impl ThreadedServer {
                     // The clone shares the socket: shutdown() uses it to
                     // unblock the handler's blocking reads.
                     let Ok(peer) = stream.try_clone() else { continue };
+                    crate::metrics::metrics().conns_accepted.inc();
                     let map = Arc::clone(&map);
                     let opts = opts.clone();
                     let shutdown = Arc::clone(&shutdown);
@@ -275,8 +280,18 @@ impl ThreadedServer {
 }
 
 /// Execute one decoded request against the map.  Shared by both backends —
-/// byte-identical semantics is the point.
-pub(crate) fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
+/// byte-identical semantics is the point.  Every op is timed and counted
+/// (`crate::metrics`); ops past the slow threshold additionally land in
+/// the flight recorder tagged with the key's owning shard and `backend`.
+pub(crate) fn execute(map: &dyn ConcurrentMap, req: Request, backend: Backend) -> Response {
+    let start = std::time::Instant::now();
+    let (opcode, key) = crate::metrics::op_tag(&req);
+    let resp = execute_inner(map, req, backend);
+    crate::metrics::record_op(opcode, key, start.elapsed(), map, backend);
+    resp
+}
+
+fn execute_inner(map: &dyn ConcurrentMap, req: Request, backend: Backend) -> Response {
     match req {
         Request::Get(k) => Response::Get(map.get(k)),
         Request::Put(k, v) => Response::Put(map.insert(k, v)),
@@ -297,6 +312,18 @@ pub(crate) fn execute(map: &dyn ConcurrentMap, req: Request) -> Response {
         )),
         Request::Scan(start, len) => Response::Scan(map.scan(start, len as usize)),
         Request::Stats => Response::Stats(map.stats()),
+        // The telemetry exposition: version-checked so a client built
+        // against a future layout fails loudly instead of misparsing.
+        // A read verb — followers answer it too.  The exposition is
+        // rendered *before* this request's own accounting, so the first
+        // METRICS call on a fresh server reports srv_ops_metrics_total 0.
+        Request::Metrics(v) if v == proto::METRICS_VERSION => {
+            Response::Metrics(crate::metrics::render(map, backend))
+        }
+        Request::Metrics(v) => Response::Err(format!(
+            "METRICS version {v} unsupported (server speaks {})",
+            proto::METRICS_VERSION
+        )),
         // Handled by `handle_conn` before execute (it takes over the
         // connection); reaching here means a bug in the dispatch order.
         Request::Subscribe(_) => Response::Err("SUBSCRIBE is not a point request".into()),
@@ -346,7 +373,7 @@ fn handle_conn(
             Ok(req) if opts.read_only && is_write(&req) => {
                 Response::Err(READ_ONLY_MSG.into())
             }
-            Ok(req) => execute(map, req),
+            Ok(req) => execute(map, req, Backend::Threads),
             Err(msg) => {
                 // Respond with the error, flush, and close: after a framing
                 // error the stream offset can no longer be trusted.  (A

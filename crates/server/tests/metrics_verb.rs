@@ -1,0 +1,196 @@
+//! The METRICS verb battery, run differentially on both backends: the
+//! exposition must reconcile with client-side op counts, the per-shard
+//! load section must sum to the total, the metric *name set* must be
+//! identical across backends, version mismatches must fail semantically,
+//! and a zero slow-op threshold must populate the flight recorder.
+//!
+//! One `#[test]` on purpose: the server counters are process-global, so
+//! the assertions work in deltas and nothing else in this binary may move
+//! them concurrently.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use common::{for_each_backend, opts, start_on};
+use mapapi::reference::LockedBTreeMap;
+use mapapi::ConcurrentMap;
+use server::{Backend, Connection, Request, Response, Server, ServerOpts};
+use shard::ShardedMap;
+
+const SHARDS: usize = 4;
+
+fn sharded() -> Arc<dyn ConcurrentMap> {
+    Arc::new(ShardedMap::from_fn(SHARDS, |_| {
+        Box::new(LockedBTreeMap::new()) as Box<dyn ConcurrentMap>
+    }))
+}
+
+/// The value of metric `name` in an exposition (`name value` lines).
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+}
+
+/// Every metric name in an exposition (annotation lines excluded).
+fn names(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| l.split_whitespace().next().unwrap().to_string())
+        .collect()
+}
+
+/// Sum of a labeled per-shard family, e.g. `srv_shard_point_ops{shard="i"}`.
+fn shard_sum(text: &str, family: &str) -> u64 {
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with(family) && l.as_bytes().get(family.len()) == Some(&b'{'))
+        .collect();
+    assert_eq!(lines.len(), SHARDS, "{family}: expected one line per shard:\n{text}");
+    lines.iter().map(|l| l.split_whitespace().last().unwrap().parse::<u64>().unwrap()).sum()
+}
+
+#[test]
+fn metrics_reconcile_on_both_backends() {
+    let per_backend_names: std::sync::Mutex<Vec<BTreeSet<String>>> = std::sync::Mutex::new(Vec::new());
+
+    for_each_backend(|backend| {
+        let map = sharded();
+        let server = start_on(Arc::clone(&map), backend);
+        let mut conn = Connection::connect(server.local_addr()).expect("connect");
+
+        let before = conn.metrics().expect("baseline METRICS");
+        assert!(
+            before.starts_with(&format!("# pathcas-metrics v1 backend={}\n", backend.label())),
+            "version/backend header missing:\n{before}"
+        );
+
+        // Known traffic, pipelined: 300 PUT, 500 GET, 50 RMW, 100 DEL
+        // (some misses — executed is executed), 2 SCAN, 1 STATS.
+        let mut reqs = Vec::new();
+        reqs.extend((1..=300u64).map(|k| Request::Put(k, k)));
+        reqs.extend((1..=500u64).map(Request::Get));
+        reqs.extend((1..=50u64).map(|k| Request::Rmw(k, 1)));
+        reqs.extend((251..=350u64).map(Request::Del));
+        reqs.push(Request::Scan(0, 1000));
+        reqs.push(Request::Scan(0, 10));
+        reqs.push(Request::Stats);
+        let resps = conn.pipeline(&reqs).expect("pipeline");
+        assert_eq!(resps.len(), reqs.len());
+
+        let after = conn.metrics().expect("METRICS after traffic");
+
+        // Server-side counters reconcile exactly with what we sent.
+        for (name, sent) in [
+            ("srv_ops_put_total", 300),
+            ("srv_ops_get_total", 500),
+            ("srv_ops_rmw_total", 50),
+            ("srv_ops_del_total", 100),
+            ("srv_ops_scan_total", 2),
+            ("srv_ops_stats_total", 1),
+        ] {
+            let delta = metric(&after, name) - metric(&before, name);
+            assert_eq!(delta, sent, "{name} delta != client-side count");
+        }
+        // The baseline METRICS call is accounted *after* it rendered, so
+        // its own counter shows up in the second exposition.
+        assert_eq!(
+            metric(&after, "srv_ops_metrics_total") - metric(&before, "srv_ops_metrics_total"),
+            1
+        );
+        // Latency histogram: one sample per executed op (953 traffic ops
+        // plus the baseline METRICS), and this connection was accepted.
+        assert!(
+            metric(&after, "srv_op_ns_count") - metric(&before, "srv_op_ns_count") >= 954,
+            "op latency histogram missed samples"
+        );
+        assert!(
+            metric(&after, "srv_conns_accepted_total")
+                >= metric(&before, "srv_conns_accepted_total").max(1)
+        );
+
+        // Per-shard loads (fresh map, so absolute values) sum to the map-
+        // level totals: 950 point ops, and each scan sweeps every shard.
+        assert_eq!(shard_sum(&after, "srv_shard_point_ops"), 950);
+        assert_eq!(shard_sum(&after, "srv_shard_scan_ops"), 2 * SHARDS as u64);
+
+        // The reactor counter group only moves under the reactor backend
+        // (Threads runs first in Backend::ALL, so this also proves the
+        // threaded path never touches them).
+        let reads = metric(&after, "reactor_read_syscalls_total")
+            - metric(&before, "reactor_read_syscalls_total");
+        let writes = metric(&after, "reactor_write_syscalls_total")
+            - metric(&before, "reactor_write_syscalls_total");
+        match backend {
+            Backend::Threads => assert_eq!((reads, writes), (0, 0)),
+            Backend::Reactor => {
+                assert!(reads > 0 && writes > 0, "reactor served without syscalls?");
+                assert!(
+                    metric(&after, "reactor_wakeups_total")
+                        > metric(&before, "reactor_wakeups_total")
+                );
+                assert!(metric(&after, "reactor_frames_per_wakeup_count") > 0);
+            }
+        }
+
+        // Eager registration: subsystem names are present even though this
+        // map is no KCAS structure and nothing replicated.
+        let set = names(&after);
+        for expected in ["kcas_ops_total", "kcas_retries_total", "replica_log_seqno"] {
+            assert!(set.contains(expected), "{expected} not registered");
+        }
+        per_backend_names.lock().unwrap().push(set);
+
+        // A stale client version is a semantic error, not a hangup: the
+        // connection survives and answers the next request.
+        match conn.request(&Request::Metrics(99)).expect("version mismatch roundtrip") {
+            Response::Err(msg) => assert!(msg.contains("version 99"), "odd error: {msg}"),
+            other => panic!("METRICS v99 answered with {other:?}"),
+        }
+        assert!(matches!(conn.request(&Request::Get(1)), Ok(Response::Get(Some(2)))));
+
+        // Zero threshold: every op is "slow", so the flight recorder fills
+        // with records tagged with this backend.
+        server::metrics::set_slow_op_threshold_ns(0);
+        let slow_before = metric(&conn.metrics().unwrap(), "srv_slow_ops_total");
+        for k in 1..=8u64 {
+            conn.request(&Request::Get(k)).unwrap();
+        }
+        let dump = conn.metrics().unwrap();
+        server::metrics::set_slow_op_threshold_ns(server::metrics::DEFAULT_SLOW_OP_THRESHOLD_NS);
+        assert!(metric(&dump, "srv_slow_ops_total") >= slow_before + 8);
+        let tag = format!("backend={}", backend.label());
+        assert!(
+            dump.lines().any(|l| l.starts_with("# slowop ")
+                && l.contains("op=GET")
+                && l.contains(&tag)),
+            "no GET flight record for {}:\n{dump}",
+            backend.label()
+        );
+
+        server.shutdown();
+    });
+
+    // Both backends expose the identical metric-name set.
+    let per_backend_names = per_backend_names.into_inner().unwrap();
+    assert_eq!(per_backend_names.len(), 2);
+    assert_eq!(
+        per_backend_names[0], per_backend_names[1],
+        "metric name sets diverge across backends"
+    );
+
+    // And a read-only follower front-end still answers METRICS (it is a
+    // read verb), while rejecting writes.
+    let server = Server::start_with(
+        sharded(),
+        ServerOpts { read_only: true, ..opts(Backend::Reactor) },
+        "127.0.0.1:0",
+    )
+    .expect("bind read-only");
+    let mut conn = Connection::connect(server.local_addr()).expect("connect");
+    assert!(conn.metrics().unwrap().contains("srv_ops_get_total"));
+    assert!(matches!(conn.request(&Request::Put(1, 1)), Ok(Response::Err(_))));
+    server.shutdown();
+}

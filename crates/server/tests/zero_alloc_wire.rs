@@ -8,6 +8,13 @@
 //!
 //! A scan phase then shows the counter is live (Response::Scan carries a
 //! Vec, which must allocate) — keeping the zero honest.
+//!
+//! Since PR 8 the measured window also runs with the telemetry layer
+//! fully enabled — per-verb counters, the op latency histogram, reactor
+//! syscall counters, the slow-op threshold check — and the registry delta
+//! read *outside* the window must account for exactly the 2000 measured
+//! GETs: instrumentation that is both live and allocation-free is the
+//! zero-overhead claim of DESIGN.md §11.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{Read, Write};
@@ -90,6 +97,11 @@ fn reactor_steady_state_get_path_is_allocation_free() {
     assert_eq!(resp[..6], [10, 0, 0, 0, 1, 1]);
     assert_eq!(u64::from_le_bytes(resp[6..].try_into().unwrap()), 10);
 
+    // Registry reads stay outside the measured window (String rendering
+    // allocates); the *increments* inside the window must not.
+    let gets_before = telemetry::value("srv_ops_get_total").expect("metric registered");
+    let reads_before = telemetry::value("reactor_read_syscalls_total").unwrap();
+
     let before = allocations();
     for _ in 0..2000 {
         sock.write_all(&get).unwrap();
@@ -104,6 +116,16 @@ fn reactor_steady_state_get_path_is_allocation_free() {
          round-trips)",
         after - before
     );
+
+    // The allocation-free window was fully instrumented: every measured
+    // GET landed in the per-verb counter, and the reactor's read-syscall
+    // counter moved with the socket traffic.
+    assert_eq!(
+        telemetry::value("srv_ops_get_total").unwrap() - gets_before,
+        2000,
+        "telemetry missed ops inside the zero-alloc window"
+    );
+    assert!(telemetry::value("reactor_read_syscalls_total").unwrap() > reads_before);
 
     // Counter sanity: a SCAN response carries a Vec server-side, so the
     // same connection, same window, must show allocations.

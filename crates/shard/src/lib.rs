@@ -28,7 +28,8 @@
 
 #![warn(missing_docs)]
 
-use mapapi::{ConcurrentMap, Key, MapStats, Value};
+use mapapi::{ConcurrentMap, Key, MapStats, ShardLoad, Value};
+use telemetry::Counter;
 
 /// 64-bit FNV-1a over the key's little-endian bytes — cheap, deterministic,
 /// and unrelated to the FNV *rank scrambling* the workload samplers use, so
@@ -52,6 +53,13 @@ pub fn fnv1a(key: u64) -> u64 {
 pub struct ShardedMap {
     name: &'static str,
     shards: Vec<Box<dyn ConcurrentMap>>,
+    /// Per-shard cumulative point-op counts (insert/remove/contains/get/rmw
+    /// routed to the shard). Striped wait-free counters: routing stays on
+    /// the zero-allocation warm path and scales with writer threads.
+    point_ops: Vec<Counter>,
+    /// Per-shard scan-visit counts (each k-way-merged scan touches every
+    /// shard once).
+    scan_ops: Vec<Counter>,
 }
 
 impl ShardedMap {
@@ -66,7 +74,9 @@ impl ShardedMap {
         let first = shards[0].name();
         let inner = if shards.iter().all(|s| s.name() == first) { first } else { "mixed" };
         let name = mapapi::intern_name(format!("shard{}({})", shards.len(), inner));
-        ShardedMap { name, shards }
+        let point_ops = (0..shards.len()).map(|_| Counter::new()).collect();
+        let scan_ops = (0..shards.len()).map(|_| Counter::new()).collect();
+        ShardedMap { name, shards, point_ops, scan_ops }
     }
 
     /// Build `n` shards from a factory (`build` receives the shard index).
@@ -86,10 +96,18 @@ impl ShardedMap {
         &self.shards
     }
 
-    /// The shard owning `key`.
+    /// The index of the shard owning `key`.
+    #[inline]
+    fn owner_idx(&self, key: Key) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning `key`, counting the routed point op.
     #[inline]
     fn owner(&self, key: Key) -> &dyn ConcurrentMap {
-        &*self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+        let i = self.owner_idx(key);
+        self.point_ops[i].inc();
+        &*self.shards[i]
     }
 }
 
@@ -127,8 +145,15 @@ impl ConcurrentMap for ShardedMap {
         // Per-shard validated snapshots: each run is sorted and holds that
         // shard's first `len` keys >= start, so the global first `len` keys
         // are contained in the union of the runs.
-        let runs: Vec<Vec<(Key, Value)>> =
-            self.shards.iter().map(|s| s.scan(start, len)).collect();
+        let runs: Vec<Vec<(Key, Value)>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                self.scan_ops[i].inc();
+                s.scan(start, len)
+            })
+            .collect();
         // k-way merge of the sorted runs; keys are disjoint across shards,
         // so ties cannot occur and the output is duplicate-free.
         let mut heads = vec![0usize; runs.len()];
@@ -156,10 +181,10 @@ impl ConcurrentMap for ShardedMap {
     fn stats(&self) -> MapStats {
         // Aggregation over quiescent per-shard traversals; `key_depth_sum`
         // sums each key's depth *within its own shard* (N shallow trees, not
-        // one deep one — exactly what the sharding buys).
+        // one deep one — exactly what the sharding buys).  The per-shard
+        // breakdown this sums over is public as `shard_stats()`.
         let mut agg = MapStats::default();
-        for s in &self.shards {
-            let st = s.stats();
+        for st in self.shard_stats() {
             agg.key_count += st.key_count;
             agg.key_sum += st.key_sum;
             agg.node_count += st.node_count;
@@ -167,6 +192,26 @@ impl ConcurrentMap for ShardedMap {
             agg.approx_bytes += st.approx_bytes;
         }
         agg
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        self.owner_idx(key)
+    }
+
+    fn shard_stats(&self) -> Vec<MapStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.point_ops
+            .iter()
+            .zip(&self.scan_ops)
+            .map(|(p, s)| ShardLoad { point_ops: p.get(), scan_ops: s.get() })
+            .collect()
     }
 }
 
@@ -232,6 +277,51 @@ mod tests {
             m.insert(k, k);
         }
         assert_eq!(m.scan(1, 10), vec![(1, 1), (3, 3), (5, 5)]);
+    }
+
+    #[test]
+    fn per_shard_stats_and_loads_sum_to_the_aggregate() {
+        let m = oracle_shards(4);
+        for k in 1..=256u64 {
+            m.insert(k, k); // 256 point ops
+        }
+        for k in 1..=256u64 {
+            assert_eq!(m.get(k), Some(k)); // 256 more
+        }
+        let _ = m.scan(1, 16); // one scan visit per shard
+
+        // shard_stats: the per-shard breakdown sums exactly to stats().
+        let per = m.shard_stats();
+        assert_eq!(per.len(), 4);
+        let agg = m.stats();
+        assert_eq!(per.iter().map(|s| s.key_count).sum::<u64>(), agg.key_count);
+        assert_eq!(per.iter().map(|s| s.key_sum).sum::<u128>(), agg.key_sum);
+        assert!(per.iter().all(|s| s.key_count > 0), "FNV-1a must spread 256 keys: {per:?}");
+
+        // shard_loads: per-shard point ops sum to the total routed, and the
+        // scan visited every shard exactly once.
+        let loads = ConcurrentMap::shard_loads(&m);
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().map(|l| l.point_ops).sum::<u64>(), 512);
+        assert!(loads.iter().all(|l| l.scan_ops == 1), "{loads:?}");
+
+        // shard_of agrees with where the keys actually landed: replaying the
+        // ownership map reproduces each shard's key count.
+        let mut owned = [0u64; 4];
+        for k in 1..=256u64 {
+            owned[ConcurrentMap::shard_of(&m, k)] += 1;
+        }
+        for (i, st) in per.iter().enumerate() {
+            assert_eq!(owned[i], st.key_count, "shard {i}");
+        }
+
+        // The trait defaults on an unsharded structure: one shard, untracked
+        // loads.
+        let plain = LockedBTreeMap::new();
+        assert_eq!(ConcurrentMap::shard_count(&plain), 1);
+        assert_eq!(ConcurrentMap::shard_of(&plain, 99), 0);
+        assert_eq!(plain.shard_stats().len(), 1);
+        assert!(plain.shard_loads().is_empty());
     }
 
     #[test]

@@ -1,0 +1,638 @@
+//! Zero-overhead telemetry: striped counters, gauges, log-bucketed atomic
+//! histograms, a global text-exposition registry, and a bounded flight
+//! recorder for slow operations.
+//!
+//! Design constraints (DESIGN.md §11):
+//!
+//! - **Wait-free, zero-allocation increments.** [`Counter::inc`],
+//!   [`Gauge::set`], [`Histogram::record`] and [`FlightRecorder::record`]
+//!   perform a bounded number of `Relaxed` atomic operations and never touch
+//!   the heap, so they are safe to call from the server's asserted
+//!   zero-allocation warm paths (the counting-allocator tests in
+//!   `crates/server/tests/zero_alloc_wire.rs` and
+//!   `crates/kcas/tests/zero_alloc.rs` prove this end to end).
+//! - **Contention-free under fan-in.** A [`Counter`] is striped across
+//!   [`STRIPES`] cache-line-padded cells; each thread hashes to a fixed
+//!   stripe on first use, so concurrent increments from different threads
+//!   land on different cache lines instead of bouncing one hot line.
+//! - **Relaxed ordering everywhere.** Metrics observe the system, they do
+//!   not synchronize it: a read is a *sum of monotone per-stripe values*,
+//!   each exact at some recent moment. Totals are therefore exact once the
+//!   writers quiesce (what every reconciliation test relies on) and at worst
+//!   momentarily stale mid-flight — never torn, never locked.
+//! - **Statics only.** Every instrument is `const`-constructible so
+//!   subsystems declare `static` instruments and register them once; the
+//!   registry [`Mutex`] is touched only at registration and render time,
+//!   never on an increment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod buckets;
+
+use buckets::{bucket_index, bucket_upper, NBUCKETS, TRACKABLE_MAX};
+
+/// Number of stripes per [`Counter`] (power of two). 32 padded cells cover
+/// more worker threads than the benches drive while keeping a counter at
+/// 4 KiB; threads beyond 32 share stripes round-robin, which costs a little
+/// contention but never correctness.
+pub const STRIPES: usize = 32;
+
+/// One counter stripe, padded to 128 bytes so neighbouring stripes never
+/// share a cache line (two lines on common x86 prefetch pairings).
+#[repr(align(128))]
+struct Stripe(AtomicU64);
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe index, assigned round-robin on first use.
+    /// `const`-initialized: the TLS access compiles to a plain register-
+    /// relative load with no lazy-init allocation.
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's stripe index in `[0, STRIPES)`.
+#[inline]
+fn stripe_id() -> usize {
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotone event counter, striped per thread.
+///
+/// `inc`/`add` are wait-free (one `Relaxed` `fetch_add` on the calling
+/// thread's own stripe) and allocation-free. [`Counter::get`] sums the
+/// stripes; it is exact whenever the writers are quiescent.
+pub struct Counter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Counter {
+    /// A zeroed counter. `const` so instruments can live in statics.
+    pub const fn new() -> Counter {
+        Counter { stripes: [const { Stripe(AtomicU64::new(0)) }; STRIPES] }
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all stripes (wrapping on overflow, like the stripes).
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A last-writer-wins level (queue depth, seqno, lag). Unstriped: gauges
+/// record *state*, not events, so the last store is the value.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n` (e.g. open-connection counts).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under concurrent modification of the same
+        // gauge; still allocation-free and lock-free.
+        let _ =
+            self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-size atomic histogram over the HDR-style log-bucket layout in
+/// [`buckets`] (the same layout `workload`'s per-thread histograms use, so
+/// the two report identical quantization).
+///
+/// `record` is wait-free: four `Relaxed` RMWs (bucket, count, sum, max), no
+/// allocation, no locks. Reads are sums over the buckets — exact once
+/// writers quiesce.
+pub struct Histogram {
+    counts: [AtomicU64; NBUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    saturated: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (~9.5 KiB of zeroed buckets). `const` for statics.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; NBUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Values above [`TRACKABLE_MAX`] are clamped into the
+    /// top bucket and counted in [`Histogram::saturated_count`], mirroring
+    /// `workload::hist::LatencyHistogram::record`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let v = if v > TRACKABLE_MAX {
+            self.saturated.fetch_add(1, Ordering::Relaxed);
+            TRACKABLE_MAX
+        } else {
+            v
+        };
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded (clamped) value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Number of values that exceeded [`TRACKABLE_MAX`] and were clamped.
+    pub fn saturated_count(&self) -> u64 {
+        self.saturated.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded values (0.0 when empty). The running sum wraps
+    /// at `u64::MAX` nanoseconds (~584 years of accumulated latency).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the smallest bucket upper
+    /// bound covering at least `ceil(q * count)` samples. 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A registered instrument: how the registry reads and renders it.
+#[derive(Clone, Copy)]
+pub enum Handle {
+    /// A striped event counter.
+    Counter(&'static Counter),
+    /// A last-writer-wins level.
+    Gauge(&'static Gauge),
+    /// An atomic log-bucketed histogram.
+    Histogram(&'static Histogram),
+    /// A derived value computed at read time (e.g. follower lag =
+    /// `log_seqno - applied_seqno`).
+    Func(fn() -> u64),
+}
+
+static REGISTRY: Mutex<Vec<(&'static str, Handle)>> = Mutex::new(Vec::new());
+
+/// Register an instrument under a globally unique name. Call once per
+/// instrument (subsystems guard their registration with `std::sync::Once`);
+/// registering a duplicate name panics, because exposition names are the
+/// schema downstream deltas key on.
+pub fn register(name: &'static str, handle: Handle) {
+    let mut reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(reg.iter().all(|(n, _)| *n != name), "duplicate metric name registered: {name}");
+    reg.push((name, handle));
+}
+
+fn scalar_of(handle: &Handle) -> u64 {
+    match handle {
+        Handle::Counter(c) => c.get(),
+        Handle::Gauge(g) => g.get(),
+        Handle::Histogram(h) => h.count(),
+        Handle::Func(f) => f(),
+    }
+}
+
+/// The scalar value of a registered instrument (a histogram reads as its
+/// sample count), or `None` if no such name was registered.
+pub fn value(name: &str) -> Option<u64> {
+    let reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    reg.iter().find(|(n, _)| *n == name).map(|(_, h)| scalar_of(h))
+}
+
+/// A point-in-time scalar view of every registered instrument, sorted by
+/// name — the delta primitive the bench binaries subtract around trials.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    let reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out: Vec<(&'static str, u64)> = reg.iter().map(|(n, h)| (*n, scalar_of(h))).collect();
+    out.sort_unstable_by_key(|(n, _)| *n);
+    out
+}
+
+/// Render every registered instrument as deterministic text exposition:
+/// one `name value` line per scalar, and for histograms the fixed sub-line
+/// set `_count`, `_p50`, `_p99`, `_p999`, `_max`, `_saturated`. Lines are
+/// sorted by name, so the *byte layout* of the exposition is a pure function
+/// of the registered name set and the values — identical across serving
+/// backends by construction.
+pub fn render() -> String {
+    let entries: Vec<(&'static str, Handle)> = {
+        let reg = REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        reg.clone()
+    };
+    let mut lines: Vec<String> = Vec::with_capacity(entries.len());
+    for (name, handle) in &entries {
+        match handle {
+            Handle::Counter(_) | Handle::Gauge(_) | Handle::Func(_) => {
+                lines.push(format!("{name} {}\n", scalar_of(handle)));
+            }
+            Handle::Histogram(h) => {
+                lines.push(format!("{name}_count {}\n", h.count()));
+                lines.push(format!("{name}_p50 {}\n", h.value_at_quantile(0.50)));
+                lines.push(format!("{name}_p99 {}\n", h.value_at_quantile(0.99)));
+                lines.push(format!("{name}_p999 {}\n", h.value_at_quantile(0.999)));
+                lines.push(format!("{name}_max {}\n", h.max()));
+                lines.push(format!("{name}_saturated {}\n", h.saturated_count()));
+            }
+        }
+    }
+    lines.sort_unstable();
+    lines.concat()
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// One decoded flight-recorder entry (see [`FlightRecorder`]). Field
+/// meanings are the caller's: the server records
+/// `(opcode, key, latency_ns, shard, backend)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Monotone admission ticket (global order of recorded ops).
+    pub ticket: u64,
+    /// Caller-defined operation tag.
+    pub op: u64,
+    /// Caller-defined key.
+    pub key: u64,
+    /// Latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Caller-defined shard index.
+    pub shard: u64,
+    /// Caller-defined backend tag.
+    pub backend: u64,
+}
+
+struct FlightSlot {
+    /// Seqlock word: `2*ticket + 1` while a writer owns the slot,
+    /// `2*ticket + 2` once the record is complete. 0 = never written.
+    seq: AtomicU64,
+    op: AtomicU64,
+    key: AtomicU64,
+    latency_ns: AtomicU64,
+    shard: AtomicU64,
+    backend: AtomicU64,
+}
+
+/// A bounded ring of the last `N` recorded events, lock- and allocation-free
+/// to write.
+///
+/// Writers claim a ticket with one `fetch_add` and fill `slot[ticket % N]`
+/// under a per-slot seqlock (odd = in progress). Readers ([`Self::snapshot`])
+/// skip slots whose seqlock is odd or changed mid-read, so a snapshot only
+/// ever contains fully written records. Two writers race for the same slot
+/// only when one laps the other by a full ring (`N` tickets) mid-write; the
+/// seqlock detects the overlap and the reader drops that slot — this is a
+/// best-effort diagnostic ring, not a loss-free log.
+pub struct FlightRecorder<const N: usize> {
+    next: AtomicU64,
+    slots: [FlightSlot; N],
+}
+
+impl<const N: usize> FlightRecorder<N> {
+    /// An empty recorder. `N` must be a power of two (compile-time checked).
+    pub const fn new() -> FlightRecorder<N> {
+        assert!(N.is_power_of_two(), "FlightRecorder capacity must be a power of two");
+        FlightRecorder {
+            next: AtomicU64::new(0),
+            slots: [const {
+                FlightSlot {
+                    seq: AtomicU64::new(0),
+                    op: AtomicU64::new(0),
+                    key: AtomicU64::new(0),
+                    latency_ns: AtomicU64::new(0),
+                    shard: AtomicU64::new(0),
+                    backend: AtomicU64::new(0),
+                }
+            }; N],
+        }
+    }
+
+    /// Record one event (wait-free, allocation-free).
+    #[inline]
+    pub fn record(&self, op: u64, key: u64, latency_ns: u64, shard: u64, backend: u64) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & (N - 1)];
+        slot.seq.store(ticket.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+        slot.op.store(op, Ordering::Relaxed);
+        slot.key.store(key, Ordering::Relaxed);
+        slot.latency_ns.store(latency_ns, Ordering::Relaxed);
+        slot.shard.store(shard, Ordering::Relaxed);
+        slot.backend.store(backend, Ordering::Relaxed);
+        slot.seq.store(ticket.wrapping_mul(2).wrapping_add(2), Ordering::Release);
+    }
+
+    /// Total events ever recorded (may exceed `N`; the ring keeps the last
+    /// `N`).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The consistent records currently in the ring, oldest first.
+    /// Allocates (it returns a `Vec`) — dump-time only, never on a hot path.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(N);
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 & 1 == 1 {
+                continue; // never written, or a writer is mid-flight
+            }
+            let rec = FlightRecord {
+                ticket: (s1 - 2) / 2,
+                op: slot.op.load(Ordering::Relaxed),
+                key: slot.key.load(Ordering::Relaxed),
+                latency_ns: slot.latency_ns.load(Ordering::Relaxed),
+                shard: slot.shard.load(Ordering::Relaxed),
+                backend: slot.backend.load(Ordering::Relaxed),
+            };
+            let s2 = slot.seq.load(Ordering::Acquire);
+            if s1 == s2 {
+                out.push(rec);
+            }
+        }
+        out.sort_unstable_by_key(|r| r.ticket);
+        out
+    }
+}
+
+impl<const N: usize> Default for FlightRecorder<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        static C: Counter = Counter::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        C.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(C.get(), 80_000);
+        C.add(5);
+        assert_eq!(C.get(), 80_005);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_matches_workload_quantization() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1e-6);
+        let p50 = h.value_at_quantile(0.50);
+        assert!((5_000..=5_200).contains(&p50), "p50 {p50}");
+        // Clamping above TRACKABLE_MAX.
+        h.record(u64::MAX);
+        assert_eq!(h.saturated_count(), 1);
+        assert_eq!(h.max(), TRACKABLE_MAX);
+    }
+
+    #[test]
+    fn histogram_concurrent_records_all_land() {
+        static H: Histogram = Histogram::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        H.record(t * 5_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(H.count(), 20_000);
+        assert_eq!(H.max(), 19_999);
+    }
+
+    #[test]
+    fn registry_render_and_value() {
+        static C: Counter = Counter::new();
+        static G: Gauge = Gauge::new();
+        static H: Histogram = Histogram::new();
+        fn answer() -> u64 {
+            42
+        }
+        register("test_alpha_total", Handle::Counter(&C));
+        register("test_beta_level", Handle::Gauge(&G));
+        register("test_gamma_ns", Handle::Histogram(&H));
+        register("test_delta_derived", Handle::Func(answer));
+        C.add(7);
+        G.set(3);
+        H.record(100);
+
+        assert_eq!(value("test_alpha_total"), Some(7));
+        assert_eq!(value("test_beta_level"), Some(3));
+        assert_eq!(value("test_gamma_ns"), Some(1)); // histogram scalar = count
+        assert_eq!(value("test_delta_derived"), Some(42));
+        assert_eq!(value("no_such_metric"), None);
+
+        let text = render();
+        assert!(text.contains("test_alpha_total 7\n"), "{text}");
+        assert!(text.contains("test_beta_level 3\n"), "{text}");
+        assert!(text.contains("test_gamma_ns_count 1\n"), "{text}");
+        assert!(text.contains("test_delta_derived 42\n"), "{text}");
+        // Sorted: deterministic byte layout.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+
+        let snap = snapshot();
+        assert!(snap.windows(2).all(|w| w[0].0 <= w[1].0), "snapshot must be sorted");
+        assert!(snap.iter().any(|&(n, v)| n == "test_alpha_total" && v == 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn registry_rejects_duplicate_names() {
+        static C: Counter = Counter::new();
+        register("test_duplicate_name", Handle::Counter(&C));
+        register("test_duplicate_name", Handle::Counter(&C));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n_in_order() {
+        let fr: FlightRecorder<8> = FlightRecorder::new();
+        for i in 0..20u64 {
+            fr.record(1, i, i * 10, i % 4, 0);
+        }
+        assert_eq!(fr.recorded(), 20);
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 8);
+        let tickets: Vec<u64> = snap.iter().map(|r| r.ticket).collect();
+        assert_eq!(tickets, (12..20).collect::<Vec<_>>());
+        for r in &snap {
+            assert_eq!(r.key, r.ticket);
+            assert_eq!(r.latency_ns, r.ticket * 10);
+        }
+    }
+
+    #[test]
+    fn flight_recorder_concurrent_snapshots_are_consistent() {
+        static FR: FlightRecorder<16> = FlightRecorder::new();
+        static STOP: AtomicBool = AtomicBool::new(false);
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let mut i = 0u64;
+                    while !STOP.load(Ordering::Relaxed) {
+                        // key and latency carry the same payload: a torn read
+                        // would surface as a mismatched pair.
+                        FR.record(2, i, i, 0, 1);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for r in FR.snapshot() {
+                assert_eq!(r.key, r.latency_ns, "torn flight record escaped the seqlock");
+                assert_eq!(r.op, 2);
+            }
+        }
+        STOP.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}

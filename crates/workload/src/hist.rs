@@ -9,21 +9,12 @@
 //! every worker thread records into a private histogram that the executor
 //! merges after the trial — no synchronization on the hot path.
 
-/// Linear sub-buckets per octave (power of two; 32 ⇒ ≤3.1% relative error).
-pub const SUBBUCKETS: u64 = 32;
-const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros(); // 5
-/// Highest bit position a tracked value may have: values up to
-/// [`TRACKABLE_MAX`] (≈ 73 minutes in nanoseconds) are bucketed normally.
-const MAX_EXPONENT: u32 = 41;
-/// The largest value the histogram tracks with bounded relative error.
-/// Recording anything larger **clamps** it to this value and counts the
-/// event in [`LatencyHistogram::saturated_count`] instead of letting one
-/// absurd sample (e.g. a timer glitch recorded as `u64::MAX`) own the top
-/// bucket and drag p99.9 to the histogram's ceiling.
-pub const TRACKABLE_MAX: u64 = (1u64 << (MAX_EXPONENT + 1)) - 1;
-/// Number of buckets: one exact bucket per value below `SUBBUCKETS`, then
-/// `SUBBUCKETS` per octave for octaves `SUB_BITS..=MAX_EXPONENT`.
-const NBUCKETS: usize = ((MAX_EXPONENT - SUB_BITS) as usize + 2) * SUBBUCKETS as usize;
+// The bucket layout lives in `telemetry::buckets` so the wire-exposed atomic
+// histograms and these per-thread bench histograms quantize identically;
+// re-exported here because this module's public API predates the split.
+pub use telemetry::buckets::{SUBBUCKETS, TRACKABLE_MAX};
+
+use telemetry::buckets::{bucket_index, bucket_upper, NBUCKETS};
 
 /// A fixed-size log-bucketed histogram of `u64` values (nanoseconds).
 #[derive(Clone)]
@@ -39,30 +30,6 @@ impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
     }
-}
-
-/// Map a value to its bucket index (monotone non-decreasing in the value).
-#[inline]
-fn bucket_index(v: u64) -> usize {
-    if v < SUBBUCKETS {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros(); // msb >= SUB_BITS
-    let octave = msb - SUB_BITS; // 0-based octave above the linear region
-    let sub = (v >> octave) & (SUBBUCKETS - 1); // top SUB_BITS bits below the msb
-    ((octave as usize + 1) * SUBBUCKETS as usize) + sub as usize
-}
-
-/// The largest value that maps to bucket `i` (the value reported for any
-/// sample recorded in that bucket, so percentiles never under-report).
-#[inline]
-fn bucket_upper(i: usize) -> u64 {
-    if i < SUBBUCKETS as usize {
-        return i as u64;
-    }
-    let octave = (i / SUBBUCKETS as usize - 1) as u32;
-    let sub = (i % SUBBUCKETS as usize) as u64;
-    ((SUBBUCKETS + sub) << octave) + ((1u64 << octave) - 1)
 }
 
 impl LatencyHistogram {

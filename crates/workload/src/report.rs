@@ -42,6 +42,23 @@ pub struct Row {
     /// How the structure was reached: `inproc` for in-process benchmarks,
     /// or the serving backend (`threads`, `reactor`) for service mode.
     pub backend: String,
+    /// Telemetry delta over the trial: server-side `read` syscalls
+    /// (reactor rows; 0 for `inproc` and the threaded backend, which does
+    /// not count them).
+    pub wire_read_syscalls: u64,
+    /// Telemetry delta over the trial: server-side `write` syscalls (same
+    /// caveats as `wire_read_syscalls`).
+    pub wire_write_syscalls: u64,
+    /// Telemetry delta over the trial: reactor `epoll_wait` wakeups that
+    /// delivered events (0 off the reactor backend).
+    pub reactor_wakeups: u64,
+    /// Telemetry delta over the trial: KCAS retries (helping-induced
+    /// re-attempts inside the structure; 0 for non-KCAS structures).
+    pub kcas_retries: u64,
+    /// Shard load imbalance: max over shards of per-shard point ops,
+    /// divided by the mean (1.0 = perfectly even; 0.0 when the structure
+    /// doesn't track per-shard loads).
+    pub shard_imbalance: f64,
 }
 
 /// Run-wide metadata recorded at the top of the JSON report.
@@ -79,7 +96,10 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
              \"scan_p50_ns\": {}, \"scan_p90_ns\": {}, \"scan_p99_ns\": {}, \
              \"scan_p999_ns\": {}, \"staleness_samples\": {}, \
              \"staleness_p50\": {}, \"staleness_p90\": {}, \"staleness_p99\": {}, \
-             \"staleness_p999\": {}, \"backend\": \"{}\"}}{}\n",
+             \"staleness_p999\": {}, \"backend\": \"{}\", \
+             \"wire_read_syscalls\": {}, \"wire_write_syscalls\": {}, \
+             \"reactor_wakeups\": {}, \"kcas_retries\": {}, \
+             \"shard_imbalance\": {:.3}}}{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -103,6 +123,11 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             r.staleness_percentiles.p99,
             r.staleness_percentiles.p999,
             r.backend,
+            r.wire_read_syscalls,
+            r.wire_write_syscalls,
+            r.reactor_wakeups,
+            r.kcas_retries,
+            r.shard_imbalance,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -112,17 +137,18 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
 
 /// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
 pub fn to_csv(rows: &[Row]) -> String {
-    // New columns (staleness, then backend) are appended after the existing
-    // ones, so consumers indexing by header name (or by the old column
-    // positions) keep working.
+    // New columns (staleness, then backend, then the PR 8 telemetry
+    // deltas) are appended after the existing ones, so consumers indexing
+    // by header name (or by the old column positions) keep working.
     let mut s = String::from(
         "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,\
          saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns,\
-         staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999,backend\n",
+         staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999,backend,\
+         wire_read_syscalls,wire_write_syscalls,reactor_wakeups,kcas_retries,shard_imbalance\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -145,7 +171,12 @@ pub fn to_csv(rows: &[Row]) -> String {
             r.staleness_percentiles.p90,
             r.staleness_percentiles.p99,
             r.staleness_percentiles.p999,
-            r.backend
+            r.backend,
+            r.wire_read_syscalls,
+            r.wire_write_syscalls,
+            r.reactor_wakeups,
+            r.kcas_retries,
+            r.shard_imbalance
         ));
     }
     s
@@ -185,6 +216,11 @@ mod tests {
                 staleness_samples: 0,
                 staleness_percentiles: Percentiles::default(),
                 backend: "inproc".into(),
+                wire_read_syscalls: 0,
+                wire_write_syscalls: 0,
+                reactor_wakeups: 0,
+                kcas_retries: 42,
+                shard_imbalance: 0.0,
             },
             Row {
                 scenario: "scan-heavy".into(),
@@ -201,6 +237,11 @@ mod tests {
                 staleness_samples: 900,
                 staleness_percentiles: Percentiles { p50: 2, p90: 10, p99: 40, p999: 80 },
                 backend: "reactor".into(),
+                wire_read_syscalls: 5000,
+                wire_write_syscalls: 1234,
+                reactor_wakeups: 321,
+                kcas_retries: 0,
+                shard_imbalance: 1.25,
             },
         ]
     }
@@ -223,6 +264,11 @@ mod tests {
         assert!(j.contains("\"staleness_samples\": 0"));
         assert!(j.contains("\"backend\": \"inproc\""));
         assert!(j.contains("\"backend\": \"reactor\""));
+        assert!(j.contains("\"wire_read_syscalls\": 5000"));
+        assert!(j.contains("\"reactor_wakeups\": 321"));
+        assert!(j.contains("\"kcas_retries\": 42"));
+        assert!(j.contains("\"shard_imbalance\": 1.250"));
+        assert!(j.contains("\"shard_imbalance\": 0.000"));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n  ]"));
     }
@@ -232,9 +278,13 @@ mod tests {
         let c = to_csv(&sample_rows());
         assert_eq!(c.lines().count(), 3);
         assert!(c.starts_with("scenario,structure,threads"));
-        assert!(c.lines().next().unwrap().ends_with("staleness_p999,backend"));
+        assert!(c
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("wire_read_syscalls,wire_write_syscalls,reactor_wakeups,kcas_retries,shard_imbalance"));
         assert!(c.contains("scan-heavy,int-bst-pathcas,4,3.2500"));
-        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80,reactor\n"));
+        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80,reactor,5000,1234,321,0,1.250\n"));
     }
 
     #[test]
