@@ -71,13 +71,24 @@ fn ptr_to_word(ptr: *const Node) -> u64 {
     ptr as usize as u64
 }
 
+/// # Safety
+/// `word` must be a live `Node` pointer observed while `_guard` pins the
+/// current epoch (so the node cannot be reclaimed).
 #[inline]
 unsafe fn word_to_ref(word: u64, _guard: &Guard) -> &Node {
+    // SAFETY: the caller guarantees `word` is a live node pointer observed
+    // under the pinned epoch represented by `_guard`.
     unsafe { &*(word as usize as *const Node) }
 }
 
 /// Retire a node through the epoch collector.
+///
+/// # Safety
+/// `word` must be a `Box::into_raw` node pointer that the caller just
+/// unlinked; it must be retired at most once.
 unsafe fn retire(word: u64, guard: &Guard) {
+    // SAFETY: per the contract above, the node is unlinked and retired only
+    // once; the deferred drop runs after all pinned epochs have expired.
     unsafe { guard.defer_unchecked(move || drop(Box::from_raw(word as usize as *mut Node))) };
 }
 
@@ -87,7 +98,11 @@ pub struct TicketBst {
     retries: AtomicU64,
 }
 
+// SAFETY: nodes are heap-allocated; shared mutation happens only under
+// per-node locks (updates) or through atomic child pointers (searches), and
+// reclamation is epoch-deferred, so the tree may move between threads.
 unsafe impl Send for TicketBst {}
+// SAFETY: see `Send` above — `&TicketBst` is safe to share across threads.
 unsafe impl Sync for TicketBst {}
 
 impl Default for TicketBst {
@@ -113,18 +128,25 @@ impl TicketBst {
 
     /// Number of update retries caused by failed validation.
     pub fn retry_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.retries.load(Ordering::Relaxed)
     }
 
     fn note_retry(&self) {
+        // ORDERING: Relaxed — diagnostic counter only; correctness is carried
+        // by the locks and validated child swaps, not by this statistic.
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lock-free traversal to the leaf responsible for `key`.
     fn search<'g>(&self, key: u64, guard: &'g Guard) -> SearchResult<'g> {
+        // SAFETY: the root sentinel is allocated in `new` and freed only in
+        // Drop, so it outlives every guard borrowed from `&self`.
         let root: &Node = unsafe { &*self.root };
         let mut gparent = root;
         let mut parent = root;
+        // SAFETY: child words are live node pointers (published with Release
+        // stores) observed under the epoch pin, so the node cannot be freed.
         let mut curr: &Node =
             unsafe { word_to_ref(root.left.load(Ordering::Acquire), guard) };
         while !curr.is_leaf() {
@@ -135,6 +157,7 @@ impl TicketBst {
             } else {
                 curr.right.load(Ordering::Acquire)
             };
+            // SAFETY: as above — a published child pointer read under the pin.
             curr = unsafe { word_to_ref(next, guard) };
         }
         SearchResult { gparent, parent, leaf: curr }
@@ -225,6 +248,8 @@ impl TicketBst {
             parent.marked.store(true, Ordering::Release);
             res.leaf.marked.store(true, Ordering::Release);
             gslot.store(sibling, Ordering::Release);
+            // SAFETY: both nodes were just marked and unlinked under the
+            // ancestor locks, so this thread alone retires each exactly once.
             unsafe {
                 retire(parent_word, &guard);
                 retire(leaf_word, &guard);
@@ -258,6 +283,7 @@ impl TicketBst {
         let guard = crossbeam_epoch::pin();
         let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
         // Push right before left so leaves pop in ascending key order.
+        // SAFETY: the root sentinel lives until Drop (see `search`).
         let root: &Node = unsafe { &*self.root };
         let mut stack: Vec<&Node> = vec![root];
         while let Some(n) = stack.pop() {
@@ -272,10 +298,13 @@ impl TicketBst {
             }
             let left = n.left.load(Ordering::Acquire);
             let right = n.right.load(Ordering::Acquire);
+            // SAFETY: internal nodes always have two live children; both
+            // words were read under the epoch pin.
             stack.push(unsafe { word_to_ref(right, &guard) });
             // Left subtree keys are < the routing key: irrelevant when the
             // routing key is ≤ start.
             if n.key > start {
+                // SAFETY: as above.
                 stack.push(unsafe { word_to_ref(left, &guard) });
             }
         }
@@ -284,9 +313,12 @@ impl TicketBst {
 
     fn stats_impl(&self) -> MapStats {
         let mut stats = MapStats::default();
+        // SAFETY: stats run quiescently; the root sentinel lives until Drop.
         let root: &Node = unsafe { &*self.root };
         let mut stack: Vec<(u64, u64)> = vec![(ptr_to_word(root), 0)];
         while let Some((word, depth)) = stack.pop() {
+            // SAFETY: quiescent traversal — every reachable word is a valid
+            // node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             stats.node_count += 1;
             stats.approx_bytes += std::mem::size_of::<Node>() as u64;
@@ -310,6 +342,8 @@ impl TicketBst {
         // `low` is inclusive, `high` is exclusive (u128 so that the +inf
         // sentinel leaf has a representable upper bound).
         fn walk(word: u64, low: u128, high: u128) {
+            // SAFETY: invariant checks run quiescently; each reachable word
+            // is a valid node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             assert!(!node.marked.load(Ordering::Acquire), "reachable node is marked");
             if node.is_leaf() {
@@ -320,6 +354,7 @@ impl TicketBst {
             walk(node.left.load(Ordering::Acquire), low, node.key as u128);
             walk(node.right.load(Ordering::Acquire), node.key as u128, high);
         }
+        // SAFETY: the root sentinel lives until Drop.
         walk(ptr_to_word(unsafe { &*self.root }), 0, u64::MAX as u128 + 1);
     }
 }
@@ -356,9 +391,12 @@ impl Drop for TicketBst {
                 continue;
             }
             let ptr = word as usize as *mut Node;
+            // SAFETY: `&mut self` proves exclusive access; every word in the
+            // tree is a live `Box::into_raw` pointer owned by it.
             let node = unsafe { &*ptr };
             work.push(node.left.load(Ordering::Acquire));
             work.push(node.right.load(Ordering::Acquire));
+            // SAFETY: see above — each node is reclaimed exactly once.
             unsafe { drop(Box::from_raw(ptr)) };
         }
     }

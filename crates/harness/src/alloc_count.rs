@@ -26,21 +26,29 @@ pub struct CountingAllocator;
 // SAFETY: defers to `System` for every operation; only adds counting.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — an allocation tally read only at quiescent
+        // measurement points; no happens-before relationship is needed.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's — delegated to `System`.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's — delegated to `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ORDERING: Relaxed — allocation tally (see `alloc`).
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's — delegated to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — allocation tally (see `alloc`).
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's — delegated to `System`.
         unsafe { System.alloc_zeroed(layout) }
     }
 }

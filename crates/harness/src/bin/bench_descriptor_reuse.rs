@@ -85,6 +85,8 @@ fn run_trial(arm: Arm, threads: usize, cfg: &Config) -> TrialOutcome {
                 start_barrier.wait();
                 let mut ops = 0u64;
                 let mut successes = 0u64;
+                // ORDERING: Relaxed — a stop flag polled in a loop; the end
+                // barrier below provides the actual synchronization.
                 while !stop.load(Ordering::Relaxed) {
                     ops += 1;
                     if one_op(arm, words, &mut rng) {
@@ -104,6 +106,8 @@ fn run_trial(arm: Arm, threads: usize, cfg: &Config) -> TrialOutcome {
         let allocs_before = heap_allocations();
         let start = Instant::now();
         std::thread::sleep(cfg.duration);
+        // ORDERING: Relaxed — pairs with the Relaxed poll above; workers
+        // rendezvous at `end_barrier` for real synchronization.
         stop.store(true, Ordering::Relaxed);
         end_barrier.wait();
         // Every worker has finished its loop and is parked at exit_barrier.

@@ -125,6 +125,8 @@ pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> Tri
                 let mut rng = StdRng::seed_from_u64(workload.seed ^ (t as u64) << 17);
                 let mut ops = 0u64;
                 barrier.wait();
+                // ORDERING: Relaxed — stop flag polled in a loop; the join
+                // below is the real synchronization point.
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(1..=workload.key_range);
                     let roll = rng.gen_range(0..100u32);
@@ -145,6 +147,8 @@ pub fn run_trial<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload) -> Tri
         barrier.wait();
         let start = Instant::now();
         std::thread::sleep(workload.duration);
+        // ORDERING: Relaxed — pairs with the Relaxed poll above; thread join
+        // synchronizes the per-thread op counts.
         stop.store(true, Ordering::Relaxed);
         let ops = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
         let elapsed = start.elapsed();

@@ -17,7 +17,7 @@
 //! encounters an installed DCSS descriptor word helps complete it, after
 //! validating the seqno.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 use crossbeam_epoch::Guard;
 
@@ -145,7 +145,7 @@ pub(crate) fn help_dcss(raw: u64, _guard: &Guard) {
 mod tests {
     use super::*;
     use crate::word::encode;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::AtomicU64;
     use std::sync::Arc;
 
     #[test]
@@ -153,6 +153,7 @@ mod tests {
         let control = AtomicU64::new(7);
         let target = CasWord::new(10);
         let guard = crossbeam_epoch::pin();
+        // SAFETY: both words are stack-locals that outlive the pinned call.
         let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
         assert_eq!(seen, encode(10));
         assert_eq!(target.load_quiescent(), 20);
@@ -163,6 +164,7 @@ mod tests {
         let control = AtomicU64::new(8);
         let target = CasWord::new(10);
         let guard = crossbeam_epoch::pin();
+        // SAFETY: both words are stack-locals that outlive the pinned call.
         let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
         // Installation succeeded (target held old2) but the control word did
         // not match, so the value is rolled back.
@@ -175,6 +177,7 @@ mod tests {
         let control = AtomicU64::new(7);
         let target = CasWord::new(11);
         let guard = crossbeam_epoch::pin();
+        // SAFETY: both words are stack-locals that outlive the pinned call.
         let seen = unsafe { dcss(&control, 7, &target, encode(10), encode(20), &guard) };
         assert_eq!(seen, encode(11));
         assert_eq!(target.load_quiescent(), 11);
@@ -188,6 +191,7 @@ mod tests {
         let ops = 100u64;
         for i in 0..ops {
             let guard = crossbeam_epoch::pin();
+            // SAFETY: both words are stack-locals that outlive the call.
             let seen = unsafe { dcss(&control, 1, &target, encode(i), encode(i + 1), &guard) };
             assert_eq!(seen, encode(i));
         }
@@ -214,6 +218,8 @@ mod tests {
                         loop {
                             let guard = crossbeam_epoch::pin();
                             let cur = crate::read(&target, &guard);
+                            // SAFETY: both words live in Arcs held by every
+                            // participating thread for the whole test.
                             let seen = unsafe {
                                 dcss(&*control as *const _, 1, &*target as *const _, encode(cur), encode(cur + 1), &guard)
                             };

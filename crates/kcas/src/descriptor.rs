@@ -19,7 +19,7 @@
 //! unlike a pooled slot — reading them requires no seqno validation, only
 //! epoch protection.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 use crate::word::CasWord;
 
@@ -62,6 +62,7 @@ pub(crate) struct Descriptor {
 // every thread dereferencing them holds an epoch guard pinned from before it
 // could first observe this descriptor (see crate-level documentation).
 unsafe impl Send for Descriptor {}
+// SAFETY: see `Send` above.
 unsafe impl Sync for Descriptor {}
 
 impl Descriptor {

@@ -16,7 +16,7 @@
 //! benchmark baseline.
 
 use std::mem::MaybeUninit;
-use std::sync::atomic::Ordering;
+use crate::sync::Ordering;
 
 use crossbeam_epoch::Guard;
 

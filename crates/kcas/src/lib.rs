@@ -53,7 +53,10 @@ mod dcss;
 mod descriptor;
 mod engine;
 pub mod metrics;
+#[cfg(all(test, pathcas_loom))]
+mod models;
 pub mod pool;
+pub(crate) mod sync;
 pub mod word;
 
 pub use engine::{

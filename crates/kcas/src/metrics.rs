@@ -10,9 +10,31 @@
 //! (`crates/kcas/tests/zero_alloc.rs` asserts this *with* the counters
 //! firing).
 
+#[cfg(not(pathcas_loom))]
 use std::sync::Once;
 
+#[cfg(not(pathcas_loom))]
 use telemetry::{Counter, Handle};
+
+/// Inert drop-in for [`telemetry::Counter`] under `cfg(pathcas_loom)`:
+/// model checking explores the DCSS/KCAS protocol itself, and counter
+/// increments riding along would multiply the schedule space (every
+/// increment is a visible operation to the checker) without being part of
+/// the protocol under test. The telemetry counters have their own model
+/// suite in `crates/telemetry`.
+#[cfg(pathcas_loom)]
+pub struct Counter;
+
+#[cfg(pathcas_loom)]
+impl Counter {
+    /// No-op under the model checker.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// No-op under the model checker.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+}
 
 /// The substrate-level event counters (see module docs).
 pub struct KcasMetrics {
@@ -35,6 +57,7 @@ pub struct KcasMetrics {
     pub boxed_fallbacks: Counter,
 }
 
+#[cfg(not(pathcas_loom))]
 static METRICS: KcasMetrics = KcasMetrics {
     ops: Counter::new(),
     retries: Counter::new(),
@@ -42,10 +65,20 @@ static METRICS: KcasMetrics = KcasMetrics {
     boxed_fallbacks: Counter::new(),
 };
 
+#[cfg(pathcas_loom)]
+static METRICS: KcasMetrics = KcasMetrics {
+    ops: Counter,
+    retries: Counter,
+    help_events: Counter,
+    boxed_fallbacks: Counter,
+};
+
+#[cfg(not(pathcas_loom))]
 static REGISTER: Once = Once::new();
 
 /// The global KCAS counters, registering them with the `telemetry` registry
 /// on first call. The fast path after registration is one atomic load.
+#[cfg(not(pathcas_loom))]
 #[inline]
 pub fn metrics() -> &'static KcasMetrics {
     REGISTER.call_once(|| {
@@ -57,5 +90,12 @@ pub fn metrics() -> &'static KcasMetrics {
             Handle::Counter(&METRICS.boxed_fallbacks),
         );
     });
+    &METRICS
+}
+
+/// Inert variant of [`metrics`] for model-checking builds (see [`Counter`]).
+#[cfg(pathcas_loom)]
+#[inline]
+pub fn metrics() -> &'static KcasMetrics {
     &METRICS
 }

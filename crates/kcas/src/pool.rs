@@ -75,9 +75,9 @@
 //! benchmark baseline; see DESIGN.md §3.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::sync::{registration, AtomicU64, AtomicUsize, Ordering};
 use crate::word::MAX_POOL_SLOTS;
 
 /// Maximum number of `⟨addr, old, new⟩` entries a pooled KCAS descriptor can
@@ -196,13 +196,13 @@ impl DcssSlot {
 // descriptor word maps to a non-null pointer forever (slots are allocated
 // once and never freed; thread exit only returns the *index* to a free list
 // so a later thread can adopt the existing slot, seqno intact).
-static KCAS_TABLE: [AtomicPtr<KcasSlot>; MAX_POOL_SLOTS] =
-    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
-static DCSS_TABLE: [AtomicPtr<DcssSlot>; MAX_POOL_SLOTS] =
-    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
+static KCAS_TABLE: [registration::AtomicPtr<KcasSlot>; MAX_POOL_SLOTS] =
+    [const { registration::AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
+static DCSS_TABLE: [registration::AtomicPtr<DcssSlot>; MAX_POOL_SLOTS] =
+    [const { registration::AtomicPtr::new(std::ptr::null_mut()) }; MAX_POOL_SLOTS];
 
-static NEXT_KCAS_IDX: AtomicUsize = AtomicUsize::new(0);
-static NEXT_DCSS_IDX: AtomicUsize = AtomicUsize::new(0);
+static NEXT_KCAS_IDX: registration::AtomicUsize = registration::AtomicUsize::new(0);
+static NEXT_DCSS_IDX: registration::AtomicUsize = registration::AtomicUsize::new(0);
 
 // Indices of slots whose owning thread has exited, available for adoption.
 // Only touched at thread birth/death, never on the operation hot path.
@@ -214,6 +214,9 @@ fn lock_ignoring_poison<T>(m: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T
 }
 
 fn acquire_kcas_slot() -> (usize, &'static KcasSlot) {
+    // ORDERING: Relaxed — the dispenser only needs the RMW's atomicity for
+    // index uniqueness; slot contents are published by the table's
+    // Release store below.
     let idx = lock_ignoring_poison(&KCAS_FREE)
         .pop()
         .unwrap_or_else(|| NEXT_KCAS_IDX.fetch_add(1, Ordering::Relaxed));
@@ -234,6 +237,8 @@ fn acquire_kcas_slot() -> (usize, &'static KcasSlot) {
 }
 
 fn acquire_dcss_slot() -> (usize, &'static DcssSlot) {
+    // ORDERING: Relaxed — as in `acquire_kcas_slot`: atomicity for
+    // uniqueness; publication rides the table's Release store.
     let idx = lock_ignoring_poison(&DCSS_FREE)
         .pop()
         .unwrap_or_else(|| NEXT_DCSS_IDX.fetch_add(1, Ordering::Relaxed));
@@ -318,9 +323,12 @@ impl Drop for ThreadPool {
         // Return the slot *indices*; the slots themselves (and their current
         // seqnos) stay in the table so stale helpers of this thread's last
         // operations still validate correctly against the adopting thread's
-        // future seqnos.
-        lock_ignoring_poison(&KCAS_FREE).extend(self.kcas_idx);
-        lock_ignoring_poison(&DCSS_FREE).extend(self.dcss_idx);
+        // future seqnos.  Pushed in reverse so the LIFO pop hands an adopting
+        // thread the indices in the same order this thread held them — which
+        // keeps repeated spawn/exit cycles (the model checker re-runs its
+        // closure thousands of times) on a stable slot assignment.
+        lock_ignoring_poison(&KCAS_FREE).extend(self.kcas_idx.iter().rev());
+        lock_ignoring_poison(&DCSS_FREE).extend(self.dcss_idx.iter().rev());
     }
 }
 

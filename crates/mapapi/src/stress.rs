@@ -65,6 +65,8 @@ pub fn stress_keysum<M: ConcurrentMap + ?Sized>(
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9E37));
                 let mut rec = ThreadRecord::default();
                 barrier.wait();
+                // ORDERING: Relaxed — stop flag polled in a loop; the join
+                // below is the real synchronization point.
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(1..=key_range);
                     let roll = rng.gen_range(0..100u32);
@@ -88,6 +90,8 @@ pub fn stress_keysum<M: ConcurrentMap + ?Sized>(
         }
         barrier.wait();
         std::thread::sleep(duration);
+        // ORDERING: Relaxed — pairs with the Relaxed poll above; thread join
+        // synchronizes the per-thread records.
         stop.store(true, Ordering::Relaxed);
         handles.into_iter().map(|h| h.join().expect("stress worker panicked")).collect()
     });

@@ -43,8 +43,13 @@ fn ptr_to_word(ptr: *const Node) -> u64 {
     ptr as usize as u64
 }
 
+/// # Safety
+/// `word` must be a live `Node` pointer read from the tree while `_guard`
+/// pins the current epoch (so the node cannot be reclaimed).
 #[inline]
 unsafe fn word_to_ref(word: u64, _guard: &Guard) -> &Node {
+    // SAFETY: the caller guarantees `word` is a live node pointer observed
+    // under the pinned epoch represented by `_guard`.
     unsafe { &*(word as usize as *const Node) }
 }
 
@@ -71,7 +76,12 @@ pub struct McmsBst {
     retries: AtomicU64,
 }
 
+// SAFETY: nodes are heap-allocated and only reachable via CasWords; all
+// shared access goes through MCMS reads/ops under an epoch guard, so the
+// tree may move between and be shared across threads.
 unsafe impl Send for McmsBst {}
+// SAFETY: see `Send` above — mutation is mediated by MCMS, reclamation by
+// epoch-based deferral.
 unsafe impl Sync for McmsBst {}
 
 impl Default for McmsBst {
@@ -85,16 +95,21 @@ impl McmsBst {
     pub fn new() -> Self {
         let min_root = Node::new(KEY_MIN_SENTINEL, 0);
         let max_root = Node::new(KEY_MAX_SENTINEL, 0);
+        // SAFETY: `max_root` is a freshly boxed node not yet shared with any
+        // other thread, so the raw store cannot race.
         unsafe { (*max_root).left.store(ptr_to_word(min_root)) };
         McmsBst { max_root, min_root, retries: AtomicU64::new(0) }
     }
 
     /// Number of operation restarts.
     pub fn retry_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.retries.load(Ordering::Relaxed)
     }
 
     fn note_retry(&self) {
+        // ORDERING: Relaxed — diagnostic counter only; tree correctness is
+        // carried by the MCMS operations, not by this statistic.
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -102,6 +117,8 @@ impl McmsBst {
     /// the child pointer followed.
     fn search<'g>(&self, guard: &'g Guard, key: u64) -> SearchResult<'g> {
         let mut path = Vec::new();
+        // SAFETY: the sentinel roots are allocated in `new` and freed only
+        // in Drop, so they outlive every guard borrowed from `&self`.
         let max_root: &Node = unsafe { &*self.max_root };
         let mut parent = max_root;
         path.push(PathStep {
@@ -110,6 +127,7 @@ impl McmsBst {
             child_is_right: false,
             child_seen: mcms_read(&max_root.left, guard),
         });
+        // SAFETY: as above — the min sentinel lives until Drop.
         let mut curr: &Node = unsafe { &*self.min_root };
         loop {
             let curr_key = mcms_read(&curr.key, guard);
@@ -127,6 +145,8 @@ impl McmsBst {
                 return SearchResult { found: false, curr: None, parent: curr, path };
             }
             parent = curr;
+            // SAFETY: `child` is a non-NIL word read via `mcms_read` under
+            // `guard`; epoch pinning keeps the node alive.
             curr = unsafe { word_to_ref(child, guard) };
         }
     }
@@ -166,6 +186,8 @@ impl McmsBst {
             if mcms(&args, &guard) {
                 return true;
             }
+            // SAFETY: the MCMS failed, so `new_node` was never published;
+            // this thread still solely owns the fresh Box.
             unsafe { drop(Box::from_raw(new_node)) };
             self.note_retry();
         }
@@ -205,6 +227,9 @@ impl McmsBst {
                 args.push(McmsArg::Compare { addr: &curr.right, expected: curr_right });
                 args.push(McmsArg::Swap { addr: ptr_to_change, old: curr_word, new: child_to_keep });
                 if mcms(&args, &guard) {
+                    // SAFETY: the successful MCMS unlinked `curr`, so only
+                    // this thread defers its reclamation; the deferred drop
+                    // runs after every pinned reader's epoch has expired.
                     unsafe {
                         guard.defer_unchecked(move || drop(Box::from_raw(curr_word as usize as *mut Node)))
                     };
@@ -218,6 +243,8 @@ impl McmsBst {
             // its key/value into curr and splice it out.
             let mut succ_path: Vec<PathStep> = Vec::new();
             let mut succ_p: &Node = curr;
+            // SAFETY: `curr_right` is non-NIL and was read via `mcms_read`
+            // under the pin, so the successor subtree stays live.
             let mut succ: &Node = unsafe { word_to_ref(curr_right, &guard) };
             succ_path.push(PathStep {
                 node: curr,
@@ -237,6 +264,7 @@ impl McmsBst {
                     child_seen: l,
                 });
                 succ_p = succ;
+                // SAFETY: as above — non-NIL word read under the same pin.
                 succ = unsafe { word_to_ref(l, &guard) };
             }
             let succ_word = ptr_to_word(succ as *const Node);
@@ -264,6 +292,9 @@ impl McmsBst {
             args.push(McmsArg::Compare { addr: &succ.right, expected: succ_r });
             args.push(McmsArg::Compare { addr: &succ.left, expected: NIL });
             if mcms(&args, &guard) {
+                // SAFETY: the MCMS spliced `succ` out of the tree; only this
+                // thread defers its reclamation, and the deferred drop runs
+                // after all pinned epochs have expired.
                 unsafe {
                     guard.defer_unchecked(move || drop(Box::from_raw(succ_word as usize as *mut Node)))
                 };
@@ -308,6 +339,7 @@ impl McmsBst {
             let guard = crossbeam_epoch::pin();
             let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
             let mut args: Vec<McmsArg<'_>> = Vec::new();
+            // SAFETY: the min sentinel lives until Drop (see `search`).
             let min_root: &Node = unsafe { &*self.min_root };
             let root_word = mcms_read(&min_root.right, &guard);
             args.push(McmsArg::Compare { addr: &min_root.right, expected: root_word });
@@ -315,6 +347,8 @@ impl McmsBst {
             let mut curr = root_word;
             'walk: loop {
                 while curr != NIL {
+                    // SAFETY: `curr` was read via `mcms_read` under `guard`,
+                    // so the node is protected from reclamation.
                     let node: &Node = unsafe { word_to_ref(curr, &guard) };
                     let key = mcms_read(&node.key, &guard);
                     args.push(McmsArg::Compare { addr: &node.key, expected: key });
@@ -355,12 +389,16 @@ impl McmsBst {
             approx_bytes: 2 * std::mem::size_of::<Node>() as u64,
             ..Default::default()
         };
+        // SAFETY: stats run quiescently (per the `load_quiescent` contract);
+        // the sentinel is live and no writer can race this read.
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         let mut stack: Vec<(u64, u64)> = Vec::new();
         if root != NIL {
             stack.push((root, 0));
         }
         while let Some((word, depth)) = stack.pop() {
+            // SAFETY: quiescent traversal — every reachable word is a valid
+            // node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             stats.node_count += 1;
             stats.approx_bytes += std::mem::size_of::<Node>() as u64;
@@ -412,9 +450,12 @@ impl Drop for McmsBst {
                 continue;
             }
             let ptr = word as usize as *mut Node;
+            // SAFETY: `&mut self` proves exclusive access; every word in the
+            // tree is a live `Box::into_raw` pointer owned by it.
             let node = unsafe { &*ptr };
             work.push(node.left.load_quiescent());
             work.push(node.right.load_quiescent());
+            // SAFETY: see above — each node is reclaimed exactly once.
             unsafe { drop(Box::from_raw(ptr)) };
         }
     }

@@ -84,6 +84,7 @@ pub struct PathCasAvl {
 // SAFETY: all shared mutation goes through PathCAS; raw pointers are only
 // dereferenced under epoch guards.
 unsafe impl Send for PathCasAvl {}
+// SAFETY: see `Send` above.
 unsafe impl Sync for PathCasAvl {}
 
 impl Default for PathCasAvl {
@@ -97,6 +98,8 @@ impl PathCasAvl {
     pub fn new() -> Self {
         let max_root = Node::new(KEY_MAX_SENTINEL, 0, NIL, 0);
         let min_root = Node::new(KEY_MIN_SENTINEL, 0, ptr_to_word(max_root), 0);
+        // SAFETY: `max_root` is a freshly boxed node not yet shared with any
+        // other thread, so the raw store cannot race.
         unsafe { (*max_root).left.store(ptr_to_word(min_root)) };
         PathCasAvl {
             max_root,
@@ -108,16 +111,20 @@ impl PathCasAvl {
 
     /// Number of operation restarts (software contention proxy for Figure 5).
     pub fn retry_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.retries.load(Ordering::Relaxed)
     }
 
     /// Number of successful rotations performed (single + double).
     pub fn rotation_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.rotations.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn note_retry(&self) {
+        // ORDERING: Relaxed — diagnostic counter only; tree correctness is
+        // carried by the validated KCAS operations, not by this statistic.
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -132,8 +139,11 @@ impl PathCasAvl {
     }
 
     fn search<'g>(&self, op: &mut PathCasOp<'g>, guard: &'g Guard, key: u64) -> SearchResult<'g> {
+        // SAFETY: the sentinel roots are allocated in `new` and freed only in
+        // Drop, so they outlive every guard borrowed from `&self`.
         let mut parent: &Node = unsafe { &*self.max_root };
         let mut parent_ver = op.visit(&parent.ver);
+        // SAFETY: as above — the min sentinel lives until Drop.
         let mut curr: &Node = unsafe { &*self.min_root };
         let mut curr_ver = op.visit(&curr.ver);
         loop {
@@ -147,6 +157,8 @@ impl PathCasAvl {
             }
             parent = curr;
             parent_ver = curr_ver;
+            // SAFETY: `next` was read via KCAS under `guard`; epoch pinning
+            // keeps the pointed-to node alive until the guard drops.
             curr = unsafe { word_to_ref(next, guard) };
             curr_ver = op.visit(&curr.ver);
         }
@@ -165,6 +177,7 @@ impl PathCasAvl {
         if right == NIL {
             return None;
         }
+        // SAFETY: `right` is a non-NIL word read via KCAS under `guard`.
         let mut succ: &Node = unsafe { word_to_ref(right, guard) };
         let mut succ_ver = op.visit(&succ.ver);
         loop {
@@ -174,6 +187,7 @@ impl PathCasAvl {
             }
             succ_p = succ;
             succ_p_ver = succ_ver;
+            // SAFETY: as above — KCAS read under the same epoch pin.
             succ = unsafe { word_to_ref(next, guard) };
             succ_ver = op.visit(&succ.ver);
         }
@@ -211,6 +225,8 @@ impl PathCasAvl {
                     return true;
                 }
                 // Never published; reclaim directly.
+                // SAFETY: the vexec failed, so no other thread ever saw
+                // `new_node`; this thread still solely owns the fresh Box.
                 unsafe { drop(Box::from_raw(new_node)) };
                 self.note_retry();
             }
@@ -255,6 +271,7 @@ impl PathCasAvl {
                     op.add(&parent.ver, parent_ver, parent_ver + 2);
                     op.add(&curr.ver, curr_ver, curr_ver + 1); // mark curr
                     if child_to_keep != NIL {
+                        // SAFETY: non-NIL word read via KCAS under the pin.
                         let child: &Node = unsafe { word_to_ref(child_to_keep, &guard) };
                         let child_ver = op.visit(&child.ver);
                         if child_ver & 1 == 1 {
@@ -266,6 +283,9 @@ impl PathCasAvl {
                     }
                     if op.vexec() {
                         drop(op);
+                        // SAFETY: the successful vexec unlinked and marked
+                        // `curr`, so this thread alone retires it; pinned
+                        // readers keep it alive until their epochs expire.
                         unsafe { retire(curr as *const Node, &guard) };
                         self.rebalance(parent_word, builder, &guard);
                         return true;
@@ -292,6 +312,7 @@ impl PathCasAvl {
                 let succ_p_word = ptr_to_word(succ_p as *const Node);
                 let succ_r = op.read(&succ.right);
                 if succ_r != NIL {
+                    // SAFETY: non-NIL word read via KCAS under the same pin.
                     let succ_r_node: &Node = unsafe { word_to_ref(succ_r, &guard) };
                     let succ_r_ver = op.visit(&succ_r_node.ver);
                     if succ_r_ver & 1 == 1 {
@@ -317,6 +338,8 @@ impl PathCasAvl {
                 }
                 if op.vexec() {
                     drop(op);
+                    // SAFETY: the vexec unlinked and marked `succ`; only this
+                    // thread retires it, and pinned readers stay protected.
                     unsafe { retire(succ as *const Node, &guard) };
                     self.rebalance(succ_p_word, builder, &guard);
                     return true;
@@ -392,6 +415,8 @@ impl PathCasAvl {
                     self.rebalance(parent_word, builder, &guard);
                     return false;
                 }
+                // SAFETY: failed vexec — `new_node` was never published, so
+                // the fresh Box is still exclusively owned here.
                 unsafe { drop(Box::from_raw(new_node)) };
                 self.note_retry();
             }
@@ -413,6 +438,7 @@ impl PathCasAvl {
             let guard = crossbeam_epoch::pin();
             'retry: loop {
                 let mut op = builder.start(&guard);
+                // SAFETY: the min sentinel lives until Drop (see `search`).
                 let min_root: &Node = unsafe { &*self.min_root };
                 let min_ver = op.visit(&min_root.ver);
                 if min_ver & 1 == 1 {
@@ -424,6 +450,8 @@ impl PathCasAvl {
                 let mut curr = op.read(&min_root.right);
                 'walk: loop {
                     while curr != NIL {
+                        // SAFETY: `curr` was read via KCAS under `guard`, so
+                        // the node is protected from reclamation.
                         let node: &Node = unsafe { word_to_ref(curr, &guard) };
                         let ver = op.visit(&node.ver);
                         if ver & 1 == 1 {
@@ -485,6 +513,7 @@ impl PathCasAvl {
                         n_word = next;
                     }
                     Step::Rotated { next, recheck } => {
+                        // ORDERING: Relaxed — diagnostic counter only.
                         self.rotations.fetch_add(1, Ordering::Relaxed);
                         work.extend(recheck);
                         n_word = next;
@@ -497,6 +526,8 @@ impl PathCasAvl {
     /// One attempt to repair the balance at `n_word` (one iteration of the
     /// loop in Algorithm 10).
     fn rebalance_step(&self, n_word: u64, builder: &mut OpBuilder, guard: &Guard) -> Step {
+        // SAFETY: `n_word` was obtained from a KCAS read (or a just-executed
+        // op) under a guard the caller still holds, so the node is protected.
         let n: &Node = unsafe { word_to_ref(n_word, guard) };
         let mut op = builder.start(guard);
         let n_ver = op.visit(&n.ver);
@@ -508,6 +539,7 @@ impl PathCasAvl {
         if p_word == NIL {
             return Step::Done;
         }
+        // SAFETY: non-NIL parent word read via KCAS under the same guard.
         let p: &Node = unsafe { word_to_ref(p_word, guard) };
         let p_ver = op.visit(&p.ver);
         if p_ver & 1 == 1 {
@@ -614,6 +646,8 @@ impl PathCasAvl {
         if word == NIL {
             (None, 0, 0)
         } else {
+            // SAFETY: non-NIL child word read via KCAS under the guard the
+            // caller holds, so the node cannot be reclaimed.
             let node: &Node = unsafe { word_to_ref(word, guard) };
             let ver = op.visit(&node.ver);
             let h = op.read(&node.height);
@@ -665,6 +699,7 @@ impl PathCasAvl {
         let lr_word = op.read(&l.right);
         let mut lrh = 0;
         if lr_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let lr: &Node = unsafe { word_to_ref(lr_word, guard) };
             let lr_ver = op.visit(&lr.ver);
             if lr_ver & 1 == 1 {
@@ -716,6 +751,7 @@ impl PathCasAvl {
         let rl_word = op.read(&r.left);
         let mut rlh = 0;
         if rl_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let rl: &Node = unsafe { word_to_ref(rl_word, guard) };
             let rl_ver = op.visit(&rl.ver);
             if rl_ver & 1 == 1 {
@@ -772,6 +808,7 @@ impl PathCasAvl {
         let lrl_word = op.read(&lr.left);
         let mut lrlh = 0;
         if lrl_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let lrl: &Node = unsafe { word_to_ref(lrl_word, guard) };
             let lrl_ver = op.visit(&lrl.ver);
             if lrl_ver & 1 == 1 {
@@ -784,6 +821,7 @@ impl PathCasAvl {
         let lrr_word = op.read(&lr.right);
         let mut lrrh = 0;
         if lrr_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let lrr: &Node = unsafe { word_to_ref(lrr_word, guard) };
             let lrr_ver = op.visit(&lrr.ver);
             if lrr_ver & 1 == 1 {
@@ -848,6 +886,7 @@ impl PathCasAvl {
         let rlr_word = op.read(&rl.right);
         let mut rlrh = 0;
         if rlr_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let rlr: &Node = unsafe { word_to_ref(rlr_word, guard) };
             let rlr_ver = op.visit(&rlr.ver);
             if rlr_ver & 1 == 1 {
@@ -860,6 +899,7 @@ impl PathCasAvl {
         let rll_word = op.read(&rl.left);
         let mut rllh = 0;
         if rll_word != NIL {
+            // SAFETY: non-NIL word read via KCAS under the caller's guard.
             let rll: &Node = unsafe { word_to_ref(rll_word, guard) };
             let rll_ver = op.visit(&rll.ver);
             if rll_ver & 1 == 1 {
@@ -908,12 +948,16 @@ impl PathCasAvl {
             approx_bytes: 2 * std::mem::size_of::<Node>() as u64,
             ..Default::default()
         };
+        // SAFETY: stats run quiescently (per the `load_quiescent` contract);
+        // the sentinel is live and no writer can race this read.
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         let mut stack: Vec<(u64, u64)> = Vec::new();
         if root != NIL {
             stack.push((root, 0));
         }
         while let Some((word, depth)) = stack.pop() {
+            // SAFETY: quiescent traversal — every reachable word is a valid
+            // node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             stats.node_count += 1;
             stats.approx_bytes += std::mem::size_of::<Node>() as u64;
@@ -935,6 +979,7 @@ impl PathCasAvl {
     /// Actual (not logical) height of the tree rooted under `minRoot.right`.
     pub fn actual_height(&self) -> u64 {
         let mut max_depth = 0u64;
+        // SAFETY: quiescent read of the live sentinel (see `stats_impl`).
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         let mut stack: Vec<(u64, u64)> = Vec::new();
         if root != NIL {
@@ -942,6 +987,7 @@ impl PathCasAvl {
         }
         while let Some((word, depth)) = stack.pop() {
             max_depth = max_depth.max(depth);
+            // SAFETY: quiescent traversal of live owned nodes (see above).
             let node = unsafe { &*(word as usize as *const Node) };
             let l = node.left.load_quiescent();
             let r = node.right.load_quiescent();
@@ -958,6 +1004,8 @@ impl PathCasAvl {
     /// Quiescent structural invariants: BST order, parent pointers, no
     /// reachable marked nodes.  Panics on violation.
     pub fn check_invariants(&self) {
+        // SAFETY: invariant checks run quiescently; the sentinel is live and
+        // no writer can race this read.
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         // (word, low, high, expected_parent)
         let mut stack: Vec<(u64, u64, u64, u64)> = Vec::new();
@@ -965,6 +1013,8 @@ impl PathCasAvl {
             stack.push((root, KEY_MIN_SENTINEL, KEY_MAX_SENTINEL, ptr_to_word(self.min_root)));
         }
         while let Some((word, low, high, expected_parent)) = stack.pop() {
+            // SAFETY: quiescent traversal — every reachable word is a valid
+            // node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             let key = node.key.load_quiescent();
             assert!(key > low && key < high, "AVL order violated: {key} not in ({low},{high})");
@@ -1022,12 +1072,15 @@ impl Drop for PathCasAvl {
                 continue;
             }
             let ptr = word as usize as *mut Node;
+            // SAFETY: `&mut self` proves exclusive access; every word in the
+            // tree is a live `Box::into_raw` pointer owned by it.
             let node = unsafe { &*ptr };
             work.push(node.left.load_quiescent());
             work.push(node.right.load_quiescent());
             to_free.push(ptr);
         }
         for ptr in to_free {
+            // SAFETY: see above — each node collected once, freed once.
             unsafe { drop(Box::from_raw(ptr)) };
         }
     }

@@ -65,6 +65,7 @@ pub struct PathCasBst {
 // SAFETY: all shared mutation goes through PathCAS; raw pointers are only
 // dereferenced under epoch guards.
 unsafe impl Send for PathCasBst {}
+// SAFETY: see `Send` above.
 unsafe impl Sync for PathCasBst {}
 
 impl Default for PathCasBst {
@@ -79,6 +80,8 @@ impl PathCasBst {
         let min_root = Node::new(KEY_MIN_SENTINEL, 0);
         let max_root = Node::new(KEY_MAX_SENTINEL, 0);
         // maxRoot.left = minRoot; all real keys live under minRoot.right.
+        // SAFETY: `max_root` is a freshly boxed node not yet shared with any
+        // other thread, so the raw store cannot race.
         unsafe { (*max_root).left.store(ptr_to_word(min_root)) };
         PathCasBst { max_root, min_root, retries: AtomicU64::new(0) }
     }
@@ -86,21 +89,27 @@ impl PathCasBst {
     /// Number of times operations had to restart from scratch (a software
     /// proxy for the contention/abort columns of the paper's Figure 5).
     pub fn retry_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.retries.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn note_retry(&self) {
+        // ORDERING: Relaxed — diagnostic counter only; tree correctness is
+        // carried by the validated KCAS operations, not by this statistic.
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     fn max_root<'g>(&self, _guard: &'g Guard) -> &'g Node {
+        // SAFETY: the sentinel roots are allocated in `new` and freed only in
+        // Drop, so they outlive every guard borrowed from `&self`.
         unsafe { &*self.max_root }
     }
 
     #[inline]
     fn min_root<'g>(&self, _guard: &'g Guard) -> &'g Node {
+        // SAFETY: see `max_root` — sentinels live until Drop.
         unsafe { &*self.min_root }
     }
 
@@ -122,6 +131,8 @@ impl PathCasBst {
             }
             parent = curr;
             parent_ver = curr_ver;
+            // SAFETY: `next` was read via KCAS under `guard`; epoch pinning
+            // keeps the pointed-to node alive until the guard drops.
             curr = unsafe { word_to_ref(next, guard) };
             curr_ver = op.visit(&curr.ver);
         }
@@ -142,6 +153,7 @@ impl PathCasBst {
         if right == NIL {
             return None;
         }
+        // SAFETY: `right` is a non-NIL word read via KCAS under `guard`.
         let mut succ: &Node = unsafe { word_to_ref(right, guard) };
         let mut succ_ver = op.visit(&succ.ver);
         loop {
@@ -151,6 +163,7 @@ impl PathCasBst {
             }
             succ_p = succ;
             succ_p_ver = succ_ver;
+            // SAFETY: as above — KCAS read under the same epoch pin.
             succ = unsafe { word_to_ref(next, guard) };
             succ_ver = op.visit(&succ.ver);
         }
@@ -187,6 +200,8 @@ impl PathCasBst {
                     Some(true)
                 } else {
                     // The new node was never published; reclaim it directly.
+                    // SAFETY: the vexec failed, so no other thread ever saw
+                    // `new_node`; this thread still solely owns the fresh Box.
                     unsafe { drop(Box::from_raw(new_node)) };
                     None
                 }
@@ -234,6 +249,9 @@ impl PathCasBst {
                     op.add(&parent.ver, parent_ver, parent_ver + 2);
                     op.add(&curr.ver, curr_ver, curr_ver + 1); // mark curr
                     if op.vexec() {
+                        // SAFETY: the successful vexec unlinked and marked
+                        // `curr`, so this thread alone retires it; pinned
+                        // readers keep it alive until their epochs expire.
                         unsafe { retire(curr as *const Node, &guard) };
                         return Some(true);
                     }
@@ -253,6 +271,8 @@ impl PathCasBst {
                 let succ_word = ptr_to_word(succ as *const Node);
                 let succ_r = op.read(&succ.right); // succ has no left child
                 if succ_r != NIL {
+                    // SAFETY: `succ_r` is a non-NIL word read via KCAS under
+                    // the same epoch pin, so the node cannot be reclaimed.
                     let succ_r_node: &Node = unsafe { word_to_ref(succ_r, &guard) };
                     let succ_r_ver = op.visit(&succ_r_node.ver);
                     if succ_r_ver & 1 == 1 {
@@ -274,6 +294,8 @@ impl PathCasBst {
                     op.add(&curr.ver, curr_ver, curr_ver + 2);
                 }
                 if op.vexec() {
+                    // SAFETY: the vexec unlinked and marked `succ`; only this
+                    // thread retires it, and pinned readers stay protected.
                     unsafe { retire(succ as *const Node, &guard) };
                     return Some(true);
                 }
@@ -358,6 +380,8 @@ impl PathCasBst {
                 if op.vexec() {
                     Some(false)
                 } else {
+                    // SAFETY: failed vexec — `new_node` was never published,
+                    // so the fresh Box is still exclusively owned here.
                     unsafe { drop(Box::from_raw(new_node)) };
                     None
                 }
@@ -397,6 +421,8 @@ impl PathCasBst {
                 let mut curr = op.read(&min_root.right);
                 'walk: loop {
                     while curr != NIL {
+                        // SAFETY: `curr` was read via KCAS under `guard`, so
+                        // the node is protected from reclamation.
                         let node: &Node = unsafe { word_to_ref(curr, &guard) };
                         let ver = op.visit(&node.ver);
                         if ver & 1 == 1 {
@@ -439,12 +465,16 @@ impl PathCasBst {
     fn stats_impl(&self) -> MapStats {
         // Quiescent traversal; no concurrent updates may be running.
         let mut stats = MapStats { node_count: 2, approx_bytes: 2 * std::mem::size_of::<Node>() as u64, ..Default::default() };
+        // SAFETY: stats run quiescently (per the `load_quiescent` contract);
+        // the sentinel is live and no writer can race this read.
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         let mut stack: Vec<(u64, u64)> = Vec::new();
         if root != NIL {
             stack.push((root, 0));
         }
         while let Some((word, depth)) = stack.pop() {
+            // SAFETY: quiescent traversal — every reachable word is a valid
+            // node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             stats.node_count += 1;
             stats.approx_bytes += std::mem::size_of::<Node>() as u64;
@@ -471,6 +501,8 @@ impl PathCasBst {
             if word == NIL {
                 return;
             }
+            // SAFETY: invariant checks run quiescently; each reachable word
+            // is a valid node pointer owned by the tree.
             let node = unsafe { &*(word as usize as *const Node) };
             let key = node.key.load_quiescent();
             assert!(key > low && key < high, "BST order violated: {key} not in ({low},{high})");
@@ -478,6 +510,7 @@ impl PathCasBst {
             walk(node.left.load_quiescent(), low, key);
             walk(node.right.load_quiescent(), key, high);
         }
+        // SAFETY: quiescent read of the live sentinel (see `stats_impl`).
         let root = unsafe { (*self.min_root).right.load_quiescent() };
         walk(root, KEY_MIN_SENTINEL, KEY_MAX_SENTINEL);
     }
@@ -521,12 +554,15 @@ impl Drop for PathCasBst {
                 continue;
             }
             let ptr = word as usize as *mut Node;
+            // SAFETY: `&mut self` proves exclusive access; every word in the
+            // tree is a live `Box::into_raw` pointer owned by it.
             let node = unsafe { &*ptr };
             work.push(node.left.load_quiescent());
             work.push(node.right.load_quiescent());
             to_free.push(ptr);
         }
         for ptr in to_free {
+            // SAFETY: see above — each node collected once, freed once.
             unsafe { drop(Box::from_raw(ptr)) };
         }
     }

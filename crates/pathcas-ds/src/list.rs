@@ -40,7 +40,12 @@ pub struct PathCasList {
     retries: AtomicU64,
 }
 
+// SAFETY: nodes are heap-allocated and reachable only via CasWords; all
+// shared access is mediated by PathCAS reads/validated execs under an epoch
+// guard, so moving the list between threads is sound.
 unsafe impl Send for PathCasList {}
+// SAFETY: see `Send` above — mutation goes through KCAS and reclamation
+// through epoch retirement, so `&PathCasList` may be shared freely.
 unsafe impl Sync for PathCasList {}
 
 impl Default for PathCasList {
@@ -68,10 +73,13 @@ impl PathCasList {
 
     /// Number of operation restarts.
     pub fn retry_count(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.retries.load(Ordering::Relaxed)
     }
 
     fn note_retry(&self) {
+        // ORDERING: Relaxed — diagnostic counter only; list correctness is
+        // carried by the validated KCAS operations, not by this statistic.
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -79,8 +87,12 @@ impl PathCasList {
     /// not visited (their validation is unnecessary: correctness only depends
     /// on the window being unchanged and unmarked, as in the lazy list).
     fn window<'g>(&self, op: &mut PathCasOp<'g>, guard: &'g Guard, key: u64) -> Window<'g> {
+        // SAFETY: `head` is a sentinel allocated in `new` and never freed
+        // before Drop, so it is valid for the whole lifetime of `&self`.
         let mut pred: &Node = unsafe { &*self.head };
         let mut pred_ver = op.visit(&pred.ver);
+        // SAFETY: the word came from a KCAS read under `guard`; epoch pinning
+        // keeps the pointed-to node alive until the guard drops.
         let mut curr: &Node = unsafe { word_to_ref(op.read(&pred.next), guard) };
         let mut curr_ver = op.visit(&curr.ver);
         loop {
@@ -90,6 +102,7 @@ impl PathCasList {
             }
             pred = curr;
             pred_ver = curr_ver;
+            // SAFETY: as above — KCAS read under the same pin protects the node.
             curr = unsafe { word_to_ref(op.read(&curr.next), guard) };
             curr_ver = op.visit(&curr.ver);
         }
@@ -118,6 +131,8 @@ impl PathCasList {
                 if op.vexec() {
                     Some(true)
                 } else {
+                    // SAFETY: the vexec failed, so `new_node` was never
+                    // published; this thread still solely owns the fresh Box.
                     unsafe { drop(Box::from_raw(new_node)) };
                     None
                 }
@@ -151,6 +166,9 @@ impl PathCasList {
                 op.add(&w.pred.ver, w.pred_ver, w.pred_ver + 2);
                 op.add(&w.curr.ver, w.curr_ver, w.curr_ver + 1); // mark
                 if op.vexec() {
+                    // SAFETY: the successful vexec unlinked and marked
+                    // `curr`, so this thread alone retires it; pinned readers
+                    // keep the memory alive until their epochs expire.
                     unsafe { retire(w.curr as *const Node, &guard) };
                     Some(true)
                 } else {
@@ -219,6 +237,8 @@ impl PathCasList {
                 if op.vexec() {
                     Some(false)
                 } else {
+                    // SAFETY: failed vexec — `new_node` was never published,
+                    // so the fresh Box is still exclusively owned here.
                     unsafe { drop(Box::from_raw(new_node)) };
                     None
                 }
@@ -244,11 +264,14 @@ impl PathCasList {
                 let guard = crossbeam_epoch::pin();
                 let mut op = builder.start(&guard);
                 let mut out: Vec<(u64, u64)> = Vec::with_capacity(len.min(1024));
+                // SAFETY: the head sentinel lives until Drop (see `window`).
                 let head: &Node = unsafe { &*self.head };
                 let head_ver = op.visit(&head.ver);
                 if head_ver & 1 == 1 {
                     return None;
                 }
+                // SAFETY: word read via KCAS under `guard`; the node cannot
+                // be reclaimed while this pin is held.
                 let mut curr: &Node = unsafe { word_to_ref(op.read(&head.next), &guard) };
                 loop {
                     let curr_ver = op.visit(&curr.ver);
@@ -265,6 +288,7 @@ impl PathCasList {
                             break;
                         }
                     }
+                    // SAFETY: as above — KCAS read under the same pin.
                     curr = unsafe { word_to_ref(op.read(&curr.next), &guard) };
                 }
                 if op.validate() {
@@ -286,9 +310,13 @@ impl PathCasList {
             approx_bytes: 2 * std::mem::size_of::<Node>() as u64,
             ..Default::default()
         };
+        // SAFETY: stats run quiescently (no concurrent writers, per the
+        // `load_quiescent` contract); head is live and every reachable word
+        // is a valid node pointer owned by the list.
         let mut curr = unsafe { (*self.head).next.load_quiescent() };
         let mut depth = 0u64;
         while curr != NIL {
+            // SAFETY: see above — quiescent traversal of live owned nodes.
             let node = unsafe { &*(curr as usize as *const Node) };
             let key = node.key.load_quiescent();
             if key == KEY_TAIL {
@@ -309,8 +337,11 @@ impl PathCasList {
     /// marked node.
     pub fn check_invariants(&self) {
         let mut prev_key = KEY_HEAD;
+        // SAFETY: invariant checks run quiescently; head is live and each
+        // reachable word is a valid node pointer owned by the list.
         let mut curr = unsafe { (*self.head).next.load_quiescent() };
         while curr != NIL {
+            // SAFETY: see above — quiescent traversal of live owned nodes.
             let node = unsafe { &*(curr as usize as *const Node) };
             let key = node.key.load_quiescent();
             assert!(key > prev_key, "list order violated: {key} after {prev_key}");
@@ -353,7 +384,10 @@ impl Drop for PathCasList {
     fn drop(&mut self) {
         let mut curr = self.head;
         while !curr.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; every node in the
+            // chain is a live `Box::into_raw` pointer owned by the list.
             let next = unsafe { (*curr).next.load_quiescent() };
+            // SAFETY: see above — each node is reclaimed exactly once.
             unsafe { drop(Box::from_raw(curr)) };
             curr = next as usize as *mut Node;
         }

@@ -25,6 +25,8 @@ pub fn ptr_to_word<T>(ptr: *const T) -> u64 {
 #[inline]
 pub unsafe fn word_to_ref<T>(word: u64, _guard: &Guard) -> &T {
     debug_assert_ne!(word, NIL, "dereferencing NIL");
+    // SAFETY: per the function contract, `word` is a live node pointer
+    // observed under the pinned epoch represented by `_guard`.
     unsafe { &*(word as usize as *const T) }
 }
 
@@ -49,6 +51,9 @@ pub fn with_builder<R>(f: impl FnOnce(&mut OpBuilder) -> R) -> R {
 /// from the data structure (unreachable for new operations), and must not be
 /// retired twice.
 pub unsafe fn retire<T>(ptr: *const T, guard: &Guard) {
+    // SAFETY: per the function contract, `ptr` is an unlinked Box pointer
+    // retired at most once; the deferred drop runs only after every epoch
+    // pinned at retire time has expired.
     unsafe {
         guard.defer_unchecked(move || {
             drop(Box::from_raw(ptr as *mut T));
@@ -65,8 +70,10 @@ mod tests {
         let x = Box::into_raw(Box::new(42u64));
         let w = ptr_to_word(x);
         let guard = crossbeam_epoch::pin();
+        // SAFETY: `w` encodes the live Box allocated above.
         let r: &u64 = unsafe { word_to_ref(w, &guard) };
         assert_eq!(*r, 42);
+        // SAFETY: `x` came from Box::into_raw and is freed exactly once.
         unsafe { drop(Box::from_raw(x)) };
     }
 

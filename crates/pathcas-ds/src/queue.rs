@@ -28,7 +28,12 @@ pub struct PathCasQueue {
     len: AtomicU64,
 }
 
+// SAFETY: the queue owns heap nodes reachable only through CasWords; all
+// cross-thread access goes through KCAS reads/execs under an epoch guard, so
+// sharing references between threads is sound.
 unsafe impl Send for PathCasQueue {}
+// SAFETY: see `Send` above — mutation is mediated by KCAS, reclamation by
+// epoch-based retirement, so `&PathCasQueue` is safe to share.
 unsafe impl Sync for PathCasQueue {}
 
 impl Default for PathCasQueue {
@@ -56,6 +61,8 @@ impl PathCasQueue {
                 let guard = crossbeam_epoch::pin();
                 let mut op = builder.start(&guard);
                 let tail_word = op.read(&self.tail);
+                // SAFETY: `tail_word` was read via KCAS under `guard`, so the
+                // node it points to cannot be reclaimed while we hold the pin.
                 let tail: &Node = unsafe { word_to_ref(tail_word, &guard) };
                 // Atomically link the node after the tail and swing the tail.
                 op.add(&tail.next, NIL, ptr_to_word(node));
@@ -63,6 +70,8 @@ impl PathCasQueue {
                 op.exec()
             });
             if ok {
+                // ORDERING: Relaxed — `len` is a best-effort statistic; the
+                // queue's linearization is carried entirely by KCAS.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -77,16 +86,23 @@ impl PathCasQueue {
                 let guard = crossbeam_epoch::pin();
                 let mut op = builder.start(&guard);
                 let head_word = op.read(&self.head);
+                // SAFETY: `head_word` came from a KCAS read under `guard`;
+                // the dummy node stays live at least until the pin is dropped.
                 let head: &Node = unsafe { word_to_ref(head_word, &guard) };
                 let next_word = op.read(&head.next);
                 if next_word == NIL {
                     return Some(None);
                 }
+                // SAFETY: `next_word` is a non-NIL pointer read via KCAS
+                // under the same pin, so the node is protected from reuse.
                 let next: &Node = unsafe { word_to_ref(next_word, &guard) };
                 op.add(&self.head, head_word, next_word);
                 if op.exec() {
                     let val = next.val;
                     // The old dummy node is retired; `next` becomes the dummy.
+                    // SAFETY: the exec that swung `head` succeeded, so this
+                    // thread unlinked `head` and is the only one to retire it;
+                    // readers still pinned keep it alive until their epochs end.
                     unsafe { retire(head as *const Node, &guard) };
                     Some(Some(val))
                 } else {
@@ -95,6 +111,7 @@ impl PathCasQueue {
             });
             if let Some(r) = result {
                 if r.is_some() {
+                    // ORDERING: Relaxed — best-effort statistic (see enqueue).
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 }
                 return r;
@@ -104,6 +121,8 @@ impl PathCasQueue {
 
     /// Best-effort number of enqueued elements.
     pub fn len(&self) -> u64 {
+        // ORDERING: Relaxed — a momentary statistic; no synchronization with
+        // the queue's contents is implied or needed.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -111,6 +130,8 @@ impl PathCasQueue {
     pub fn is_empty(&self) -> bool {
         let guard = crossbeam_epoch::pin();
         let head_word = kcas::read(&self.head, &guard);
+        // SAFETY: `head_word` was read via KCAS under `guard`, pinning the
+        // dummy node for the duration of this call.
         let head: &Node = unsafe { word_to_ref(head_word, &guard) };
         kcas::read(&head.next, &guard) == NIL
     }
@@ -121,7 +142,12 @@ impl Drop for PathCasQueue {
         let mut curr = self.head.load_quiescent();
         while curr != NIL {
             let node = curr as usize as *mut Node;
+            // SAFETY: `&mut self` proves no concurrent access; every word in
+            // the chain is a live `Box::into_raw` pointer owned by the queue,
+            // so dereferencing and reclaiming each node exactly once is sound.
             curr = unsafe { (*node).next.load_quiescent() };
+            // SAFETY: see above — this node was unlinked from the traversal
+            // and is freed exactly once.
             unsafe { drop(Box::from_raw(node)) };
         }
     }

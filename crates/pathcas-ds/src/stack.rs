@@ -21,7 +21,11 @@ pub struct PathCasStack {
     len: AtomicU64,
 }
 
+// SAFETY: the stack owns its nodes; all shared mutation goes through the
+// KCAS engine's atomic words and nodes are reclaimed through the epoch
+// collector, so references handed across threads stay valid.
 unsafe impl Send for PathCasStack {}
+// SAFETY: as above — every operation on shared state is lock-free-atomic.
 unsafe impl Sync for PathCasStack {}
 
 impl Default for PathCasStack {
@@ -44,11 +48,15 @@ impl PathCasStack {
                 let guard = crossbeam_epoch::pin();
                 let mut op = builder.start(&guard);
                 let top = op.read(&self.top);
+                // SAFETY: `node` was just boxed by this thread and is not
+                // yet published; only we can reach it until `exec` succeeds.
                 unsafe { &*node }.next.store(top);
                 op.add(&self.top, top, ptr_to_word(node));
                 op.exec()
             });
             if pushed {
+                // ORDERING: Relaxed — `len` is a best-effort statistic
+                // (its doc says so); linearization lives in `top`.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -65,11 +73,16 @@ impl PathCasStack {
                 if top == NIL {
                     return Some(None);
                 }
+                // SAFETY: `top` was read under `guard`, so the node it
+                // points at cannot be reclaimed while we hold the pin.
                 let node: &Node = unsafe { word_to_ref(top, &guard) };
                 let next = op.read(&node.next);
                 op.add(&self.top, top, next);
                 if op.exec() {
                     let val = node.val;
+                    // SAFETY: the successful exec unlinked `node`; no new
+                    // reader can reach it, and `retire` defers the free
+                    // past every pinned guard.
                     unsafe { retire(node as *const Node, &guard) };
                     Some(Some(val))
                 } else {
@@ -78,6 +91,7 @@ impl PathCasStack {
             });
             if let Some(r) = result {
                 if r.is_some() {
+                    // ORDERING: Relaxed — best-effort statistic, as in push.
                     self.len.fetch_sub(1, Ordering::Relaxed);
                 }
                 return r;
@@ -87,6 +101,7 @@ impl PathCasStack {
 
     /// Best-effort number of elements currently on the stack.
     pub fn len(&self) -> u64 {
+        // ORDERING: Relaxed — best-effort statistic, racy by contract.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -102,7 +117,11 @@ impl Drop for PathCasStack {
         let mut curr = self.top.load_quiescent();
         while curr != NIL {
             let node = curr as usize as *mut Node;
+            // SAFETY: `&mut self` proves no concurrent operation is running,
+            // so every reachable node is exclusively ours to walk and free.
             curr = unsafe { (*node).next.load_quiescent() };
+            // SAFETY: each node was allocated by `Box::new` in `push` and is
+            // unlinked exactly once by this walk.
             unsafe { drop(Box::from_raw(node)) };
         }
     }

@@ -1,6 +1,6 @@
 //! Read-only replicas: bootstrap from a checkpoint, tail the stream.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use mapapi::{ConcurrentMap, Key, MapStats, Value};
@@ -183,6 +183,8 @@ impl ReplicaSet {
         if self.followers.is_empty() {
             return &*self.primary;
         }
+        // ORDERING: Relaxed — round-robin fan-out only needs a unique tick;
+        // follower freshness is carried by `applied`'s Release/Acquire pair.
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.followers.len();
         &*self.followers[i]
     }

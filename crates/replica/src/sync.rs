@@ -1,0 +1,14 @@
+//! Atomics facade: the one place this crate touches an atomics
+//! implementation.
+//!
+//! Normal builds re-export `std::sync::atomic`. Under `--cfg pathcas_loom`
+//! (see README "Verification") the same names resolve to `loom-shim`'s mock
+//! atomics, so a model can drive the production follower/replica-set code
+//! (the `applied` seqno publication and the round-robin read fan-out)
+//! directly.
+
+#[cfg(not(pathcas_loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(pathcas_loom)]
+pub(crate) use loom_shim::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

@@ -244,11 +244,15 @@ impl ServiceMap {
                 return g;
             }
         }
-        self.pool[home].lock().unwrap()
+        // A handler that panicked mid-request poisons its connection lock;
+        // the connection itself re-syncs on the next frame, so keep serving.
+        self.pool[home].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn roundtrip(&self, req: Request) -> Response {
-        self.conn().request(&req).expect("service connection failed")
+        self.conn()
+            .request(&req)
+            .unwrap_or_else(|e| panic!("service connection failed: {e}"))
     }
 
     /// Pipeline a pre-encoded request batch on this thread's connection.
@@ -306,7 +310,8 @@ impl ConcurrentMap for ServiceMap {
 impl BatchApply for ServiceMap {
     fn apply_batch(&self, ops: &[Op]) -> u64 {
         let reqs: Vec<Request> = ops.iter().map(to_request).collect();
-        let resps = self.pipeline(&reqs).expect("service connection failed");
+        let resps =
+            self.pipeline(&reqs).unwrap_or_else(|e| panic!("service connection failed: {e}"));
         resps.iter().map(|r| succeeded(r) as u64).sum()
     }
 }

@@ -162,12 +162,15 @@ pub(crate) fn metrics() -> &'static ServerMetrics {
 
 /// Current slow-op threshold in nanoseconds.
 pub fn slow_op_threshold_ns() -> u64 {
+    // ORDERING: Relaxed — a standalone tuning knob; readers only need some
+    // recent value, and no other memory is published through it.
     SLOW_NS.load(Ordering::Relaxed)
 }
 
 /// Set the slow-op threshold.  `0` records every op — what the metrics
 /// battery uses to exercise the recorder deterministically.
 pub fn set_slow_op_threshold_ns(ns: u64) {
+    // ORDERING: Relaxed — see `slow_op_threshold_ns`.
     SLOW_NS.store(ns, Ordering::Relaxed);
 }
 
@@ -241,6 +244,8 @@ pub(crate) fn record_op(
         8 => m.ops_metrics.inc(),
         _ => {}
     }
+    // ORDERING: Relaxed — the threshold is a tuning knob (see
+    // `slow_op_threshold_ns`); a racing update may misclassify one op.
     if ns >= SLOW_NS.load(Ordering::Relaxed) {
         m.slow_ops.inc();
         FLIGHT.record(op, key, ns, map.shard_of(key) as u64, backend_code(backend));

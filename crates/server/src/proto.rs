@@ -141,6 +141,14 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Copy an exactly-`N`-byte slice into an array. Every caller passes a
+/// slice produced by `take(N)`, so the lengths always match; a mismatch
+/// would be an internal cursor bug, surfaced as a decode error (killing
+/// just the frame) rather than a process abort.
+fn array<const N: usize>(s: &[u8]) -> Result<[u8; N], String> {
+    s.try_into().map_err(|_| format!("internal: expected {N} bytes, got {}", s.len()))
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -162,13 +170,13 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(array::<4>(self.take(4)?)?))
     }
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(array::<8>(self.take(8)?)?))
     }
     fn u128(&mut self) -> Result<u128, String> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(u128::from_le_bytes(array::<16>(self.take(16)?)?))
     }
     fn done(&self) -> Result<(), String> {
         if self.pos == self.buf.len() {
@@ -334,9 +342,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             let mut entries = Vec::with_capacity(n.min(MAX_FRAME / (8 + EVENT_WIRE_BYTES)));
             for _ in 0..n {
                 let seq = c.u64()?;
-                let raw: &[u8; EVENT_WIRE_BYTES] =
-                    c.take(EVENT_WIRE_BYTES)?.try_into().unwrap();
-                entries.push((seq, Event::decode(raw)?));
+                let raw = array::<EVENT_WIRE_BYTES>(c.take(EVENT_WIRE_BYTES)?)?;
+                entries.push((seq, Event::decode(&raw)?));
             }
             Response::Events(entries)
         }
@@ -457,7 +464,7 @@ impl FrameDecoder {
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(array::<4>(&avail[..4])?) as usize;
         if len > MAX_FRAME {
             return Err(format!("frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"));
         }

@@ -254,7 +254,7 @@ impl ThreadedServer {
                             let _ = sock.shutdown(Shutdown::Both);
                         }
                     });
-                    conns.lock().unwrap().push((handle, peer));
+                    conns.lock().unwrap_or_else(|e| e.into_inner()).push((handle, peer));
                 }
             })
         };
@@ -270,7 +270,8 @@ impl ThreadedServer {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        let handles = std::mem::take(&mut *self.conns.lock().unwrap());
+        let handles =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for (handle, stream) in handles {
             // Blocked reads in the handler return EOF/reset immediately.
             let _ = stream.shutdown(Shutdown::Both);

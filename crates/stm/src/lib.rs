@@ -101,9 +101,11 @@ pub(crate) struct TxStats {
 
 impl TxStats {
     pub(crate) fn note_abort(&self) {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.aborts.fetch_add(1, Ordering::Relaxed);
     }
     pub(crate) fn note_commit(&self) {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.commits.fetch_add(1, Ordering::Relaxed);
     }
 }

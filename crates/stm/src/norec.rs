@@ -53,6 +53,8 @@ impl<'a> NorecTx<'a> {
                 continue;
             }
             for &(addr, val) in &self.read_set {
+                // SAFETY: read-set addresses point into the `TVar` array the
+                // transaction borrowed, which outlives the transaction.
                 let current = unsafe { &*addr }.raw_load();
                 if current != val {
                     return Err(Abort);
@@ -81,6 +83,8 @@ impl<'a> NorecTx<'a> {
             self.validate()?;
         }
         for &(addr, val) in &self.write_set {
+            // SAFETY: write-set addresses point into the live `TVar` array;
+            // the held sequence lock excludes every other writer.
             unsafe { &*addr }.raw_store(val);
         }
         self.runtime.clock.store(self.snapshot + 2, Ordering::SeqCst);
@@ -139,10 +143,12 @@ impl Stm for Norec {
     }
 
     fn aborts(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.aborts.load(Ordering::Relaxed)
     }
 
     fn commits(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.commits.load(Ordering::Relaxed)
     }
 }

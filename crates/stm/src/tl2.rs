@@ -114,6 +114,8 @@ impl<'a> Tl2Tx<'a> {
         }
         // Write back and release the stripes at the new version.
         for &(addr, val) in &self.write_set {
+            // SAFETY: write-set addresses point into the live `TVar` array;
+            // the acquired stripe locks exclude every conflicting writer.
             unsafe { &*addr }.raw_store(val);
         }
         for (s, _) in acquired {
@@ -175,10 +177,12 @@ impl Stm for Tl2 {
     }
 
     fn aborts(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.aborts.load(Ordering::Relaxed)
     }
 
     fn commits(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.commits.load(Ordering::Relaxed)
     }
 }

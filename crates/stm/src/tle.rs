@@ -62,10 +62,12 @@ impl Stm for Tle {
     }
 
     fn aborts(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.aborts.load(Ordering::Relaxed)
     }
 
     fn commits(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic counter; no synchronization implied.
         self.stats.commits.load(Ordering::Relaxed)
     }
 }

@@ -48,7 +48,12 @@ pub struct TxTree<S: Stm> {
     retired: AtomicU64,
 }
 
+// SAFETY: nodes are heap-allocated and reachable only via TxWords; all
+// shared access runs inside STM transactions under an epoch guard, so the
+// tree may move between threads.
 unsafe impl<S: Stm> Send for TxTree<S> {}
+// SAFETY: see `Send` above — mutation is transactional and reclamation is
+// epoch-deferred, so `&TxTree` is safe to share.
 unsafe impl<S: Stm> Sync for TxTree<S> {}
 
 /// An unbalanced transactional internal BST (e.g. `int-bst-norec`).
@@ -116,6 +121,8 @@ impl<S: Stm> TxTree<S> {
         });
         if !inserted {
             // Never published by a committed transaction.
+            // SAFETY: no transaction committed a pointer to `new_word`, so
+            // this thread still solely owns the fresh Box.
             unsafe { drop(Box::from_raw(new_word as usize as *mut Node)) };
         }
         drop(guard);
@@ -197,7 +204,11 @@ impl<S: Stm> TxTree<S> {
         });
         match removed {
             Some(word) => {
+                // ORDERING: Relaxed — diagnostic retirement counter only.
                 self.retired.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: the committed transaction unlinked `word`, so only
+                // this thread defers its reclamation; the drop runs after
+                // every pinned reader's epoch has expired.
                 unsafe {
                     guard.defer_unchecked(move || drop(Box::from_raw(word as usize as *mut Node)))
                 };
@@ -441,6 +452,8 @@ impl<S: Stm> Drop for TxTree<S> {
             let n = node(word);
             work.push(n.left.load_quiescent());
             work.push(n.right.load_quiescent());
+            // SAFETY: `&mut self` (Drop) proves exclusive access; every word
+            // is a live `Box::into_raw` pointer freed exactly once.
             unsafe { drop(Box::from_raw(word as usize as *mut Node)) };
         }
     }

@@ -29,12 +29,15 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod buckets;
+#[cfg(all(test, pathcas_loom))]
+mod models;
+pub(crate) mod sync;
 
 use buckets::{bucket_index, bucket_upper, NBUCKETS, TRACKABLE_MAX};
+use sync::{registration::AtomicUsize, AtomicU64, Ordering};
 
 /// Number of stripes per [`Counter`] (power of two). 32 padded cells cover
 /// more worker threads than the benches drive while keeping a counter at
@@ -59,11 +62,22 @@ thread_local! {
 /// The calling thread's stripe index in `[0, STRIPES)`.
 #[inline]
 fn stripe_id() -> usize {
+    // Under the model checker, stripe assignment must be a pure function of
+    // the model-thread index: the round-robin dispenser below hands out a
+    // different stripe to the fresh OS thread each execution spawns, which
+    // changes which atomic locations the model touches between executions
+    // and breaks deterministic DFS replay.
+    #[cfg(pathcas_loom)]
+    if let Some(tid) = loom_shim::current_thread_id() {
+        return tid & (STRIPES - 1);
+    }
     STRIPE.with(|s| {
         let v = s.get();
         if v != usize::MAX {
             v
         } else {
+            // ORDERING: Relaxed — a once-per-thread id dispense; uniqueness
+            // comes from the RMW itself, no other memory is published.
             let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
             s.set(v);
             v
@@ -95,11 +109,16 @@ impl Counter {
     /// Count `n` events.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — the stripe is a pure event tally; nothing is
+        // published through it, and `get` only promises quiescent exactness.
         self.stripes[stripe_id()].0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Sum of all stripes (wrapping on overflow, like the stripes).
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — per-stripe coherence makes the sum monotone
+        // and never an over-count; exactness is only claimed at quiescence
+        // (the `striped_counter_sum` model in src/models.rs checks this).
         self.stripes.iter().fold(0u64, |acc, s| acc.wrapping_add(s.0.load(Ordering::Relaxed)))
     }
 }
@@ -130,12 +149,16 @@ impl Gauge {
     /// Set the level.
     #[inline]
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — last-writer-wins level; readers want *a*
+        // recent value, and no other memory is published through it.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Raise the level by `n` (e.g. open-connection counts).
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — the RMW's atomicity alone keeps the level
+        // exact; no ordering with other locations is needed.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -144,12 +167,14 @@ impl Gauge {
     pub fn sub(&self, n: u64) {
         // fetch_update loops only under concurrent modification of the same
         // gauge; still allocation-free and lock-free.
+        // ORDERING: Relaxed — same as `add`: atomicity only.
         let _ =
             self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
     }
 
     /// Current level.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — diagnostic read of a last-writer-wins level.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -193,11 +218,16 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let v = if v > TRACKABLE_MAX {
+            // ORDERING: Relaxed — independent tally, atomicity only.
             self.saturated.fetch_add(1, Ordering::Relaxed);
             TRACKABLE_MAX
         } else {
             v
         };
+        // ORDERING: Relaxed on all four RMWs — each cell is an independent
+        // tally whose exactness comes from RMW atomicity; readers tolerate
+        // mid-record skew (count/sum/bucket may momentarily disagree) and
+        // only rely on quiescent totals.
         self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -206,16 +236,19 @@ impl Histogram {
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Largest recorded (clamped) value.
     pub fn max(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
         self.max.load(Ordering::Relaxed)
     }
 
     /// Number of values that exceeded [`TRACKABLE_MAX`] and were clamped.
     pub fn saturated_count(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
         self.saturated.load(Ordering::Relaxed)
     }
 
@@ -226,6 +259,8 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
+            // ORDERING: Relaxed — `count` and `sum` may be skewed by an
+            // in-flight record; the mean is a diagnostic, not an invariant.
             self.sum.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
@@ -241,6 +276,8 @@ impl Histogram {
         let target = ((q * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
+            // ORDERING: Relaxed — bucket tallies only; quantiles are
+            // approximate under concurrent writers by design.
             seen += c.load(Ordering::Relaxed);
             if seen >= target {
                 return bucket_upper(i).min(self.max());
@@ -388,15 +425,30 @@ struct FlightSlot {
 /// A bounded ring of the last `N` recorded events, lock- and allocation-free
 /// to write.
 ///
-/// Writers claim a ticket with one `fetch_add` and fill `slot[ticket % N]`
-/// under a per-slot seqlock (odd = in progress). Readers ([`Self::snapshot`])
-/// skip slots whose seqlock is odd or changed mid-read, so a snapshot only
-/// ever contains fully written records. Two writers race for the same slot
-/// only when one laps the other by a full ring (`N` tickets) mid-write; the
-/// seqlock detects the overlap and the reader drops that slot — this is a
-/// best-effort diagnostic ring, not a loss-free log.
+/// Writers claim a ticket with one `fetch_add`, then claim `slot[ticket % N]`
+/// by CAS-ing its seqlock word from the previous generation's even value to
+/// `2*ticket + 1` (odd = in progress). Readers ([`Self::snapshot`]) skip
+/// slots whose seqlock is odd or changed mid-read, so a snapshot only ever
+/// contains fully written records. Two writers meet at the same slot only
+/// when one laps the other by a full ring (`N` tickets) mid-write; the claim
+/// CAS makes exactly one of them proceed and the other drop its record
+/// (counted in [`Self::dropped`]) — this is a best-effort diagnostic ring,
+/// not a loss-free log. (An earlier revision let both writers store
+/// unconditionally; the slower writer's *even* seqlock value could then cap
+/// a mix of both writers' fields, a tear the reader cannot detect. The
+/// `flight_recorder_lap` model in `src/models.rs` proves the claim CAS
+/// closes this.)
+///
+/// The seqlock itself is the C11 fence-based protocol (Boehm, "Can seqlocks
+/// get along with programming language memory models?", MSPC '12): the
+/// writer publishes fields between a release *fence* after the odd store and
+/// a release store of the even value; the reader re-reads the seqlock word
+/// after an acquire fence. The `flight_recorder_seqlock` model checks the
+/// protocol and its mutation witness shows the previous revision (release
+/// odd store, no fences, acquire re-read) admits a torn snapshot.
 pub struct FlightRecorder<const N: usize> {
     next: AtomicU64,
+    dropped: AtomicU64,
     slots: [FlightSlot; N],
 }
 
@@ -406,6 +458,7 @@ impl<const N: usize> FlightRecorder<N> {
         assert!(N.is_power_of_two(), "FlightRecorder capacity must be a power of two");
         FlightRecorder {
             next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             slots: [const {
                 FlightSlot {
                     seq: AtomicU64::new(0),
@@ -419,24 +472,67 @@ impl<const N: usize> FlightRecorder<N> {
         }
     }
 
-    /// Record one event (wait-free, allocation-free).
+    /// Record one event (wait-free, allocation-free). Returns the ticket the
+    /// event was admitted under, or `None` if the slot had to be dropped
+    /// because a writer lapped us mid-write (see the struct docs; counted in
+    /// [`Self::dropped`]).
     #[inline]
-    pub fn record(&self, op: u64, key: u64, latency_ns: u64, shard: u64, backend: u64) {
+    pub fn record(&self, op: u64, key: u64, latency_ns: u64, shard: u64, backend: u64) -> Option<u64> {
+        // ORDERING: Relaxed — the ticket dispenser only needs the RMW's
+        // atomicity for uniqueness; the slot's seqlock carries all
+        // publication ordering.
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket as usize) & (N - 1)];
-        slot.seq.store(ticket.wrapping_mul(2).wrapping_add(1), Ordering::Release);
+        let odd = ticket.wrapping_mul(2).wrapping_add(1);
+        // ORDERING: Relaxed — pre-claim peek; the CAS below revalidates it.
+        let cur = slot.seq.load(Ordering::Relaxed);
+        // ORDERING: Relaxed claim CAS — it needs only the RMW's atomicity to
+        // elect a unique slot owner. Field publication is ordered by the
+        // release fence below, and the stale-field hazard on the *reader*
+        // side is covered by its fence (any reader that observes one of our
+        // field stores is forced, through the fence pair, to also observe a
+        // seqlock value >= `odd` on its re-read, so it discards the slot).
+        if cur >= odd
+            || cur & 1 == 1
+            || slot
+                .seq
+                .compare_exchange(cur, odd, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            // Another writer owns the slot (it lapped us, or we lapped it).
+            // ORDERING: Relaxed — diagnostic counter.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // The release fence orders the claim and every field store below
+        // before the closing even store *and* before any field store's
+        // visibility to a fenced reader — the writer half of the Boehm
+        // seqlock protocol. A release ordering on the odd store alone (the
+        // previous revision) orders nothing that comes after it.
+        sync::fence(Ordering::Release);
+        // ORDERING: Relaxed field stores — ordered by the fence above and
+        // the release even-store below.
         slot.op.store(op, Ordering::Relaxed);
         slot.key.store(key, Ordering::Relaxed);
         slot.latency_ns.store(latency_ns, Ordering::Relaxed);
         slot.shard.store(shard, Ordering::Relaxed);
         slot.backend.store(backend, Ordering::Relaxed);
         slot.seq.store(ticket.wrapping_mul(2).wrapping_add(2), Ordering::Release);
+        Some(ticket)
     }
 
-    /// Total events ever recorded (may exceed `N`; the ring keeps the last
-    /// `N`).
+    /// Total events ever admitted (may exceed `N`; the ring keeps the last
+    /// `N`, and up to [`Self::dropped`] of them were abandoned mid-lap).
     pub fn recorded(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
         self.next.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because a writer found its slot owned by another
+    /// in-flight writer (ring lapped mid-write).
+    pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The consistent records currently in the ring, oldest first.
@@ -448,6 +544,10 @@ impl<const N: usize> FlightRecorder<N> {
             if s1 == 0 || s1 & 1 == 1 {
                 continue; // never written, or a writer is mid-flight
             }
+            // ORDERING: Relaxed field loads — the reader half of the Boehm
+            // seqlock protocol: `s1`'s acquire load orders them after the
+            // writer's closing release store, and the acquire fence below
+            // orders them before the re-read of the seqlock word.
             let rec = FlightRecord {
                 ticket: (s1 - 2) / 2,
                 op: slot.op.load(Ordering::Relaxed),
@@ -456,7 +556,14 @@ impl<const N: usize> FlightRecorder<N> {
                 shard: slot.shard.load(Ordering::Relaxed),
                 backend: slot.backend.load(Ordering::Relaxed),
             };
-            let s2 = slot.seq.load(Ordering::Acquire);
+            // If any field load above observed a later writer's store, this
+            // fence (pairing with that writer's release fence) forces the
+            // re-read below to observe its odd claim — so the slot is
+            // discarded. An acquire *load* here (the previous revision)
+            // orders nothing before itself and admits the tear.
+            sync::fence(Ordering::Acquire);
+            // ORDERING: Relaxed — ordered by the fence above.
+            let s2 = slot.seq.load(Ordering::Relaxed);
             if s1 == s2 {
                 out.push(rec);
             }

@@ -1,0 +1,120 @@
+//! Non-loom regression hammer for the flight recorder's Boehm seqlock.
+//!
+//! The bounded model in `src/models.rs` proves the protocol on a 1–2 slot
+//! ring with 2–3 threads; this test shakes the same code at real scale — a
+//! small ring lapped thousands of times by many writers while a reader
+//! snapshots continuously. Every field of every record is derived from the
+//! record's key, so any torn slot (a mix of two writers' fields) is caught
+//! by pure payload arithmetic, with no dependence on timing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use telemetry::FlightRecorder;
+
+/// Derive every payload field from `key` so tearing is detectable:
+/// op = key + 1, latency = 10 * key, shard = key ^ MASK, backend = key % 7.
+const SHARD_MASK: u64 = 0xA5A5_A5A5;
+
+fn check_intact(r: &telemetry::FlightRecord) {
+    assert_eq!(r.op, r.key + 1, "torn record (op): {r:?}");
+    assert_eq!(r.latency_ns, 10 * r.key, "torn record (latency): {r:?}");
+    assert_eq!(r.shard, r.key ^ SHARD_MASK, "torn record (shard): {r:?}");
+    assert_eq!(r.backend, r.key % 7, "torn record (backend): {r:?}");
+}
+
+#[test]
+fn concurrent_writers_never_tear_snapshots() {
+    // A tiny ring maximizes lap pressure: 4 writers × a 8-slot ring means
+    // slots are reclaimed every 8 tickets, constantly racing the reader.
+    let rec: Arc<FlightRecorder<8>> = Arc::new(FlightRecorder::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers = 4u64;
+    let per = 50_000u64;
+
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                let mut accepted = 0u64;
+                for i in 0..per {
+                    let key = w * per + i;
+                    if let Some(ticket) = rec.record(key + 1, key, 10 * key, key ^ SHARD_MASK, key % 7)
+                    {
+                        // Tickets are unique and the slot index is derived
+                        // from them, so an accepted record was fully written.
+                        assert!(ticket < writers * per);
+                        accepted += 1;
+                    }
+                }
+                assert!(accepted > 0, "writer {w} had every record dropped");
+            });
+        }
+        {
+            let rec = Arc::clone(&rec);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut snapshots = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in rec.snapshot() {
+                        check_intact(&r);
+                    }
+                    snapshots += 1;
+                }
+                assert!(snapshots > 0);
+            });
+        }
+        // Writers exit on their own; then release the reader.
+        // (Scope joins the writer threads before `stop` matters only if we
+        // order it explicitly — so spawn a waiter that flips the flag when
+        // all writer work is observably complete.)
+        let rec2 = Arc::clone(&rec);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            while rec2.recorded() < writers * per {
+                std::hint::spin_loop();
+            }
+            stop2.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Accounting: every admitted ticket was either fully recorded or counted
+    // as dropped; admission is exactly the number of record() calls.
+    assert_eq!(rec.recorded(), writers * per);
+    assert!(rec.dropped() < rec.recorded(), "every record was dropped");
+
+    // The quiescent ring holds only intact records, all from the last lap.
+    let finals = rec.snapshot();
+    assert!(!finals.is_empty());
+    for r in &finals {
+        check_intact(r);
+        assert!(r.ticket < writers * per);
+    }
+    // Tickets in a quiescent snapshot are unique (one per live slot).
+    let mut tickets: Vec<u64> = finals.iter().map(|r| r.ticket).collect();
+    tickets.sort_unstable();
+    tickets.dedup();
+    assert_eq!(tickets.len(), finals.len(), "duplicate tickets in snapshot");
+}
+
+#[test]
+fn single_writer_snapshot_is_exact() {
+    // With one writer and no contention, nothing is ever dropped and the
+    // ring holds exactly the last N records in ticket order.
+    let rec: FlightRecorder<4> = FlightRecorder::new();
+    for key in 0..10u64 {
+        let ticket = rec.record(key + 1, key, 10 * key, key ^ SHARD_MASK, key % 7);
+        assert_eq!(ticket, Some(key));
+    }
+    assert_eq!(rec.recorded(), 10);
+    assert_eq!(rec.dropped(), 0);
+    let snap = rec.snapshot();
+    assert_eq!(snap.len(), 4);
+    let mut tickets: Vec<u64> = snap.iter().map(|r| r.ticket).collect();
+    tickets.sort_unstable();
+    assert_eq!(tickets, vec![6, 7, 8, 9]);
+    for r in &snap {
+        check_intact(r);
+        assert_eq!(r.key, r.ticket, "single writer: ticket == key by construction");
+    }
+}

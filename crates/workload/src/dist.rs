@@ -133,12 +133,16 @@ impl SharedState {
 
     /// Claim a fresh key for an insert (monotone, never reused).
     pub fn claim_insert_key(&self) -> Key {
+        // ORDERING: Relaxed — the RMW itself guarantees uniqueness of claimed
+        // keys; no cross-key ordering is needed for a workload generator.
         self.insert_frontier.fetch_add(1, Ordering::Relaxed).min(mapapi::MAX_KEY)
     }
 
     /// The most recently claimed key (approximate under concurrency, exactly
     /// like YCSB's shared counter).
     pub fn latest_key(&self) -> Key {
+        // ORDERING: Relaxed — an intentionally approximate read, matching
+        // YCSB's shared-counter semantics.
         (self.insert_frontier.load(Ordering::Relaxed) - 1).max(1)
     }
 }

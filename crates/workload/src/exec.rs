@@ -251,9 +251,13 @@ where
         }
         barrier.wait();
         std::thread::sleep(warmup);
+        // ORDERING: Relaxed — phase flags polled by the workers in a loop; a
+        // few ops attributed to the wrong phase are harmless, and the final
+        // thread join synchronizes all per-thread results.
         recording.store(true, Ordering::Relaxed);
         let start = Instant::now();
         std::thread::sleep(duration);
+        // ORDERING: Relaxed — see `recording` above.
         stop.store(true, Ordering::Relaxed);
         let elapsed = start.elapsed();
         let per_thread: Vec<T> =
@@ -346,6 +350,9 @@ pub fn run_scenario<M: ConcurrentMap + ?Sized>(
             let mut ops = 0u64;
             let mut ok = 0u64;
             let mut committed = 0u64;
+            // ORDERING: Relaxed — stop/recording are phase flags polled in a
+            // loop; thread join is the real synchronization point, and a few
+            // stale iterations only blur the phase boundary, never the data.
             while !stop.load(Ordering::Relaxed) {
                 let op = gen.next_op(&shared);
                 let success;
@@ -466,6 +473,8 @@ where
             let mut ops = 0u64;
             let mut ok = 0u64;
             let mut batch = Vec::with_capacity(depth);
+            // ORDERING: Relaxed — phase flags polled in a loop (see above);
+            // join synchronizes, stale iterations only blur phase boundaries.
             while !stop.load(Ordering::Relaxed) {
                 batch.clear();
                 for _ in 0..depth {

@@ -1,0 +1,47 @@
+//! `cargo xtask <task>` — repo-local developer tasks (see `xtask` lib docs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask analyze [--root <workspace-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(task) = args.next() else {
+        return usage();
+    };
+    if task != "analyze" {
+        eprintln!("xtask: unknown task `{task}`");
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            _ => return usage(),
+        }
+    }
+    // cargo runs the binary from the workspace root by default; --root
+    // exists for the seeded-violation tests and CI sandboxes.
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match xtask::analyze(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask analyze: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask analyze: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

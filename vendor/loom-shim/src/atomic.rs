@@ -1,0 +1,307 @@
+//! Mock atomic types. Each mock wraps a real std atomic as its *backing*
+//! store: outside a model execution every operation passes straight through
+//! (so facade-covered code keeps working in binaries that merely link the
+//! shim), while inside an execution the runtime tracks the full store
+//! history and the backing only mirrors the modification-order-latest value.
+//!
+//! The mock's *address* identifies the location to the runtime, so mocks
+//! must not be moved while a model is running (statics and stack slots owned
+//! for the closure's duration are both fine — the usual loom rules).
+
+use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! int_atomic {
+    ($name:ident, $prim:ty, $std:ty) => {
+        /// Mock atomic integer; see the module docs for passthrough rules.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            backing: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    backing: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            fn seed(&self) -> u64 {
+                self.backing.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                if rt::current_tid().is_none() {
+                    return self.backing.load(ord);
+                }
+                rt::atomic_load(self.addr(), self.seed(), ord) as $prim
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                if rt::current_tid().is_none() {
+                    self.backing.store(val, ord);
+                    return;
+                }
+                rt::atomic_store(self.addr(), self.seed(), val as u64, ord);
+                self.backing.store(val, Ordering::Relaxed);
+            }
+
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                if rt::current_tid().is_none() {
+                    return self.backing.swap(val, ord);
+                }
+                let (prev, _) = rt::atomic_rmw(self.addr(), self.seed(), ord, ord, |_| {
+                    Some(val as u64)
+                });
+                self.backing.store(val, Ordering::Relaxed);
+                prev as $prim
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if rt::current_tid().is_none() {
+                    return self.backing.compare_exchange(expected, new, success, failure);
+                }
+                let (prev, stored) =
+                    rt::atomic_rmw(self.addr(), self.seed(), success, failure, |cur| {
+                        if cur as $prim == expected {
+                            Some(new as u64)
+                        } else {
+                            None
+                        }
+                    });
+                if stored {
+                    self.backing.store(new, Ordering::Relaxed);
+                    Ok(prev as $prim)
+                } else {
+                    Err(prev as $prim)
+                }
+            }
+
+            /// The mock never fails spuriously; weak == strong here, which
+            /// only shrinks the schedule tree (a retry loop around a
+            /// spurious failure adds no new memory behaviors).
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(expected, new, success, failure)
+            }
+
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                if rt::current_tid().is_none() {
+                    return self.backing.fetch_add(val, ord);
+                }
+                let mut newv: $prim = 0;
+                let (prev, _) = rt::atomic_rmw(self.addr(), self.seed(), ord, ord, |cur| {
+                    newv = (cur as $prim).wrapping_add(val);
+                    Some(newv as u64)
+                });
+                self.backing.store(newv, Ordering::Relaxed);
+                prev as $prim
+            }
+
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                self.fetch_add(<$prim>::wrapping_sub(0, val), ord)
+            }
+
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                if rt::current_tid().is_none() {
+                    return self.backing.fetch_max(val, ord);
+                }
+                let mut newv: $prim = 0;
+                let (prev, _) = rt::atomic_rmw(self.addr(), self.seed(), ord, ord, |cur| {
+                    newv = (cur as $prim).max(val);
+                    Some(newv as u64)
+                });
+                self.backing.store(newv, Ordering::Relaxed);
+                prev as $prim
+            }
+
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                if rt::current_tid().is_none() {
+                    return self.backing.fetch_or(val, ord);
+                }
+                let mut newv: $prim = 0;
+                let (prev, _) = rt::atomic_rmw(self.addr(), self.seed(), ord, ord, |cur| {
+                    newv = (cur as $prim) | val;
+                    Some(newv as u64)
+                });
+                self.backing.store(newv, Ordering::Relaxed);
+                prev as $prim
+            }
+
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$prim, $prim>
+            where
+                F: FnMut($prim) -> Option<$prim>,
+            {
+                if rt::current_tid().is_none() {
+                    return self.backing.fetch_update(set_order, fetch_order, f);
+                }
+                let mut newv: Option<$prim> = None;
+                let (prev, stored) =
+                    rt::atomic_rmw(self.addr(), self.seed(), set_order, fetch_order, |cur| {
+                        newv = f(cur as $prim);
+                        newv.map(|n| n as u64)
+                    });
+                if stored {
+                    self.backing.store(newv.unwrap(), Ordering::Relaxed);
+                    Ok(prev as $prim)
+                } else {
+                    Err(prev as $prim)
+                }
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.backing.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.backing.get_mut()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+int_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+int_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+
+/// Mock atomic bool over the same runtime (values 0/1).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    backing: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            backing: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn seed(&self) -> u64 {
+        self.backing.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        if rt::current_tid().is_none() {
+            return self.backing.load(ord);
+        }
+        rt::atomic_load(self.addr(), self.seed(), ord) != 0
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        if rt::current_tid().is_none() {
+            self.backing.store(val, ord);
+            return;
+        }
+        rt::atomic_store(self.addr(), self.seed(), val as u64, ord);
+        self.backing.store(val, Ordering::Relaxed);
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        if rt::current_tid().is_none() {
+            return self.backing.swap(val, ord);
+        }
+        let (prev, _) = rt::atomic_rmw(self.addr(), self.seed(), ord, ord, |_| Some(val as u64));
+        self.backing.store(val, Ordering::Relaxed);
+        prev != 0
+    }
+}
+
+/// Mock atomic pointer; modeled as a u64-valued location holding the address.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    backing: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            backing: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn seed(&self) -> u64 {
+        self.backing.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if rt::current_tid().is_none() {
+            return self.backing.load(ord);
+        }
+        rt::atomic_load(self.addr(), self.seed(), ord) as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if rt::current_tid().is_none() {
+            self.backing.store(p, ord);
+            return;
+        }
+        rt::atomic_store(self.addr(), self.seed(), p as u64, ord);
+        self.backing.store(p, Ordering::Relaxed);
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if rt::current_tid().is_none() {
+            return self.backing.compare_exchange(expected, new, success, failure);
+        }
+        let (prev, stored) = rt::atomic_rmw(self.addr(), self.seed(), success, failure, |cur| {
+            if cur == expected as u64 {
+                Some(new as u64)
+            } else {
+                None
+            }
+        });
+        if stored {
+            self.backing.store(new, Ordering::Relaxed);
+            Ok(prev as *mut T)
+        } else {
+            Err(prev as *mut T)
+        }
+    }
+}
+
+/// Model-aware `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    rt::fence(ord);
+}

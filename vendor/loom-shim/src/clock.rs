@@ -1,0 +1,42 @@
+//! Fixed-size vector clocks.
+//!
+//! Every happens-before fact the checker tracks is a vector clock: one
+//! logical-time component per model thread. Keeping the representation a
+//! plain `Copy` array (rather than a growable map) makes joins branch-free
+//! and lets the runtime clone clocks into store records without allocating.
+
+/// Maximum number of model threads per execution (including the thread that
+/// called [`crate::model`], which participates as thread 0). Model suites in
+/// this workspace use 2–4 threads; the bound exists so clocks can be flat
+/// arrays.
+pub const MAX_THREADS: usize = 4;
+
+/// A vector clock over at most [`MAX_THREADS`] threads.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VClock([u64; MAX_THREADS]);
+
+impl VClock {
+    /// The all-zero clock: happens-before everything.
+    pub const fn zero() -> Self {
+        VClock([0; MAX_THREADS])
+    }
+
+    /// Component-wise maximum, in place.
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            if other.0[i] > self.0[i] {
+                self.0[i] = other.0[i];
+            }
+        }
+    }
+
+    /// Advance this thread's own component by one tick.
+    pub fn inc(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// This clock's knowledge of `tid`'s local time.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0[tid]
+    }
+}

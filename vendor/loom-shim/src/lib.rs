@@ -1,0 +1,141 @@
+//! # loom-shim — offline bounded model checking for the PathCAS workspace
+//!
+//! A vendored, dependency-free stand-in for [loom](https://github.com/tokio-rs/loom)
+//! exposing the subset this workspace uses: mock atomics
+//! ([`sync::atomic`]), model-aware threads ([`thread`]), and a
+//! [`model`] entry point that runs a closure under **every** thread
+//! interleaving and weak-memory read choice up to a preemption bound and a
+//! staleness bound.
+//!
+//! ```
+//! use loom_shim::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! loom_shim::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom_shim::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! **What "pass" means.** [`model`] panics iff *some* explored execution
+//! panics (assertion failure, deadlock, runaway loop); otherwise every
+//! execution within the bounds upheld the model's assertions. The bounds
+//! (defaults: 2 preemptions, 3 stale reads) make the guarantee
+//! *bounded*-exhaustive — the standard context-bounding result is that
+//! almost all real concurrency bugs manifest within 2 preemptions.
+//!
+//! **Non-vacuity.** [`model_fails`] runs a model expecting failure and
+//! returns whether one was found; the workspace's mutation witnesses use it
+//! to prove the checker actually distinguishes correct orderings from
+//! broken ones.
+
+mod atomic;
+mod clock;
+mod rt;
+pub mod thread;
+
+use std::time::Duration;
+
+pub use rt::Outcome;
+
+/// The calling thread's model-thread index (0 = the thread that called
+/// [`model`]), or `None` outside an execution. Facade-covered code can use
+/// this for *deterministic* per-thread choices (e.g. counter stripe
+/// assignment) that would otherwise vary between executions and break DFS
+/// replay.
+pub fn current_thread_id() -> Option<usize> {
+    rt::current_tid()
+}
+
+/// `loom::sync`-shaped facade: `sync::atomic::{AtomicU64, Ordering, fence, ...}`.
+pub mod sync {
+    pub mod atomic {
+        pub use crate::atomic::{fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+        pub use std::sync::atomic::Ordering;
+    }
+}
+
+/// Exploration configuration. `Default` matches [`model`].
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Max context switches at points where the running thread is still
+    /// runnable. `None` = unbounded (full DFS; feasible only for tiny models).
+    pub preemption_bound: Option<usize>,
+    /// Max non-latest load choices per execution — the weak-memory analogue
+    /// of the preemption bound (see `rt` docs).
+    pub staleness_bound: u32,
+    /// Per-execution visible-op limit; tripping it fails the model (an
+    /// unbounded helping/spin loop is a liveness bug at model scale).
+    pub max_ops: usize,
+    /// Total-execution and wall-clock guards for CI.
+    pub max_iterations: u64,
+    pub max_duration: Duration,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            staleness_bound: 3,
+            max_ops: 20_000,
+            max_iterations: 4_000_000,
+            max_duration: Duration::from_secs(120),
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn config(&self) -> rt::Config {
+        rt::Config {
+            preemption_bound: self.preemption_bound,
+            staleness_bound: self.staleness_bound,
+            max_ops: self.max_ops,
+            max_iterations: self.max_iterations,
+            max_duration: self.max_duration,
+        }
+    }
+
+    /// Explore `f` exhaustively within the bounds; panic on the first
+    /// failing execution with its diagnostic.
+    pub fn check<F: Fn()>(&self, f: F) {
+        match rt::run(self.config(), &f) {
+            Outcome::Pass { .. } => {}
+            Outcome::Fail {
+                iterations,
+                message,
+            } => panic!("loom-shim: model failed on execution {iterations}: {message}"),
+        }
+    }
+
+    /// Like [`Self::check`] but returns the outcome instead of panicking —
+    /// for mutation witnesses that assert a weakened model *does* fail.
+    pub fn check_outcome<F: Fn()>(&self, f: F) -> Outcome {
+        rt::run(self.config(), &f)
+    }
+}
+
+/// Explore `f` under the default [`Builder`]; panics if any bounded
+/// execution fails.
+pub fn model<F: Fn()>(f: F) {
+    Builder::default().check(f)
+}
+
+/// Returns true iff the checker finds a failing execution of `f` within the
+/// default bounds. Mutation witnesses assert this is `true` for the
+/// deliberately weakened copies of verified code.
+pub fn model_fails<F: Fn()>(f: F) -> bool {
+    matches!(
+        Builder::default().check_outcome(f),
+        Outcome::Fail { .. }
+    )
+}

@@ -1,0 +1,830 @@
+//! The model-checking runtime: a cooperative token-passing scheduler over
+//! real OS threads, a vector-clock release/acquire/fence memory model with
+//! per-location modification orders, and a DFS over every branch point
+//! (schedule choices and weak-memory load choices).
+//!
+//! # How an execution runs
+//!
+//! [`run`] executes the model closure repeatedly. Within one execution,
+//! exactly one model thread holds the "token" at a time; every visible
+//! operation (atomic op, fence, spawn, join, yield) is a *boundary* where the
+//! scheduler consults the current DFS path to decide which runnable thread
+//! proceeds next. Between boundaries a thread runs arbitrary invisible code.
+//! After each execution the last not-yet-exhausted branch point is advanced
+//! (classic iterative-DFS path replay) until the whole bounded tree is
+//! explored.
+//!
+//! # Memory model
+//!
+//! Each atomic location carries its full store history (the C11 modification
+//! order — mock atomics in this workspace are only ever written through the
+//! facade, so the history is complete). A load may read any store that is
+//! not excluded by:
+//!
+//! * **happens-before**: stores older (in modification order) than the
+//!   newest store that happens-before the reading thread are invisible;
+//! * **coherence**: a thread never reads modification-order-older than what
+//!   it last read or wrote at that location;
+//! * **the staleness bound**: each execution may take at most
+//!   `staleness_bound` non-latest load choices in total. This is the
+//!   weak-memory analogue of the preemption bound: it keeps the DFS finite
+//!   in the presence of helping loops and prunes the eligible-store
+//!   branching to the small number of stale reads real bugs need.
+//!
+//! Release/acquire edges are vector-clock joins through each store's `sync`
+//! clock; release sequences are modeled by RMWs joining the clock of the
+//! store they overwrite; fences use the usual pending-acquire /
+//! release-snapshot construction. `SeqCst` is approximated by a single
+//! global clock joined on both sides of every SeqCst access — slightly
+//! *stronger* than C11 SC (it orders SeqCst ops with non-SeqCst ones more
+//! than the standard requires), which is sound for finding schedule-level
+//! bugs but means a missing-`SeqCst` mutation may need a fence-level rather
+//! than clock-level witness. DESIGN.md §12 discusses the tradeoff.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::clock::{VClock, MAX_THREADS};
+
+/// Marker payload unwound through model threads when an execution aborts
+/// (failure found elsewhere, or teardown). Caught by the per-thread wrapper;
+/// never escapes the checker.
+struct Abort;
+
+const INITIAL_STORE: usize = usize::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BranchKind {
+    Schedule,
+    Load,
+}
+
+#[derive(Clone, Copy)]
+struct Branch {
+    chosen: u32,
+    max: u32,
+    kind: BranchKind,
+}
+
+struct ThreadState {
+    status: Status,
+    /// Everything this thread has acquired (its happens-before past).
+    clock: VClock,
+    /// Snapshot published by the latest release fence; release-less stores
+    /// after a release fence carry this as their sync clock.
+    fence_rel: VClock,
+    /// Join of the sync clocks of everything read so far; an acquire fence
+    /// folds this into `clock`.
+    fence_acq: VClock,
+    /// Per-location coherence floor: modification-order index of the newest
+    /// store this thread has read or written there.
+    last_seen: HashMap<usize, usize>,
+    /// Threads blocked in `join` on this one.
+    joiners: Vec<usize>,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            clock,
+            fence_rel: VClock::zero(),
+            fence_acq: VClock::zero(),
+            last_seen: HashMap::new(),
+            joiners: Vec::new(),
+        }
+    }
+}
+
+struct StoreRec {
+    val: u64,
+    /// Clock a reader acquires by reading this store.
+    sync: VClock,
+    /// The writer's clock at the store (for happens-before visibility).
+    when: VClock,
+    /// Writing thread, or `INITIAL_STORE`.
+    by: usize,
+}
+
+struct Location {
+    stores: Vec<StoreRec>,
+}
+
+/// Per-execution + DFS state. Guarded by the single runtime mutex.
+struct Exec {
+    active: bool,
+    threads: Vec<ThreadState>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    locs: HashMap<usize, Location>,
+    /// Global SeqCst order approximation.
+    sc: VClock,
+    current: usize,
+    preemptions: usize,
+    stale_budget: u32,
+    ops: usize,
+    /// DFS path: one entry per branch point, in execution order.
+    path: Vec<Branch>,
+    pos: usize,
+    failure: Option<String>,
+    aborting: bool,
+    // Config (copied from the Builder at run start).
+    preemption_bound: Option<usize>,
+    staleness_bound: u32,
+    max_ops: usize,
+}
+
+impl Exec {
+    fn empty() -> Self {
+        Exec {
+            active: false,
+            threads: Vec::new(),
+            os_handles: Vec::new(),
+            locs: HashMap::new(),
+            sc: VClock::zero(),
+            current: 0,
+            preemptions: 0,
+            stale_budget: 0,
+            ops: 0,
+            path: Vec::new(),
+            pos: 0,
+            failure: None,
+            aborting: false,
+            preemption_bound: None,
+            staleness_bound: 0,
+            max_ops: 0,
+        }
+    }
+
+    fn begin_execution(&mut self) {
+        self.threads.clear();
+        self.threads.push(ThreadState::new(VClock::zero()));
+        self.locs.clear();
+        self.sc = VClock::zero();
+        self.current = 0;
+        self.preemptions = 0;
+        self.stale_budget = self.staleness_bound;
+        self.ops = 0;
+        self.pos = 0;
+        self.aborting = false;
+        self.active = true;
+    }
+
+    /// Advance to the next DFS path: bump the deepest non-exhausted branch,
+    /// truncate everything after it. Returns false when the tree is done.
+    fn next_path(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            if last.chosen + 1 < last.max {
+                last.chosen += 1;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+struct Rt {
+    m: Mutex<Exec>,
+    cv: Condvar,
+}
+
+fn rt() -> &'static Rt {
+    static RT: OnceLock<Rt> = OnceLock::new();
+    RT.get_or_init(|| Rt {
+        m: Mutex::new(Exec::empty()),
+        cv: Condvar::new(),
+    })
+}
+
+/// Serializes whole `model()` calls so parallel `cargo test` threads don't
+/// interleave their explorations through the shared runtime.
+fn model_lock() -> &'static Mutex<()> {
+    static L: OnceLock<Mutex<()>> = OnceLock::new();
+    L.get_or_init(|| Mutex::new(()))
+}
+
+thread_local! {
+    static CUR: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The calling thread's model-thread id, if it is currently participating in
+/// an execution. `None` means atomics fall through to their std backing.
+pub fn current_tid() -> Option<usize> {
+    CUR.with(|c| c.get())
+}
+
+fn lock() -> MutexGuard<'static, Exec> {
+    rt().m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(Abort))
+}
+
+/// Record a failure, wake every parked thread so it can unwind, and leave
+/// the guard released. Caller decides whether to unwind itself.
+fn fail(g: &mut MutexGuard<'_, Exec>, msg: String) {
+    if g.failure.is_none() {
+        g.failure = Some(msg);
+    }
+    g.aborting = true;
+    rt().cv.notify_all();
+}
+
+fn describe_panic(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Consult the DFS path at a branch point with `max` options; returns the
+/// option index to take this execution.
+fn branch_choice(g: &mut MutexGuard<'_, Exec>, max: usize, kind: BranchKind) -> usize {
+    if max <= 1 {
+        return 0;
+    }
+    let pos = g.pos;
+    if pos < g.path.len() {
+        let b = g.path[pos];
+        if b.max as usize != max || b.kind != kind {
+            fail(
+                g,
+                format!(
+                    "non-deterministic model: branch {pos} was {:?}x{} on a prior \
+                     execution but is {kind:?}x{max} now; model closures must perform \
+                     an identical sequence of facade operations on every run",
+                    b.kind, b.max
+                ),
+            );
+            abort_unwind();
+        }
+    } else {
+        g.path.push(Branch {
+            chosen: 0,
+            max: max as u32,
+            kind,
+        });
+    }
+    let c = g.path[pos].chosen as usize;
+    g.pos += 1;
+    c
+}
+
+fn runnable_ids(g: &Exec) -> Vec<usize> {
+    g.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Pick the next thread to run from `options` (current thread first, so DFS
+/// choice 0 = "keep running" and preemptions are only counted when taken),
+/// hand over the token, and if the choice was someone else, park until the
+/// token returns.
+fn hand_off_and_wait(mut g: MutexGuard<'_, Exec>, me: usize, options: Vec<usize>) {
+    let next = options[branch_choice(&mut g, options.len(), BranchKind::Schedule)];
+    if next != me {
+        if g.threads[me].status == Status::Runnable {
+            g.preemptions += 1;
+        }
+        g.current = next;
+        rt().cv.notify_all();
+        while g.current != me && !g.aborting {
+            g = rt().cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            drop(g);
+            abort_unwind();
+        }
+    }
+}
+
+/// Every visible operation starts here: count the op, then offer the
+/// scheduler a chance to preempt (unless the preemption budget is spent).
+fn boundary() {
+    let me = match current_tid() {
+        Some(t) => t,
+        None => return,
+    };
+    let mut g = lock();
+    if !g.active {
+        return;
+    }
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    g.ops += 1;
+    if g.ops > g.max_ops {
+        let max = g.max_ops;
+        fail(
+            &mut g,
+            format!(
+                "execution exceeded {max} visible operations — unbounded loop in the \
+                 model (or raise Builder::max_ops)"
+            ),
+        );
+        drop(g);
+        abort_unwind();
+    }
+    let runnable = runnable_ids(&g);
+    debug_assert!(runnable.contains(&me), "boundary on non-runnable thread");
+    let bound_spent = g
+        .preemption_bound
+        .map(|b| g.preemptions >= b)
+        .unwrap_or(false);
+    if bound_spent || runnable.len() == 1 {
+        return;
+    }
+    let mut options = Vec::with_capacity(runnable.len());
+    options.push(me);
+    options.extend(runnable.into_iter().filter(|&t| t != me));
+    hand_off_and_wait(g, me, options);
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ensure_loc(g: &mut MutexGuard<'_, Exec>, addr: usize, seed: u64) {
+    g.locs.entry(addr).or_insert_with(|| Location {
+        stores: vec![StoreRec {
+            val: seed,
+            sync: VClock::zero(),
+            when: VClock::zero(),
+            by: INITIAL_STORE,
+        }],
+    });
+}
+
+/// True if `s` happens-before a thread whose acquired clock is `clock`.
+fn store_hb(s: &StoreRec, clock: &VClock) -> bool {
+    s.by == INITIAL_STORE || s.when.get(s.by) <= clock.get(s.by)
+}
+
+/// Modification-order index of the newest store that happens-before the
+/// reader: everything older is invisible.
+fn hb_floor(loc: &Location, clock: &VClock) -> usize {
+    loc.stores
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, s)| store_hb(s, clock))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Model an atomic load. `seed` is the location's value before the first
+/// tracked store (read lazily from the mock's std backing).
+pub fn atomic_load(addr: usize, seed: u64, ord: Ordering) -> u64 {
+    let me = current_tid().expect("atomic_load outside a model execution");
+    boundary();
+    let mut g = lock();
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    ensure_loc(&mut g, addr, seed);
+    if ord == Ordering::SeqCst {
+        let sc = g.sc;
+        g.threads[me].clock.join(&sc);
+    }
+    let (lo, latest) = {
+        let clock = g.threads[me].clock;
+        let loc = &g.locs[&addr];
+        let floor = hb_floor(loc, &clock);
+        let seen = g.threads[me].last_seen.get(&addr).copied().unwrap_or(0);
+        (floor.max(seen), loc.stores.len() - 1)
+    };
+    // Newest-first so DFS choice 0 is the modification-order-latest store;
+    // stale alternatives only exist while the staleness budget lasts.
+    let options: Vec<usize> = if g.stale_budget > 0 {
+        (lo..=latest).rev().collect()
+    } else {
+        vec![latest]
+    };
+    let k = branch_choice(&mut g, options.len(), BranchKind::Load);
+    let idx = options[k];
+    if idx != latest {
+        g.stale_budget -= 1;
+    }
+    let (val, sync) = {
+        let s = &g.locs[&addr].stores[idx];
+        (s.val, s.sync)
+    };
+    let th = &mut g.threads[me];
+    th.fence_acq.join(&sync);
+    if is_acquire(ord) {
+        th.clock.join(&sync);
+    }
+    th.last_seen.insert(addr, idx);
+    if ord == Ordering::SeqCst {
+        let c = g.threads[me].clock;
+        g.sc.join(&c);
+    }
+    val
+}
+
+/// Model an atomic store.
+pub fn atomic_store(addr: usize, seed: u64, val: u64, ord: Ordering) {
+    let me = current_tid().expect("atomic_store outside a model execution");
+    boundary();
+    let mut g = lock();
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    ensure_loc(&mut g, addr, seed);
+    if ord == Ordering::SeqCst {
+        let sc = g.sc;
+        g.threads[me].clock.join(&sc);
+    }
+    g.threads[me].clock.inc(me);
+    let th = &g.threads[me];
+    let sync = if is_release(ord) { th.clock } else { th.fence_rel };
+    let when = th.clock;
+    let loc = g.locs.get_mut(&addr).unwrap();
+    loc.stores.push(StoreRec {
+        val,
+        sync,
+        when,
+        by: me,
+    });
+    let latest = loc.stores.len() - 1;
+    g.threads[me].last_seen.insert(addr, latest);
+    if ord == Ordering::SeqCst {
+        let c = g.threads[me].clock;
+        g.sc.join(&c);
+    }
+}
+
+/// Model a read-modify-write. `f` sees the modification-order-latest value
+/// (RMWs never read stale) and returns `Some(new)` to commit or `None` to
+/// fail (the compare_exchange miss case). Returns `(previous, committed)`.
+/// `failure` ordering applies to the read when `f` declines.
+pub fn atomic_rmw(
+    addr: usize,
+    seed: u64,
+    success: Ordering,
+    failure: Ordering,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> (u64, bool) {
+    let me = current_tid().expect("atomic_rmw outside a model execution");
+    boundary();
+    let mut g = lock();
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    ensure_loc(&mut g, addr, seed);
+    if success == Ordering::SeqCst || failure == Ordering::SeqCst {
+        let sc = g.sc;
+        g.threads[me].clock.join(&sc);
+    }
+    let latest = g.locs[&addr].stores.len() - 1;
+    let (prev, prev_sync) = {
+        let s = &g.locs[&addr].stores[latest];
+        (s.val, s.sync)
+    };
+    match f(prev) {
+        Some(new) => {
+            {
+                let th = &mut g.threads[me];
+                th.fence_acq.join(&prev_sync);
+                if is_acquire(success) {
+                    th.clock.join(&prev_sync);
+                }
+                th.clock.inc(me);
+            }
+            let th = &g.threads[me];
+            // Release-sequence continuation: the RMW's store carries the
+            // overwritten store's sync clock forward even when the RMW
+            // itself is not a release.
+            let mut sync = if is_release(success) {
+                th.clock
+            } else {
+                th.fence_rel
+            };
+            sync.join(&prev_sync);
+            let when = th.clock;
+            let loc = g.locs.get_mut(&addr).unwrap();
+            loc.stores.push(StoreRec {
+                val: new,
+                sync,
+                when,
+                by: me,
+            });
+            let newest = loc.stores.len() - 1;
+            g.threads[me].last_seen.insert(addr, newest);
+            if success == Ordering::SeqCst {
+                let c = g.threads[me].clock;
+                g.sc.join(&c);
+            }
+            (prev, true)
+        }
+        None => {
+            let th = &mut g.threads[me];
+            th.fence_acq.join(&prev_sync);
+            if is_acquire(failure) {
+                th.clock.join(&prev_sync);
+            }
+            th.last_seen.insert(addr, latest);
+            if failure == Ordering::SeqCst {
+                let c = g.threads[me].clock;
+                g.sc.join(&c);
+            }
+            (prev, false)
+        }
+    }
+}
+
+/// Model `std::sync::atomic::fence`.
+pub fn fence(ord: Ordering) {
+    let me = match current_tid() {
+        Some(t) => t,
+        None => {
+            std::sync::atomic::fence(ord);
+            return;
+        }
+    };
+    boundary();
+    let mut g = lock();
+    if !g.active {
+        return;
+    }
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    if is_acquire(ord) {
+        let pending = g.threads[me].fence_acq;
+        g.threads[me].clock.join(&pending);
+    }
+    if ord == Ordering::SeqCst {
+        let sc = g.sc;
+        g.threads[me].clock.join(&sc);
+    }
+    if is_release(ord) {
+        g.threads[me].fence_rel = g.threads[me].clock;
+    }
+    if ord == Ordering::SeqCst {
+        let c = g.threads[me].clock;
+        g.sc.join(&c);
+    }
+}
+
+/// A pure scheduling point with no memory effect.
+pub fn yield_now() {
+    if current_tid().is_some() {
+        boundary();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Register a child model thread (inheriting the parent's clock for the
+/// spawn happens-before edge) and return its tid. The OS thread is created
+/// by the caller; until it first parks it simply hasn't reached a boundary.
+pub fn register_thread() -> usize {
+    let me = current_tid().expect("spawn outside a model execution");
+    let mut g = lock();
+    let tid = g.threads.len();
+    if tid >= MAX_THREADS {
+        fail(
+            &mut g,
+            format!("model spawned more than {MAX_THREADS} threads (MAX_THREADS)"),
+        );
+        drop(g);
+        abort_unwind();
+    }
+    g.threads[me].clock.inc(me);
+    let clock = g.threads[me].clock;
+    g.threads.push(ThreadState::new(clock));
+    tid
+}
+
+pub fn store_os_handle(h: std::thread::JoinHandle<()>) {
+    lock().os_handles.push(h);
+}
+
+/// Spawn is itself a schedule point, so the child can run immediately.
+pub fn post_spawn_boundary() {
+    boundary();
+}
+
+/// Body run on each child OS thread. Parks until first granted the token,
+/// runs `f`, then hands the token on. All panics are contained here.
+pub fn child_main(tid: usize, f: impl FnOnce()) {
+    CUR.with(|c| c.set(Some(tid)));
+    {
+        let mut g = lock();
+        while g.current != tid && !g.aborting {
+            g = rt().cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            // Execution died before we ever ran; just bow out.
+            g.threads[tid].status = Status::Finished;
+            return;
+        }
+    }
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    match r {
+        Ok(()) => thread_finished(tid),
+        Err(p) => {
+            if p.downcast_ref::<Abort>().is_some() {
+                let mut g = lock();
+                g.threads[tid].status = Status::Finished;
+            } else {
+                let mut g = lock();
+                g.threads[tid].status = Status::Finished;
+                fail(&mut g, describe_panic(p.as_ref()));
+            }
+        }
+    }
+    CUR.with(|c| c.set(None));
+}
+
+/// Normal completion of a child thread: wake joiners and pass the token.
+fn thread_finished(tid: usize) {
+    let mut g = lock();
+    g.threads[tid].status = Status::Finished;
+    let joiners = std::mem::take(&mut g.threads[tid].joiners);
+    for j in joiners {
+        g.threads[j].status = Status::Runnable;
+    }
+    if g.aborting {
+        rt().cv.notify_all();
+        return;
+    }
+    let runnable = runnable_ids(&g);
+    if runnable.is_empty() {
+        if g.threads.iter().any(|t| t.status == Status::Blocked) {
+            fail(
+                &mut g,
+                "deadlock: every live thread is blocked in join".to_string(),
+            );
+        }
+        return;
+    }
+    let next = runnable[branch_choice(&mut g, runnable.len(), BranchKind::Schedule)];
+    g.current = next;
+    rt().cv.notify_all();
+}
+
+/// Block until `target` finishes, then absorb its clock (join edge).
+pub fn join_wait(target: usize) {
+    let me = current_tid().expect("join outside a model execution");
+    let mut g = lock();
+    if g.aborting {
+        drop(g);
+        abort_unwind();
+    }
+    if g.threads[target].status != Status::Finished {
+        g.threads[target].joiners.push(me);
+        g.threads[me].status = Status::Blocked;
+        let runnable = runnable_ids(&g);
+        if runnable.is_empty() {
+            fail(
+                &mut g,
+                "deadlock: join with no runnable thread to finish the target".to_string(),
+            );
+            drop(g);
+            abort_unwind();
+        }
+        let next = runnable[branch_choice(&mut g, runnable.len(), BranchKind::Schedule)];
+        g.current = next;
+        rt().cv.notify_all();
+        while g.current != me && !g.aborting {
+            g = rt().cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            drop(g);
+            abort_unwind();
+        }
+    }
+    let tclock = g.threads[target].clock;
+    g.threads[me].clock.join(&tclock);
+}
+
+/// Outcome of a full bounded exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every explored execution upheld the model's assertions.
+    Pass { iterations: u64 },
+    /// Some execution failed; exploration stopped at the first failure.
+    Fail { iterations: u64, message: String },
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    pub preemption_bound: Option<usize>,
+    pub staleness_bound: u32,
+    pub max_ops: usize,
+    pub max_iterations: u64,
+    pub max_duration: Duration,
+}
+
+/// Explore every bounded execution of `f`. Serialized globally; the calling
+/// thread participates as model thread 0.
+pub fn run(cfg: Config, f: &dyn Fn()) -> Outcome {
+    let _serial = model_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let start = Instant::now();
+    {
+        let mut g = lock();
+        *g = Exec::empty();
+        g.preemption_bound = cfg.preemption_bound;
+        g.staleness_bound = cfg.staleness_bound;
+        g.max_ops = cfg.max_ops;
+    }
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        lock().begin_execution();
+        CUR.with(|c| c.set(Some(0)));
+        let r = panic::catch_unwind(AssertUnwindSafe(f));
+        CUR.with(|c| c.set(None));
+        match r {
+            Ok(()) => {
+                let mut g = lock();
+                if !g.aborting
+                    && g.threads[1..]
+                        .iter()
+                        .any(|t| t.status != Status::Finished)
+                {
+                    fail(
+                        &mut g,
+                        "model closure returned while spawned threads were still \
+                         live; every loom_shim::thread::spawn must be joined"
+                            .to_string(),
+                    );
+                }
+            }
+            Err(p) => {
+                if p.downcast_ref::<Abort>().is_none() {
+                    let mut g = lock();
+                    fail(&mut g, describe_panic(p.as_ref()));
+                }
+            }
+        }
+        // Teardown barrier: wake stragglers, then join every OS thread so
+        // the next execution starts from a quiescent runtime.
+        let handles = {
+            let mut g = lock();
+            if g.failure.is_some() {
+                g.aborting = true;
+            }
+            rt().cv.notify_all();
+            std::mem::take(&mut g.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut g = lock();
+        if let Some(msg) = g.failure.take() {
+            g.active = false;
+            return Outcome::Fail {
+                iterations,
+                message: msg,
+            };
+        }
+        if !g.next_path() {
+            g.active = false;
+            return Outcome::Pass { iterations };
+        }
+        drop(g);
+        if iterations >= cfg.max_iterations {
+            panic!(
+                "loom-shim: exploration exceeded {} executions without finishing; \
+                 shrink the model or raise Builder::max_iterations",
+                cfg.max_iterations
+            );
+        }
+        if start.elapsed() > cfg.max_duration {
+            panic!(
+                "loom-shim: exploration exceeded {:?} without finishing ({} executions); \
+                 shrink the model or raise Builder::max_duration",
+                cfg.max_duration, iterations
+            );
+        }
+    }
+}

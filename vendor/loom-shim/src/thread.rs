@@ -1,0 +1,66 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Spawn creates a real OS thread that registers with the runtime and parks
+//! until the scheduler first grants it the token; join blocks in the
+//! scheduler (not the OS) so blocking is itself a schedule point. The OS
+//! thread is joined by the runtime at execution teardown.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in the model scheduler) for the thread to finish and take its
+    /// result. Unlike std this returns `T`, not `Result<T, _>`: a panicking
+    /// model thread fails the whole execution before join can observe it.
+    pub fn join(self) -> T {
+        rt::join_wait(self.tid);
+        let slot = self
+            .result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match slot {
+            Some(v) => v,
+            // Unreachable outside runtime bugs: join_wait only returns once
+            // the child stored its result and marked itself finished.
+            None => panic!("loom-shim: joined thread finished without a result"),
+        }
+    }
+}
+
+/// Spawn a model thread. Must be called from inside `model()`; the spawn is
+/// a schedule point, so the child may run immediately or at any later
+/// boundary.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = rt::register_thread();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-shim-{tid}"))
+        .spawn(move || {
+            rt::child_main(tid, move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            });
+        })
+        .expect("loom-shim: OS thread spawn failed");
+    rt::store_os_handle(os);
+    rt::post_spawn_boundary();
+    JoinHandle { tid, result }
+}
+
+/// A pure schedule point (no memory effect). Outside a model this is
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    rt::yield_now();
+}

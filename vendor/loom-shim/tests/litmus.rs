@@ -1,0 +1,263 @@
+//! Litmus tests for the checker itself: classic weak-memory shapes where
+//! the correct ordering must verify and the broken one must produce a
+//! counterexample. If any of these flip, the model suites in the workspace
+//! prove nothing — this file is the checker's own mutation witness.
+
+use std::sync::Arc;
+
+use loom_shim::sync::atomic::{fence, AtomicU64, Ordering};
+use loom_shim::{model, model_fails, Builder};
+
+/// Message passing with Relaxed only: the reader may see the flag without
+/// the data. The checker must find that execution.
+#[test]
+fn mp_relaxed_fails() {
+    assert!(model_fails(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom_shim::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "torn message passing");
+        }
+        t.join();
+    }));
+}
+
+/// Same shape with Release/Acquire: must verify.
+#[test]
+fn mp_release_acquire_passes() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom_shim::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+}
+
+/// Same shape synchronized through fences instead of op orderings — this is
+/// the exact protocol the fixed flight-recorder seqlock relies on.
+#[test]
+fn mp_fences_pass() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = loom_shim::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+}
+
+/// Non-atomic increment (load; store) races: increments can be lost.
+#[test]
+fn lost_update_fails() {
+    assert!(model_fails(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom_shim::thread::spawn(move || {
+            let v = n2.load(Ordering::Relaxed);
+            n2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = n.load(Ordering::Relaxed);
+        n.store(v + 1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+    }));
+}
+
+/// fetch_add never loses increments, even Relaxed.
+#[test]
+fn fetch_add_passes() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom_shim::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Store buffering: with SeqCst both threads cannot read 0.
+#[test]
+fn store_buffering_seqcst_passes() {
+    model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom_shim::thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r1 = x.load(Ordering::SeqCst);
+        let r2 = t.join();
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "store buffering observed under SeqCst"
+        );
+    });
+}
+
+/// CAS success is unique: two threads CASing 0->1 cannot both win.
+#[test]
+fn cas_unique_winner() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom_shim::thread::spawn(move || {
+            n2.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        });
+        let me = n
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        let them = t.join();
+        assert!(me != them, "CAS must have exactly one winner");
+    });
+}
+
+/// Release sequence through an RMW: W(data); W_rel(flag=1); other thread
+/// RMWs flag (Relaxed); reader acquiring the RMW's store still sees data.
+#[test]
+fn release_sequence_through_rmw() {
+    model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = loom_shim::thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        let m = loom_shim::thread::spawn(move || {
+            // Relaxed RMW in the middle of the release sequence.
+            f3.fetch_add(1, Ordering::Relaxed);
+            let _ = d3;
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            assert_eq!(data.load(Ordering::Relaxed), 7);
+        }
+        w.join();
+        m.join();
+    });
+}
+
+/// With preemption bound 0 and no stale reads, only the sequential schedule
+/// runs: a racy assert that needs a preemption cannot fire.
+#[test]
+fn bound_zero_is_sequential() {
+    let b = Builder {
+        preemption_bound: Some(0),
+        staleness_bound: 0,
+        ..Builder::default()
+    };
+    b.check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        // Spawn parks the child; with no preemption allowed the parent runs
+        // to its join, so the child sees the parent's store.
+        let parent_store = Arc::clone(&n);
+        parent_store.store(1, Ordering::Relaxed);
+        let t = loom_shim::thread::spawn(move || n2.load(Ordering::Relaxed));
+        assert_eq!(t.join(), 1);
+    });
+}
+
+/// Exploration is deterministic: same model, same execution count.
+#[test]
+fn deterministic_iteration_count() {
+    let count = |_: ()| {
+        let b = Builder::default();
+        match b.check_outcome(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = loom_shim::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Release);
+            });
+            n.fetch_add(1, Ordering::Release);
+            t.join();
+            assert_eq!(n.load(Ordering::Acquire), 2);
+        }) {
+            loom_shim::Outcome::Pass { iterations } => iterations,
+            loom_shim::Outcome::Fail { .. } => panic!("model unexpectedly failed"),
+        }
+    };
+    assert_eq!(count(()), count(()));
+}
+
+/// A seqlock-shaped torn read: writer bumps seq around field writes but
+/// with orderings too weak — reader can admit a torn snapshot. This is the
+/// pre-fix flight-recorder shape; the checker must catch it.
+#[test]
+fn weak_seqlock_torn_read_found() {
+    assert!(model_fails(|| {
+        let seq = Arc::new(AtomicU64::new(0));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (s2, a2, b2) = (Arc::clone(&seq), Arc::clone(&a), Arc::clone(&b));
+        let t = loom_shim::thread::spawn(move || {
+            // Broken writer: Release on seq does not order the *later*
+            // relaxed field stores; they can drift past the closing store.
+            s2.store(1, Ordering::Release);
+            a2.store(1, Ordering::Relaxed);
+            b2.store(1, Ordering::Relaxed);
+            s2.store(2, Ordering::Release);
+        });
+        let s1 = seq.load(Ordering::Acquire);
+        let ra = a.load(Ordering::Relaxed);
+        let rb = b.load(Ordering::Relaxed);
+        let s2v = seq.load(Ordering::Acquire);
+        if s1 == s2v && s1 % 2 == 0 {
+            assert_eq!(ra, rb, "accepted torn seqlock read");
+        }
+        t.join();
+    }));
+}
+
+/// The correct (Boehm) seqlock protocol verifies under the same reader.
+#[test]
+fn correct_seqlock_passes() {
+    model(|| {
+        let seq = Arc::new(AtomicU64::new(0));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (s2, a2, b2) = (Arc::clone(&seq), Arc::clone(&a), Arc::clone(&b));
+        let t = loom_shim::thread::spawn(move || {
+            s2.store(1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            a2.store(1, Ordering::Relaxed);
+            b2.store(1, Ordering::Relaxed);
+            s2.store(2, Ordering::Release);
+        });
+        let s1 = seq.load(Ordering::Acquire);
+        let ra = a.load(Ordering::Relaxed);
+        let rb = b.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let s2v = seq.load(Ordering::Relaxed);
+        if s1 == s2v && s1 % 2 == 0 {
+            assert_eq!(ra, rb);
+        }
+        t.join();
+    });
+}
