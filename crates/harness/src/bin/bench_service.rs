@@ -68,6 +68,50 @@ use workload::{
 /// stressor, and the replicated read-fan-out topology.
 const DEFAULT_SCENARIOS: [&str; 4] = ["ycsb-b", "scan-heavy", "service-mixed", "read-replica"];
 
+/// Span-tracer registry names for the per-phase time sums, in the Row
+/// `attr_*` column order (ready, decode, shard, kcas, commit, resp, flush).
+/// `deliver` is deliberately absent: SUBSCRIBE batches are their own
+/// sampler ops, not part of any client request's latency.
+const TRACE_SUM_METRICS: [&str; 7] = [
+    "trace_ready_ns_sum",
+    "trace_decode_ns_sum",
+    "trace_shard_ns_sum",
+    "trace_kcas_ns_sum",
+    "trace_commit_ns_sum",
+    "trace_resp_ns_sum",
+    "trace_flush_ns_sum",
+];
+
+/// One reading of the tracer: sampled-op count plus the seven phase sums.
+type TraceSnap = (u64, [u64; 7]);
+
+/// Mean sampled nanoseconds per sampled op (0.0 when nothing was sampled,
+/// e.g. tracing disabled via `PATHCAS_TRACE_SAMPLE=0`).
+fn attr(sum_ns: u64, sampled: u64) -> f64 {
+    if sampled == 0 {
+        0.0
+    } else {
+        sum_ns as f64 / sampled as f64
+    }
+}
+
+/// Current tracer totals (0s before the server first registers them).
+fn trace_snapshot() -> TraceSnap {
+    (harness::counter("trace_sampled_total"), TRACE_SUM_METRICS.map(harness::counter))
+}
+
+/// Tracer movement since `t0`.  Taken around the measured run only — the
+/// quiescent audits also cross the wire and would otherwise pollute the
+/// attribution with their giant scans.
+fn trace_delta(t0: &TraceSnap) -> TraceSnap {
+    let t1 = trace_snapshot();
+    let mut sums = [0u64; 7];
+    for (i, s) in sums.iter_mut().enumerate() {
+        *s = t1.1[i].saturating_sub(t0.1[i]);
+    }
+    (t1.0.saturating_sub(t0.0), sums)
+}
+
 /// Run an audit closure; if it panics, dump the slow-op flight recorder to
 /// stderr first — the last slow ops before the inconsistency are exactly
 /// the postmortem context a failed audit wants — then re-panic.
@@ -88,7 +132,7 @@ fn run_service_trial(
     params: &RunParams,
     depth: usize,
     backend: Backend,
-) -> (workload::Outcome, f64) {
+) -> (workload::Outcome, f64, TraceSnap) {
     let map = harness::try_make(algo).expect("algo name was validated at startup");
     let map: Arc<dyn ConcurrentMap> = Arc::from(map);
     let server = Server::start_with(
@@ -99,11 +143,13 @@ fn run_service_trial(
     .expect("binding a loopback port");
     let svc = ServiceMap::connect(server.local_addr(), params.threads, algo)
         .expect("connecting the loopback pool");
+    let t0 = trace_snapshot();
     let out = if depth == 0 {
         run_scenario(&svc, sc, params)
     } else {
         run_scenario_batched(&svc, &svc, sc, params, depth)
     };
+    let trace = trace_delta(&t0);
     if sc.mix.scan > 0 {
         // Quiescent wire audit: chunked SCAN walk vs the STATS verb.
         audit_with_flight_dump(|| {
@@ -113,7 +159,7 @@ fn run_service_trial(
     drop(svc);
     server.shutdown();
     let imbalance = harness::shard_imbalance(&map.shard_loads());
-    (out, imbalance)
+    (out, imbalance, trace)
 }
 
 /// One `read-replica` trial: a replicated primary behind its own server, a
@@ -126,7 +172,7 @@ fn run_replica_trial(
     params: &RunParams,
     n_followers: usize,
     backend: Backend,
-) -> (workload::Outcome, LatencyHistogram, f64) {
+) -> (workload::Outcome, LatencyHistogram, f64, TraceSnap) {
     // The primary, prefilled in-process so the checkpoint cut already
     // carries the working set (the scenario's own prefill then sees the
     // target met and does nothing).
@@ -193,7 +239,9 @@ fn run_replica_trial(
         })
     };
 
+    let t0 = trace_snapshot();
     let out = run_scenario(&set, sc, params);
+    let trace = trace_delta(&t0);
     stop.store(true, Ordering::Release);
     let staleness = sampler.join().expect("joining the staleness sampler");
 
@@ -232,7 +280,7 @@ fn run_replica_trial(
     }
     srv.shutdown();
     let imbalance = harness::shard_imbalance(&rep.shard_loads());
-    (out, staleness, imbalance)
+    (out, staleness, imbalance, trace)
 }
 
 fn main() {
@@ -326,6 +374,8 @@ fn main() {
                     let mut total_ops = 0u64;
                     let mut mops_sum = 0.0f64;
                     let mut imbalance_sum = 0.0f64;
+                    let mut trace_sampled = 0u64;
+                    let mut trace_sums = [0u64; 7];
                     // Telemetry counters are process-global, so per-row
                     // numbers are deltas around the row's trial loop.
                     let reads0 = harness::counter("reactor_read_syscalls_total");
@@ -342,15 +392,23 @@ fn main() {
                             seed: cfg.seed ^ ((trial as u64) << 40),
                         };
                         let out = if replicated {
-                            let (out, stale, imbalance) =
+                            let (out, stale, imbalance, trace) =
                                 run_replica_trial(&algo, sc, &params, n_followers, backend);
                             stale_hist.merge(&stale);
                             imbalance_sum += imbalance;
+                            trace_sampled += trace.0;
+                            for (acc, d) in trace_sums.iter_mut().zip(trace.1) {
+                                *acc += d;
+                            }
                             out
                         } else {
-                            let (out, imbalance) =
+                            let (out, imbalance, trace) =
                                 run_service_trial(&algo, sc, &params, *depth, backend);
                             imbalance_sum += imbalance;
+                            trace_sampled += trace.0;
+                            for (acc, d) in trace_sums.iter_mut().zip(trace.1) {
+                                *acc += d;
+                            }
                             out
                         };
                         hist.merge(&out.hist);
@@ -404,6 +462,17 @@ fn main() {
                         reactor_wakeups: harness::counter("reactor_wakeups_total") - wakeups0,
                         kcas_retries: harness::counter("kcas_retries_total") - retries0,
                         shard_imbalance: imbalance_sum / cfg.trials.max(1) as f64,
+                        // Per-sampled-op means: each phase's total sampled
+                        // nanoseconds over the sampled-op count.  Bursty
+                        // phases (flush per batch, ready per wakeup) come
+                        // out amortized, which is exactly the per-op share.
+                        attr_ready_ns: attr(trace_sums[0], trace_sampled),
+                        attr_decode_ns: attr(trace_sums[1], trace_sampled),
+                        attr_shard_ns: attr(trace_sums[2], trace_sampled),
+                        attr_kcas_ns: attr(trace_sums[3], trace_sampled),
+                        attr_commit_ns: attr(trace_sums[4], trace_sampled),
+                        attr_resp_ns: attr(trace_sums[5], trace_sampled),
+                        attr_flush_ns: attr(trace_sums[6], trace_sampled),
                     });
                 }
             }

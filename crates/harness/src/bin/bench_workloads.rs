@@ -160,6 +160,15 @@ fn main() {
                     reactor_wakeups: 0,
                     kcas_retries: harness::counter("kcas_retries_total") - retries0,
                     shard_imbalance: imbalance_sum / cfg.trials.max(1) as f64,
+                    // Wire-path phase attribution is service-mode only:
+                    // in-process ops never touch the tracer.
+                    attr_ready_ns: 0.0,
+                    attr_decode_ns: 0.0,
+                    attr_shard_ns: 0.0,
+                    attr_kcas_ns: 0.0,
+                    attr_commit_ns: 0.0,
+                    attr_resp_ns: 0.0,
+                    attr_flush_ns: 0.0,
                 });
             }
         }

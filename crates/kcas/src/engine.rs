@@ -64,7 +64,7 @@ pub(crate) fn read_raw(word: &CasWord) -> u64 {
 /// shared word — pooled or boxed, according to the tag.
 pub(crate) fn help_by_word(raw: u64, guard: &Guard) {
     debug_assert!(is_any_kcas_desc(raw));
-    crate::metrics::metrics().help_events.inc();
+    crate::metrics::help();
     if is_kcas_boxed(raw) {
         // SAFETY: the boxed descriptor was observed in a shared word while
         // `guard` was pinned, so it is protected from reclamation until we
@@ -135,7 +135,7 @@ pub(crate) fn help_pooled(
                         break;
                     }
                     // Locked by a different operation: help it, then retry.
-                    crate::metrics::metrics().retries.inc();
+                    crate::metrics::retry();
                     help_by_word(seen, guard);
                     continue;
                 }
@@ -306,7 +306,7 @@ pub(crate) fn help_boxed(desc: &Descriptor, self_word: u64, guard: &Guard) -> bo
                     if seen == self_word {
                         break;
                     }
-                    crate::metrics::metrics().retries.inc();
+                    crate::metrics::retry();
                     help_by_word(seen, guard);
                     continue;
                 }

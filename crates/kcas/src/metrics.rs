@@ -99,3 +99,33 @@ pub fn metrics() -> &'static KcasMetrics {
 pub fn metrics() -> &'static KcasMetrics {
     &METRICS
 }
+
+/// Record one phase-1 lock-acquisition retry: bumps the global counter
+/// *and* notes the event on the calling thread's active trace (if the op
+/// was sampled), so span expositions attribute contention to the op that
+/// paid for it.
+#[cfg(not(pathcas_loom))]
+#[inline]
+pub fn retry() {
+    metrics().retries.inc();
+    telemetry::trace::note_retry();
+}
+
+/// Record one helping event; trace-noted like [`retry`].
+#[cfg(not(pathcas_loom))]
+#[inline]
+pub fn help() {
+    metrics().help_events.inc();
+    telemetry::trace::note_help();
+}
+
+/// No-op under the model checker (see [`Counter`]): trace notes are
+/// thread-local bookkeeping, irrelevant to the protocol under test.
+#[cfg(pathcas_loom)]
+#[inline]
+pub fn retry() {}
+
+/// No-op under the model checker (see [`Counter`]).
+#[cfg(pathcas_loom)]
+#[inline]
+pub fn help() {}

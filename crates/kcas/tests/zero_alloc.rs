@@ -56,9 +56,76 @@ fn allocations() -> u64 {
 /// window — the counter is process-global.
 #[test]
 fn descriptor_reuse_allocation_contract() {
+    // Let libtest's main thread finish parking in its result-channel
+    // `recv`: that first blocking receive lazily allocates the thread's
+    // park context (observed as a sporadic 2-allocation blip), and the
+    // measured windows below must only ever see *this* thread's work.
+    std::thread::sleep(std::time::Duration::from_millis(100));
     success_path_kcas_performs_zero_heap_allocations();
+    traced_success_path_is_also_allocation_free();
     failure_path_is_also_allocation_free();
     alloc_baseline_does_allocate();
+}
+
+/// The span tracer wrapped around KCAS — sample, set the thread's current
+/// trace, hold a `kcas` span guard across the operation — adds **zero**
+/// allocations to the success path, while the sampler counter and span
+/// rings demonstrably advance.  This is the server's per-op hot path in
+/// miniature (`srv::execute` does exactly this dance).
+fn traced_success_path_is_also_allocation_free() {
+    telemetry::trace::register_metrics();
+    let words: Vec<CasWord> = (0..4).map(|_| CasWord::new(0)).collect();
+
+    // Warm up: thread pools, epoch record, the tracer's epoch clock and
+    // this thread's span ring stripe.
+    for i in 0..16u64 {
+        let guard = crossbeam_epoch::pin();
+        telemetry::trace::set_current(telemetry::trace::should_sample());
+        let span = telemetry::trace::begin(telemetry::trace::PHASE_KCAS);
+        let args: Vec<KcasArg> =
+            words.iter().map(|w| KcasArg { addr: w, old: i, new: i + 1 }).collect();
+        assert!(kcas::kcas(&args, &guard));
+        drop(span);
+        telemetry::trace::set_current(None);
+    }
+
+    telemetry::trace::set_sample_every(1);
+    let base = words[0].load_quiescent();
+    let sampled_before = telemetry::value("trace_sampled_total").expect("tracer registered");
+    let spans_before = telemetry::value("trace_spans_recorded_total").unwrap();
+    let before = allocations();
+    for i in 0..1_000u64 {
+        let guard = crossbeam_epoch::pin();
+        telemetry::trace::set_current(telemetry::trace::should_sample());
+        let span = telemetry::trace::begin(telemetry::trace::PHASE_KCAS);
+        let args = [
+            KcasArg { addr: &words[0], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[1], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[2], old: base + i, new: base + i + 1 },
+            KcasArg { addr: &words[3], old: base + i, new: base + i + 1 },
+        ];
+        assert!(kcas::kcas(&args, &guard));
+        drop(span);
+        telemetry::trace::set_current(None);
+    }
+    let after = allocations();
+    telemetry::trace::set_sample_every(telemetry::trace::DEFAULT_SAMPLE_EVERY);
+    assert_eq!(
+        after - before,
+        0,
+        "the traced KCAS success path must not allocate (got {} allocations over 1000 ops)",
+        after - before
+    );
+    assert_eq!(
+        telemetry::value("trace_sampled_total").unwrap() - sampled_before,
+        1_000,
+        "every op was 1-in-1 sampled"
+    );
+    assert_eq!(
+        telemetry::value("trace_spans_recorded_total").unwrap() - spans_before,
+        1_000,
+        "every sampled op recorded its kcas span"
+    );
 }
 
 fn success_path_kcas_performs_zero_heap_allocations() {

@@ -90,6 +90,30 @@ impl ReplicatedMap {
         &self.stripes[(shard::fnv1a(key) % STRIPES as u64) as usize]
     }
 
+    /// Append one committed mutation to the change log, recording the
+    /// append as a `commit` span when the calling thread carries a sampled
+    /// trace (the server sets one per sampled wire op).  Explicit
+    /// timestamps, not a guard: the caller holds a stripe lock here, and
+    /// span guards must never sit across lock-shaped calls.
+    fn append_committed(&self, ev: Event) {
+        match telemetry::trace::current() {
+            None => {
+                self.log.append(ev);
+            }
+            Some(t) => {
+                let start = telemetry::trace::now_ns();
+                self.log.append(ev);
+                telemetry::trace::record_span(
+                    t,
+                    telemetry::trace::PHASE_COMMIT,
+                    start,
+                    telemetry::trace::now_ns().saturating_sub(start),
+                    0,
+                );
+            }
+        }
+    }
+
     /// Take an exact checkpoint: every stripe locked (so no mutation is
     /// between apply and append), the log's seqno recorded, then one
     /// validated chunked scan per shard.  The result contains precisely the
@@ -134,7 +158,7 @@ impl ConcurrentMap for ReplicatedMap {
         let _g = self.stripe(key).lock().unwrap();
         let inserted = self.backing.map().insert(key, value);
         if inserted {
-            self.log.append(Event::Put(key, value));
+            self.append_committed(Event::Put(key, value));
         }
         inserted
     }
@@ -143,7 +167,7 @@ impl ConcurrentMap for ReplicatedMap {
         let _g = self.stripe(key).lock().unwrap();
         let removed = self.backing.map().remove(key);
         if removed {
-            self.log.append(Event::Del(key));
+            self.append_committed(Event::Del(key));
         }
         removed
     }
@@ -166,7 +190,7 @@ impl ConcurrentMap for ReplicatedMap {
             .map()
             .get(key)
             .expect("rmw must leave the key present");
-        self.log.append(Event::Set(key, committed));
+        self.append_committed(Event::Set(key, committed));
         was_present
     }
 

@@ -84,6 +84,21 @@ impl Connection {
         }
     }
 
+    /// Pull the server's span-trace exposition (the `TRACE` verb at
+    /// [`crate::proto::TRACE_VERSION`]): a `# pathcas-trace` header line
+    /// followed by one `span ...` line per sampled span — see
+    /// `server::metrics::render_trace` for the layout.
+    pub fn trace(&mut self) -> io::Result<String> {
+        match self.request(&Request::Trace(proto::TRACE_VERSION))? {
+            Response::Trace(text) => Ok(text),
+            Response::Err(msg) => Err(io::Error::other(msg)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("TRACE answered with {other:?}"),
+            )),
+        }
+    }
+
     /// Switch this connection into change-stream mode, resuming after
     /// seqno `after`.  From here on only [`Connection::next_events`] makes
     /// sense; the server answers nothing else on this connection.
@@ -185,8 +200,8 @@ fn succeeded(resp: &Response) -> bool {
         Response::Scan(pairs) => !pairs.is_empty(),
         Response::Stats(_) => true,
         // Never answer workload ops: EVENTS only reaches subscribed
-        // connections, METRICS only explicit telemetry pulls.
-        Response::Events(_) | Response::Metrics(_) => false,
+        // connections, METRICS/TRACE only explicit telemetry pulls.
+        Response::Events(_) | Response::Metrics(_) | Response::Trace(_) => false,
         Response::Err(_) => false,
     }
 }

@@ -40,6 +40,6 @@ mod srv;
 pub use client::{Connection, ServiceMap, WireTail};
 pub use proto::{
     FrameDecoder, Request, Response, MAX_EVENTS_PER_FRAME, MAX_FRAME, MAX_SCAN_LEN,
-    METRICS_VERSION,
+    METRICS_VERSION, TRACE_VERSION,
 };
 pub use srv::{Backend, Server, ServerOpts};

@@ -21,7 +21,7 @@ use std::time::Duration;
 use mapapi::ConcurrentMap;
 use telemetry::{Counter, FlightRecorder, Handle, Histogram};
 
-use crate::proto::METRICS_VERSION;
+use crate::proto::{METRICS_VERSION, TRACE_VERSION};
 use crate::srv::Backend;
 
 /// Slow-op records kept by the flight recorder (a power of two; older
@@ -51,6 +51,8 @@ pub(crate) struct ServerMetrics {
     /// `METRICS` executed.  The exposition a call returns is rendered
     /// *before* its own counter bump, so the first call reports 0 here.
     pub ops_metrics: Counter,
+    /// `TRACE` executed.  Same render-before-bump contract as `METRICS`.
+    pub ops_trace: Counter,
     /// Ops whose wall time crossed the slow-op threshold (each also lands
     /// in the flight recorder).
     pub slow_ops: Counter,
@@ -89,6 +91,7 @@ static METRICS: ServerMetrics = ServerMetrics {
     ops_scan: Counter::new(),
     ops_stats: Counter::new(),
     ops_metrics: Counter::new(),
+    ops_trace: Counter::new(),
     slow_ops: Counter::new(),
     conns_accepted: Counter::new(),
     op_ns: Histogram::new(),
@@ -122,6 +125,7 @@ pub(crate) fn metrics() -> &'static ServerMetrics {
         telemetry::register("srv_ops_scan_total", Handle::Counter(&METRICS.ops_scan));
         telemetry::register("srv_ops_stats_total", Handle::Counter(&METRICS.ops_stats));
         telemetry::register("srv_ops_metrics_total", Handle::Counter(&METRICS.ops_metrics));
+        telemetry::register("srv_ops_trace_total", Handle::Counter(&METRICS.ops_trace));
         telemetry::register("srv_slow_ops_total", Handle::Counter(&METRICS.slow_ops));
         telemetry::register("srv_conns_accepted_total", Handle::Counter(&METRICS.conns_accepted));
         telemetry::register("srv_op_ns", Handle::Histogram(&METRICS.op_ns));
@@ -156,6 +160,16 @@ pub(crate) fn metrics() -> &'static ServerMetrics {
         // not yet executed a single KCAS or replication op).
         let _ = kcas::metrics::metrics();
         let _ = replica::metrics::metrics();
+        // The span tracer's instruments (per-phase histograms + sampler
+        // tallies), plus its sampling-period knob: `PATHCAS_TRACE_SAMPLE`
+        // overrides the default 1-in-64 (0 disables tracing).
+        telemetry::trace::register_metrics();
+        if let Some(n) = std::env::var("PATHCAS_TRACE_SAMPLE")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            telemetry::trace::set_sample_every(n);
+        }
     });
     &METRICS
 }
@@ -187,6 +201,7 @@ pub(crate) fn op_tag(req: &crate::proto::Request) -> (u64, u64) {
         Request::Stats => (6, 0),
         Request::Subscribe(_) => (7, 0),
         Request::Metrics(_) => (8, 0),
+        Request::Trace(_) => (9, 0),
     }
 }
 
@@ -201,6 +216,7 @@ fn op_name(op: u64) -> &'static str {
         6 => "STATS",
         7 => "SUBSCRIBE",
         8 => "METRICS",
+        9 => "TRACE",
         _ => "?",
     }
 }
@@ -242,14 +258,47 @@ pub(crate) fn record_op(
         5 => m.ops_scan.inc(),
         6 => m.ops_stats.inc(),
         8 => m.ops_metrics.inc(),
+        9 => m.ops_trace.inc(),
         _ => {}
     }
     // ORDERING: Relaxed — the threshold is a tuning knob (see
     // `slow_op_threshold_ns`); a racing update may misclassify one op.
     if ns >= SLOW_NS.load(Ordering::Relaxed) {
         m.slow_ops.inc();
-        FLIGHT.record(op, key, ns, map.shard_of(key) as u64, backend_code(backend));
+        // A trace-sampled slow op carries its phase breakdown, packed; an
+        // unsampled one records phases=0 — the dump prints `-` for those.
+        let phases = if telemetry::trace::current().is_some() {
+            pack_phases(&telemetry::trace::phase_scratch_ns())
+        } else {
+            0
+        };
+        FLIGHT.record(op, key, ns, map.shard_of(key) as u64, backend_code(backend), phases);
     }
+}
+
+/// Granularity of a packed phase lane: durations are stored in units of
+/// 64 ns, saturating at `0xFFFF` (≈ 4.19 ms per lane).
+const PHASE_LANE_UNIT_NS: u64 = 64;
+
+/// Pack the `ready`/`decode`/`shard`/`kcas` scratch durations into four
+/// 16-bit lanes of one `u64` (64 ns units, saturating) — the flight
+/// record's phase-breakdown field.  `resp`/`flush` are not yet known when
+/// the record is written (they happen after `record_op`), so the packed
+/// breakdown covers the server-side path up to and including the structure
+/// execution.
+pub(crate) fn pack_phases(scratch: &[u64; telemetry::trace::PHASE_COUNT]) -> u64 {
+    let lane = |phase: u64| -> u64 {
+        (scratch[phase as usize] / PHASE_LANE_UNIT_NS).min(0xFFFF)
+    };
+    lane(telemetry::trace::PHASE_READY)
+        | lane(telemetry::trace::PHASE_DECODE) << 16
+        | lane(telemetry::trace::PHASE_SHARD) << 32
+        | lane(telemetry::trace::PHASE_KCAS) << 48
+}
+
+/// Unpack one lane of a packed phase field back to approximate nanoseconds.
+fn unpack_lane(phases: u64, lane: u32) -> u64 {
+    ((phases >> (16 * lane)) & 0xFFFF) * PHASE_LANE_UNIT_NS
 }
 
 /// The slow-op flight recorder's current contents as `# slowop ...` lines,
@@ -261,7 +310,7 @@ pub fn flight_dump() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# slowops recorded={} capacity={}", FLIGHT.recorded(), FLIGHT_CAPACITY);
     for r in FLIGHT.snapshot() {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "# slowop ticket={} op={} key={} latency_ns={} shard={} backend={}",
             r.ticket,
@@ -271,6 +320,21 @@ pub fn flight_dump() -> String {
             r.shard,
             backend_name(r.backend),
         );
+        // Phase breakdown (64 ns granularity), present only when the slow
+        // op was also trace-sampled.
+        if r.phases != 0 {
+            let _ = write!(
+                out,
+                " ready_ns={} decode_ns={} shard_ns={} kcas_ns={}",
+                unpack_lane(r.phases, 0),
+                unpack_lane(r.phases, 1),
+                unpack_lane(r.phases, 2),
+                unpack_lane(r.phases, 3),
+            );
+        } else {
+            let _ = write!(out, " phases=-");
+        }
+        out.push('\n');
     }
     out
 }
@@ -304,5 +368,51 @@ pub(crate) fn render(map: &dyn ConcurrentMap, backend: Backend) -> String {
         let _ = writeln!(out, "srv_shard_scan_ops{{shard=\"{i}\"}} {}", load.scan_ops);
     }
     out.push_str(&flight_dump());
+    out
+}
+
+/// Render the span-trace exposition the `TRACE` verb answers with.
+///
+/// Layout:
+///
+/// ```text
+/// # pathcas-trace v1 backend=reactor sample_every=64 sampled=3 spans=17 dropped=0
+/// span trace=0 phase=ready start_ns=1201 dur_ns=802 retries=0 helps=0
+/// span trace=0 phase=decode start_ns=2101 dur_ns=190 retries=0 helps=0
+/// ...
+/// ```
+///
+/// One line per retained span, sorted by `(trace, phase, start, ticket)` —
+/// phase ids are pipeline-ordered, so the *line order* is a pure function
+/// of which ops were sampled, never of raw timestamps; the differential
+/// battery masks the `start_ns=`/`dur_ns=` digits and asserts the rest
+/// byte-identical across backends.  Like METRICS, the dump is rendered
+/// before the TRACE request's own post-execute spans exist.
+pub(crate) fn render_trace(backend: Backend) -> String {
+    use std::fmt::Write;
+    metrics();
+    let spans = telemetry::trace::snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# pathcas-trace v{TRACE_VERSION} backend={} sample_every={} sampled={} spans={} dropped={}",
+        backend.label(),
+        telemetry::trace::sample_every(),
+        telemetry::trace::sampled_total(),
+        spans.len(),
+        telemetry::trace::dropped_total(),
+    );
+    for s in &spans {
+        let _ = writeln!(
+            out,
+            "span trace={} phase={} start_ns={} dur_ns={} retries={} helps={}",
+            s.trace_id,
+            telemetry::trace::phase_name(s.phase),
+            s.start_ns,
+            s.dur_ns,
+            telemetry::trace::retries_of(s.events),
+            telemetry::trace::helps_of(s.events),
+        );
+    }
     out
 }

@@ -21,6 +21,7 @@
 //! | `STATS` | 6    | —                                           |
 //! | `SUBSCRIBE` | 7 | `after: u64` (resume seqno)                |
 //! | `METRICS` | 8  | `version: u8` (must be [`METRICS_VERSION`]) |
+//! | `TRACE`   | 9  | `version: u8` (must be [`TRACE_VERSION`])   |
 //!
 //! Responses reuse the request's code as their tag (so a pipelined client
 //! can sanity-check ordering) with tag `0` reserved for protocol errors:
@@ -36,13 +37,17 @@
 //! | `STATS` | 6    | `key_count: u64, key_sum: u128, node_count: u64, key_depth_sum: u64, approx_bytes: u64` |
 //! | `EVENTS`| 7    | `count: u32`, then `count × (seqno: u64, event: 17 bytes)` |
 //! | `METRICS`| 8   | `text: [u8]` (UTF-8 exposition, rest of frame)           |
+//! | `TRACE` | 9    | `text: [u8]` (UTF-8 exposition, rest of frame)           |
 //!
-//! `METRICS` is versioned on the *request*: the client names the exposition
-//! version it understands, and a version the server does not speak answers
-//! with a semantic `Err` response (connection stays usable) rather than a
-//! silently different format.  The exposition body is produced by code
-//! shared between both serving backends, so its byte layout is a pure
-//! function of the registered metric names and their values.
+//! `METRICS` and `TRACE` are versioned on the *request*: the client names
+//! the exposition version it understands, and a version the server does not
+//! speak answers with a semantic `Err` response (connection stays usable)
+//! rather than a silently different format.  Both exposition bodies are
+//! produced by code shared between both serving backends, so their byte
+//! layout is a pure function of the registered instrument state — `TRACE`
+//! dumps the sampled span rings (see `telemetry::trace`), one line per
+//! span, ordered by `(trace, phase)` so the layout never depends on raw
+//! timestamps.
 //!
 //! `SUBSCRIBE` switches the connection into streaming mode: the server
 //! answers with `EVENTS` frames — each a batch of change-stream entries in
@@ -86,6 +91,11 @@ pub const MAX_EVENTS_PER_FRAME: usize = 8192;
 /// can probe for compatibility without risking a misparse.
 pub const METRICS_VERSION: u8 = 1;
 
+/// The span-trace exposition version this server speaks (same contract as
+/// [`METRICS_VERSION`]: any other version on a `TRACE` request answers with
+/// a semantic `Err`, and the connection stays usable).
+pub const TRACE_VERSION: u8 = 1;
+
 /// One client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Request {
@@ -107,6 +117,9 @@ pub enum Request {
     /// Telemetry text exposition in the named version (see
     /// [`METRICS_VERSION`]).  A read: permitted on read-only servers.
     Metrics(u8),
+    /// Sampled span-trace exposition in the named version (see
+    /// [`TRACE_VERSION`]).  A read: permitted on read-only servers.
+    Trace(u8),
 }
 
 /// One server response (same order as the request stream of a connection).
@@ -129,6 +142,8 @@ pub enum Response {
     Events(Vec<(u64, Event)>),
     /// The telemetry text exposition (UTF-8).
     Metrics(String),
+    /// The sampled span-trace exposition (UTF-8).
+    Trace(String),
     /// Protocol-level error; the server closes the connection after it.
     Err(String),
 }
@@ -224,6 +239,10 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             buf.push(8);
             buf.push(version);
         }
+        Request::Trace(version) => {
+            buf.push(9);
+            buf.push(version);
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -241,6 +260,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         6 => Request::Stats,
         7 => Request::Subscribe(c.u64()?),
         8 => Request::Metrics(c.u8()?),
+        9 => Request::Trace(c.u8()?),
         op => return Err(format!("unknown request opcode {op}")),
     };
     c.done()?;
@@ -301,6 +321,10 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             buf.push(8);
             buf.extend_from_slice(text.as_bytes());
         }
+        Response::Trace(text) => {
+            buf.push(9);
+            buf.extend_from_slice(text.as_bytes());
+        }
     }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
@@ -352,6 +376,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             match String::from_utf8(rest.to_vec()) {
                 Ok(text) => Response::Metrics(text),
                 Err(_) => return Err("METRICS exposition is not valid UTF-8".into()),
+            }
+        }
+        9 => {
+            let rest = c.take(payload.len() - 1)?;
+            match String::from_utf8(rest.to_vec()) {
+                Ok(text) => Response::Trace(text),
+                Err(_) => return Err("TRACE exposition is not valid UTF-8".into()),
             }
         }
         tag => return Err(format!("unknown response tag {tag}")),
@@ -547,6 +578,9 @@ mod tests {
         roundtrip_req(Request::Metrics(METRICS_VERSION));
         roundtrip_req(Request::Metrics(0));
         roundtrip_req(Request::Metrics(u8::MAX));
+        roundtrip_req(Request::Trace(TRACE_VERSION));
+        roundtrip_req(Request::Trace(0));
+        roundtrip_req(Request::Trace(u8::MAX));
     }
 
     #[test]
@@ -574,8 +608,14 @@ mod tests {
         ]));
         roundtrip_resp(Response::Metrics(String::new()));
         roundtrip_resp(Response::Metrics("srv_ops_get_total 42\nsrv_ops_put_total 7\n".into()));
+        roundtrip_resp(Response::Trace(String::new()));
+        roundtrip_resp(Response::Trace(
+            "# pathcas-trace v1 backend=reactor sample_every=64 sampled=1 spans=6 dropped=0\n"
+                .into(),
+        ));
         // Non-UTF-8 exposition bytes are rejected, not lossily decoded.
         assert!(decode_response(&[8, 0xFF, 0xFE]).is_err());
+        assert!(decode_response(&[9, 0xFF, 0xFE]).is_err());
     }
 
     #[test]

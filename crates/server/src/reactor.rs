@@ -194,6 +194,12 @@ impl ReactorLoop {
         let mut events = Events::with_capacity(WAIT_EVENTS);
         loop {
             let timeout = if self.streaming > 0 { Some(STREAM_POLL_MS) } else { None };
+            // The `epoll_wait` below is this backend's readiness wait; its
+            // duration is charged, once, to the first frame decoded out of
+            // this wakeup (if that frame is sampled) — a whole burst paid
+            // one wait, so attributing it to one op *is* the amortized
+            // per-op cost the attribution columns report.
+            let wait_start = telemetry::trace::now_ns();
             if self.epoll.wait(&mut events, timeout).is_err() {
                 // An unusable epoll fd means this loop cannot continue;
                 // its connections die with it.
@@ -202,6 +208,8 @@ impl ReactorLoop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
+            let mut ready =
+                Some((wait_start, telemetry::trace::now_ns().saturating_sub(wait_start)));
             let mut any = false;
             let mut frames = 0u64;
             for ev in events.iter() {
@@ -220,11 +228,24 @@ impl ReactorLoop {
                         let was_streaming = matches!(conn.mode, Mode::Streaming { .. });
                         let mut dead = false;
                         if ev.readable || ev.hangup {
-                            dead = handle_readable(conn, &*self.map, &self.opts, &mut frames);
+                            dead = handle_readable(
+                                conn,
+                                &*self.map,
+                                &self.opts,
+                                &mut frames,
+                                &mut ready,
+                            );
                         }
                         if !dead && (ev.writable || conn.pending_out() || conn.closing) {
+                            // `flush` charges its `flush` span to the
+                            // connection's last sampled frame, still in the
+                            // thread's current-trace slot.
                             dead = flush(conn, &self.epoll, token);
                         }
+                        // The trace context never outlives its event: an
+                        // EPOLLOUT continuation for this connection in a
+                        // later wakeup must not inherit it.
+                        telemetry::trace::set_current(None);
                         if !was_streaming && matches!(conn.mode, Mode::Streaming { .. }) {
                             self.streaming += 1;
                         }
@@ -321,10 +342,26 @@ impl ReactorLoop {
             let entries = log.read_from(after, MAX_EVENTS_PER_FRAME);
             let Some(&(last, _)) = entries.last() else { continue };
             conn.mode = Mode::Streaming { after: last };
+            // Each delivered batch is an op in the sampler's stream: a
+            // sampled batch records one `deliver` span covering encode +
+            // flush (explicit timestamps; no current trace is set here, so
+            // the inner flush records no separate `flush` span).
+            let tr = telemetry::trace::should_sample();
+            let deliver_start = telemetry::trace::now_ns();
             conn.out.clear();
             conn.out_pos = 0;
             proto::encode_response(&Response::Events(entries), &mut conn.out);
-            if flush(conn, &self.epoll, token) {
+            let dead = flush(conn, &self.epoll, token);
+            if let Some(t) = tr {
+                telemetry::trace::record_span(
+                    t,
+                    telemetry::trace::PHASE_DELIVER,
+                    deliver_start,
+                    telemetry::trace::now_ns().saturating_sub(deliver_start),
+                    0,
+                );
+            }
+            if dead {
                 self.dead.push(token);
             }
         }
@@ -353,12 +390,15 @@ impl ReactorLoop {
 
 /// Drain the socket and process every complete frame, adding the number of
 /// frames executed to `frames`.  Returns whether the connection is already
-/// dead (reset, or EOF with nothing left to write).
+/// dead (reset, or EOF with nothing left to write).  `ready` is the
+/// wakeup's epoll-wait window, consumed by the first frame processed in
+/// this wakeup (see `process_frames`).
 fn handle_readable(
     conn: &mut Conn,
     map: &dyn ConcurrentMap,
     opts: &ServerOpts,
     frames: &mut u64,
+    ready: &mut Option<(u64, u64)>,
 ) -> bool {
     let mut eof = false;
     loop {
@@ -374,7 +414,7 @@ fn handle_readable(
                     // threaded backend simply never reads them).
                     conn.dec.reset();
                 } else if !conn.closing {
-                    *frames += process_frames(conn, map, opts);
+                    *frames += process_frames(conn, map, opts, ready);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -399,7 +439,20 @@ fn handle_readable(
 /// Decode and execute every complete frame currently buffered, staging the
 /// responses in order; returns how many frames were consumed.  Mirrors
 /// `srv::handle_conn`'s dispatch exactly.
-fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -> u64 {
+///
+/// Tracing: every frame consults the sampler; a sampled frame becomes the
+/// thread's current trace for the rest of its dispatch (so `execute`
+/// records its `shard`/`kcas` spans and the later `flush` its span).  The
+/// wakeup's `ready` window is consumed by the first frame of the wakeup —
+/// sampled or not — so a burst never multiply-charges one epoll wait;
+/// frames after the first record a zero-length `ready` span, keeping the
+/// per-op phase *set* identical across backends.
+fn process_frames(
+    conn: &mut Conn,
+    map: &dyn ConcurrentMap,
+    opts: &ServerOpts,
+    ready: &mut Option<(u64, u64)>,
+) -> u64 {
     let mut frames = 0u64;
     while !conn.closing {
         // The decoded request is `Copy`, so the borrow on the decoder ends
@@ -407,6 +460,21 @@ fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -
         let req = match conn.dec.next_frame() {
             Ok(Some(payload)) => {
                 frames += 1;
+                let first_wait = ready.take();
+                let tr = telemetry::trace::should_sample();
+                telemetry::trace::set_current(tr);
+                if let Some(t) = tr {
+                    let (wait_start, wait_ns) =
+                        first_wait.unwrap_or((telemetry::trace::now_ns(), 0));
+                    telemetry::trace::record_span(
+                        t,
+                        telemetry::trace::PHASE_READY,
+                        wait_start,
+                        wait_ns,
+                        0,
+                    );
+                }
+                let _decode_span = telemetry::trace::begin(telemetry::trace::PHASE_DECODE);
                 proto::decode_request(payload)
             }
             Ok(None) => break,
@@ -441,7 +509,10 @@ fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -
                 Response::Err(msg)
             }
         };
-        proto::encode_response(&resp, &mut conn.out);
+        {
+            let _resp_span = telemetry::trace::begin(telemetry::trace::PHASE_RESP);
+            proto::encode_response(&resp, &mut conn.out);
+        }
     }
     frames
 }
@@ -449,7 +520,33 @@ fn process_frames(conn: &mut Conn, map: &dyn ConcurrentMap, opts: &ServerOpts) -
 /// Write staged bytes until drained or the kernel pushes back.  Arms and
 /// disarms `EPOLLOUT` as the queue transitions; returns whether the
 /// connection is dead (write error, or drained with `closing` set).
+///
+/// When the thread carries a current trace (the burst's last sampled
+/// frame), the whole write attempt is recorded as that trace's `flush`
+/// span — explicit timestamps, because the write is a syscall and span
+/// guards must never be held across blocking calls.  An `EPOLLOUT`
+/// continuation in a later wakeup has no current trace and records
+/// nothing (documented undercount: backpressured flushes attribute only
+/// their first attempt).
 fn flush(conn: &mut Conn, epoll: &Epoll, token: u64) -> bool {
+    match telemetry::trace::current() {
+        None => flush_inner(conn, epoll, token),
+        Some(t) => {
+            let flush_start = telemetry::trace::now_ns();
+            let dead = flush_inner(conn, epoll, token);
+            telemetry::trace::record_span(
+                t,
+                telemetry::trace::PHASE_FLUSH,
+                flush_start,
+                telemetry::trace::now_ns().saturating_sub(flush_start),
+                0,
+            );
+            dead
+        }
+    }
+}
+
+fn flush_inner(conn: &mut Conn, epoll: &Epoll, token: u64) -> bool {
     let m = metrics();
     if conn.pending_out() {
         // Queue depth at flush time — the backpressure signal: staged

@@ -284,10 +284,27 @@ impl ThreadedServer {
 /// byte-identical semantics is the point.  Every op is timed and counted
 /// (`crate::metrics`); ops past the slow threshold additionally land in
 /// the flight recorder tagged with the key's owning shard and `backend`.
+///
+/// When the calling thread carries a sampled trace (set by the backend's
+/// frame loop), the shard route and the structure execution are recorded as
+/// `shard`/`kcas` spans — the kcas span's event counts pick up the retry/
+/// help hooks `kcas::metrics` fires while `execute_inner` runs.  Untraced
+/// ops pay one TLS read and skip all of it.
 pub(crate) fn execute(map: &dyn ConcurrentMap, req: Request, backend: Backend) -> Response {
     let start = std::time::Instant::now();
     let (opcode, key) = crate::metrics::op_tag(&req);
-    let resp = execute_inner(map, req, backend);
+    let resp = if telemetry::trace::current().is_some() {
+        {
+            let _shard_span = telemetry::trace::begin(telemetry::trace::PHASE_SHARD);
+            let _ = map.shard_of(key);
+        }
+        let kcas_span = telemetry::trace::begin(telemetry::trace::PHASE_KCAS);
+        let resp = execute_inner(map, req, backend);
+        drop(kcas_span);
+        resp
+    } else {
+        execute_inner(map, req, backend)
+    };
     crate::metrics::record_op(opcode, key, start.elapsed(), map, backend);
     resp
 }
@@ -325,6 +342,18 @@ fn execute_inner(map: &dyn ConcurrentMap, req: Request, backend: Backend) -> Res
             "METRICS version {v} unsupported (server speaks {})",
             proto::METRICS_VERSION
         )),
+        // The span-trace exposition: same versioning contract as METRICS,
+        // same read-verb status, rendered from shared code so both backends
+        // answer byte-identically.  Rendered *before* this request's own
+        // kcas/resp/flush spans are recorded, so the dump is a pure
+        // function of the ops that preceded it.
+        Request::Trace(v) if v == proto::TRACE_VERSION => {
+            Response::Trace(crate::metrics::render_trace(backend))
+        }
+        Request::Trace(v) => Response::Err(format!(
+            "TRACE version {v} unsupported (server speaks {})",
+            proto::TRACE_VERSION
+        )),
         // Handled by `handle_conn` before execute (it takes over the
         // connection); reaching here means a bug in the dispatch order.
         Request::Subscribe(_) => Response::Err("SUBSCRIBE is not a point request".into()),
@@ -357,13 +386,38 @@ fn handle_conn(
     let mut payload = Vec::new();
     let mut out = Vec::new();
 
-    while proto::read_frame(&mut reader, &mut payload)? {
-        let resp = match proto::decode_request(&payload) {
+    loop {
+        // The blocking frame read is this backend's readiness wait: for a
+        // pipelined burst every frame after the first returns from the
+        // BufReader near-instantly, so `ready` time naturally concentrates
+        // on the op that actually waited on the socket.
+        let ready_start = telemetry::trace::now_ns();
+        if !proto::read_frame(&mut reader, &mut payload)? {
+            break;
+        }
+        let ready_ns = telemetry::trace::now_ns().saturating_sub(ready_start);
+        let tr = telemetry::trace::should_sample();
+        telemetry::trace::set_current(tr);
+        if let Some(t) = tr {
+            telemetry::trace::record_span(
+                t,
+                telemetry::trace::PHASE_READY,
+                ready_start,
+                ready_ns,
+                0,
+            );
+        }
+        let decoded = {
+            let _decode_span = telemetry::trace::begin(telemetry::trace::PHASE_DECODE);
+            proto::decode_request(&payload)
+        };
+        let resp = match decoded {
             // SUBSCRIBE flips the connection into streaming mode for good;
             // flush anything still batched first so pipelined responses
             // ahead of the subscription are not stranded.
             Ok(Request::Subscribe(after)) => match &opts.log {
                 Some(log) => {
+                    telemetry::trace::set_current(None);
                     writer.flush()?;
                     return stream_events(log, after, &mut writer, shutdown);
                 }
@@ -384,18 +438,36 @@ fn handle_conn(
                 proto::encode_response(&Response::Err(msg), &mut out);
                 writer.write_all(&out)?;
                 writer.flush()?;
+                telemetry::trace::set_current(None);
                 return Ok(());
             }
         };
         out.clear();
-        proto::encode_response(&resp, &mut out);
+        {
+            let _resp_span = telemetry::trace::begin(telemetry::trace::PHASE_RESP);
+            proto::encode_response(&resp, &mut out);
+        }
         writer.write_all(&out)?;
         // Batched responses: flush only when the pipeline has drained —
         // while more requests sit in the read buffer, their responses
-        // accumulate and go out as one write.
+        // accumulate and go out as one write.  The flush is a blocking
+        // syscall, so its span uses explicit timestamps, never a guard;
+        // it is charged to the burst's last sampled op, matching the
+        // reactor's charge-the-batch semantics.
         if reader.buffer().is_empty() {
+            let flush_start = telemetry::trace::now_ns();
             writer.flush()?;
+            if let Some(t) = telemetry::trace::current() {
+                telemetry::trace::record_span(
+                    t,
+                    telemetry::trace::PHASE_FLUSH,
+                    flush_start,
+                    telemetry::trace::now_ns().saturating_sub(flush_start),
+                    0,
+                );
+            }
         }
+        telemetry::trace::set_current(None);
     }
     writer.flush()
 }
@@ -418,9 +490,23 @@ fn stream_events(
         let entries = log.wait_from(after, MAX_EVENTS_PER_FRAME, Duration::from_millis(50));
         let Some(&(last, _)) = entries.last() else { continue };
         after = last;
+        // Each delivered batch is an op in the sampler's stream: a sampled
+        // batch records one `deliver` span covering encode + write + flush
+        // (explicit timestamps — this path blocks).
+        let tr = telemetry::trace::should_sample();
+        let deliver_start = telemetry::trace::now_ns();
         out.clear();
         proto::encode_response(&Response::Events(entries), &mut out);
         writer.write_all(&out)?;
         writer.flush()?;
+        if let Some(t) = tr {
+            telemetry::trace::record_span(
+                t,
+                telemetry::trace::PHASE_DELIVER,
+                deliver_start,
+                telemetry::trace::now_ns().saturating_sub(deliver_start),
+                0,
+            );
+        }
     }
 }

@@ -107,6 +107,42 @@ fn frame_above_the_ceiling_is_rejected_before_allocation() {
 }
 
 #[test]
+fn malformed_trace_frames_only_hurt_their_connection() {
+    for_each_backend(|backend| {
+        let (srv, _map) = start(backend);
+
+        // A TRACE frame with a truncated body (opcode but no version byte)
+        // is a framing-level decode error: answered with Err, then closed.
+        let mut raw = TcpStream::connect(srv.local_addr()).unwrap();
+        raw.write_all(&1u32.to_le_bytes()).unwrap();
+        raw.write_all(&[9u8]).unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        let mut payload = Vec::new();
+        assert!(server::proto::read_frame(&mut reader, &mut payload).unwrap());
+        match server::proto::decode_response(&payload).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("truncated"), "got: {msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        assert!(
+            !server::proto::read_frame(&mut reader, &mut payload).unwrap(),
+            "closed after Err"
+        );
+        assert_still_serving(&srv, 5);
+
+        // A wrong TRACE *version* is a semantic error: the connection
+        // survives and keeps serving.
+        let mut conn = Connection::connect(srv.local_addr()).unwrap();
+        match conn.request(&Request::Trace(99)).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("version 99"), "got: {msg}"),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        assert_eq!(conn.request(&Request::Put(6, 6)).unwrap(), Response::Put(true));
+        assert_still_serving(&srv, 7);
+        srv.shutdown();
+    });
+}
+
+#[test]
 fn a_slow_reader_stalls_only_itself() {
     for_each_backend(|backend| {
         let (srv, map) = start(backend);

@@ -1,0 +1,150 @@
+//! The TRACE verb battery, run differentially on both backends: with the
+//! sampler at 1-in-1, a deterministic single-connection script must yield
+//! **byte-identical** expositions across backends once the inherently
+//! timing-valued fields (`start_ns`, `dur_ns`, the backend label) are
+//! masked — same trace ids, same phase sets, same event counts, same
+//! header counters.  Then a replicated SUBSCRIBE topology must surface
+//! `commit` and `deliver` spans, and a stale TRACE version must fail
+//! semantically without killing the connection.
+//!
+//! One `#[test]` on purpose: the span tracer is process-global (sampler
+//! counter, rings), so nothing else in this binary may run concurrently.
+
+mod common;
+
+use std::sync::{Arc, Mutex};
+
+use common::{for_each_backend, start_on};
+use mapapi::reference::LockedBTreeMap;
+use mapapi::ConcurrentMap;
+use server::{Connection, Request, Response, Server, ServerOpts};
+use shard::ShardedMap;
+
+const SHARDS: usize = 4;
+
+fn sharded() -> Arc<dyn ConcurrentMap> {
+    Arc::new(ShardedMap::from_fn(SHARDS, |_| {
+        Box::new(LockedBTreeMap::new()) as Box<dyn ConcurrentMap>
+    }))
+}
+
+/// The deterministic script: seven sequential ops (one request in flight
+/// at a time, so spans land in a fixed order on both backends).
+fn script() -> Vec<Request> {
+    vec![
+        Request::Put(1, 10),
+        Request::Get(1),
+        Request::Rmw(1, 5),
+        Request::Del(1),
+        Request::Get(1),
+        Request::Scan(0, 10),
+        Request::Stats,
+    ]
+}
+
+/// Mask the fields whose values are wall-clock (or name the backend):
+/// `start_ns=`, `dur_ns=`, `backend=`.  Everything else — ids, phases,
+/// retry/help counts, header totals — must match exactly.
+fn canon(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            l.split(' ')
+                .map(|tok| match tok.split_once('=') {
+                    Some((k @ ("start_ns" | "dur_ns" | "backend"), _)) => format!("{k}=_"),
+                    _ => tok.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn trace_expositions_are_differential_across_backends() {
+    let canons: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    for_each_backend(|backend| {
+        let server = start_on(sharded(), backend);
+        let mut conn = Connection::connect(server.local_addr()).expect("connect");
+        // Quiescent: the only server is idle and ours.
+        telemetry::trace::clear();
+        telemetry::trace::set_sample_every(1);
+
+        for req in script() {
+            conn.request(&req).expect("script op");
+        }
+        let text = conn.trace().expect("TRACE");
+        telemetry::trace::set_sample_every(telemetry::trace::DEFAULT_SAMPLE_EVERY);
+
+        assert!(
+            text.starts_with(&format!("# pathcas-trace v1 backend={}", backend.label())),
+            "version/backend header missing:\n{text}"
+        );
+        // Every scripted op (trace ids 0..=6) went through the full wire
+        // path; the TRACE op itself (id 7) is sampled too but renders
+        // before its own kcas/resp/flush spans are recorded.
+        for id in 0..=6u64 {
+            for phase in ["ready", "decode", "shard", "kcas", "resp", "flush"] {
+                assert!(
+                    text.contains(&format!("span trace={id} phase={phase} ")),
+                    "trace {id} is missing its {phase} span:\n{text}"
+                );
+            }
+        }
+        for phase in ["ready", "decode", "shard"] {
+            assert!(
+                text.contains(&format!("span trace=7 phase={phase} ")),
+                "the TRACE op is missing its {phase} span:\n{text}"
+            );
+        }
+        assert!(!text.contains("phase=commit"), "unreplicated map committed?\n{text}");
+        canons.lock().unwrap().push(canon(&text));
+
+        // A stale client version is a semantic error, not a hangup.
+        match conn.request(&Request::Trace(99)).expect("version mismatch roundtrip") {
+            Response::Err(msg) => assert!(msg.contains("version 99"), "odd error: {msg}"),
+            other => panic!("TRACE v99 answered with {other:?}"),
+        }
+        assert!(matches!(conn.request(&Request::Get(2)), Ok(Response::Get(None))));
+
+        server.shutdown();
+    });
+
+    let canons = canons.into_inner().unwrap();
+    assert_eq!(canons.len(), 2);
+    assert_eq!(canons[0], canons[1], "trace expositions diverge across backends");
+
+    // Replication: commits append under a sampled trace, and SUBSCRIBE
+    // delivery batches are sampler ops of their own — both phases must
+    // show up in the exposition on both backends.
+    for_each_backend(|backend| {
+        let rep = Arc::new(replica::ReplicatedMap::new(Box::new(LockedBTreeMap::new())));
+        let server = Server::start_with(
+            Arc::clone(&rep) as Arc<dyn ConcurrentMap>,
+            ServerOpts { log: Some(rep.log()), backend, ..ServerOpts::default() },
+            "127.0.0.1:0",
+        )
+        .expect("bind primary");
+        let mut sub = Connection::connect(server.local_addr()).expect("connect subscriber");
+        let mut conn = Connection::connect(server.local_addr()).expect("connect writer");
+        telemetry::trace::clear();
+        telemetry::trace::set_sample_every(1);
+
+        sub.subscribe(0).expect("subscribe");
+        for k in 1..=5u64 {
+            assert!(matches!(conn.request(&Request::Put(k, k)), Ok(Response::Put(true))));
+        }
+        let mut delivered = 0;
+        while delivered < 5 {
+            delivered += sub.next_events().expect("event batch").len();
+        }
+        let text = conn.trace().expect("TRACE");
+        telemetry::trace::set_sample_every(telemetry::trace::DEFAULT_SAMPLE_EVERY);
+
+        assert!(text.contains("phase=commit"), "no commit span recorded:\n{text}");
+        assert!(text.contains("phase=deliver"), "no deliver span recorded:\n{text}");
+
+        server.shutdown();
+    });
+}

@@ -66,6 +66,10 @@ const GET_RESP: usize = 14;
 /// with the measured window — the counter is process-global.
 #[test]
 fn reactor_steady_state_get_path_is_allocation_free() {
+    // Let libtest's main thread finish parking in its result-channel
+    // `recv`: that first blocking receive lazily allocates the thread's
+    // park context, which must not land inside a measured window.
+    std::thread::sleep(std::time::Duration::from_millis(100));
     // The served map must not allocate on reads either: a locked BTree's
     // get is lock + lookup, nothing else.
     let map: Arc<dyn ConcurrentMap> = Arc::new(LockedBTreeMap::new());
@@ -104,6 +108,8 @@ fn reactor_steady_state_get_path_is_allocation_free() {
     // allocates); the *increments* inside the window must not.
     let gets_before = telemetry::value("srv_ops_get_total").expect("metric registered");
     let reads_before = telemetry::value("reactor_read_syscalls_total").unwrap();
+    let sampled_before = telemetry::value("trace_sampled_total").expect("tracer registered");
+    let spans_before = telemetry::value("trace_spans_recorded_total").unwrap();
 
     let before = allocations();
     for _ in 0..2000 {
@@ -130,6 +136,18 @@ fn reactor_steady_state_get_path_is_allocation_free() {
     );
     assert!(telemetry::value("reactor_read_syscalls_total").unwrap() > reads_before);
 
+    // The span tracer was live at its default 1-in-64 rate for the whole
+    // window — every 64th GET recorded its full phase breakdown — and the
+    // zero above was measured *with* it.  2000 ops must sample at least
+    // ⌊2000/64⌋ times, each with several spans.
+    assert_eq!(telemetry::trace::sample_every(), telemetry::trace::DEFAULT_SAMPLE_EVERY);
+    let sampled = telemetry::value("trace_sampled_total").unwrap() - sampled_before;
+    assert!(sampled >= 2000 / telemetry::trace::DEFAULT_SAMPLE_EVERY, "sampler stalled: {sampled}");
+    assert!(
+        telemetry::value("trace_spans_recorded_total").unwrap() - spans_before >= 4 * sampled,
+        "sampled ops recorded too few spans"
+    );
+
     // Counter sanity: a SCAN response carries a Vec server-side, so the
     // same connection, same window, must show allocations.
     let mut scan = Vec::new();
@@ -146,6 +164,44 @@ fn reactor_steady_state_get_path_is_allocation_free() {
         delta >= 100,
         "the scan path should allocate its result Vec every op (got {delta} over 100 ops) — \
          if this fires, the zero above is not trustworthy"
+    );
+    drop(sock);
+    srv.shutdown();
+
+    // The threaded backend owes the same contract: its warm GET path —
+    // blocking frame read → decode → execute → encode → batched flush —
+    // with the tracer live at the default rate, allocation-free.
+    let srv = Server::start_with(
+        Arc::clone(&map),
+        ServerOpts { backend: Backend::Threads, ..ServerOpts::default() },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut sock = TcpStream::connect(srv.local_addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    for _ in 0..256 {
+        sock.write_all(&get).unwrap();
+        sock.read_exact(&mut resp).unwrap();
+    }
+    let sampled_before = telemetry::value("trace_sampled_total").unwrap();
+    let before = allocations();
+    for _ in 0..2000 {
+        sock.write_all(&get).unwrap();
+        sock.read_exact(&mut resp).unwrap();
+    }
+    let after = allocations();
+    assert_eq!(resp[..6], [10, 0, 0, 0, 1, 1]);
+    assert_eq!(
+        after - before,
+        0,
+        "the threaded backend's warm GET path must not allocate (got {} allocations over \
+         2000 round-trips)",
+        after - before
+    );
+    assert!(
+        telemetry::value("trace_sampled_total").unwrap() - sampled_before
+            >= 2000 / telemetry::trace::DEFAULT_SAMPLE_EVERY,
+        "sampler stalled on the threaded backend"
     );
     drop(sock);
     srv.shutdown();

@@ -35,6 +35,7 @@ pub mod buckets;
 #[cfg(all(test, pathcas_loom))]
 mod models;
 pub(crate) mod sync;
+pub mod trace;
 
 use buckets::{bucket_index, bucket_upper, NBUCKETS, TRACKABLE_MAX};
 use sync::{registration::AtomicUsize, AtomicU64, Ordering};
@@ -252,6 +253,14 @@ impl Histogram {
         self.saturated.load(Ordering::Relaxed)
     }
 
+    /// Running sum of the recorded (clamped) values. With [`Histogram::count`]
+    /// this is the delta primitive behind per-phase attribution: mean-per-
+    /// sampled-op = Δsum / Δops. Wraps at `u64::MAX` like the stripes.
+    pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Mean of the recorded values (0.0 when empty). The running sum wraps
     /// at `u64::MAX` nanoseconds (~584 years of accumulated latency).
     pub fn mean(&self) -> f64 {
@@ -409,6 +418,10 @@ pub struct FlightRecord {
     pub shard: u64,
     /// Caller-defined backend tag.
     pub backend: u64,
+    /// Caller-defined packed per-phase breakdown (the server packs four
+    /// 16-bit lanes of 64 ns units: ready, decode, shard, kcas — see
+    /// `server::metrics`; 0 when the op was not trace-sampled).
+    pub phases: u64,
 }
 
 struct FlightSlot {
@@ -420,6 +433,7 @@ struct FlightSlot {
     latency_ns: AtomicU64,
     shard: AtomicU64,
     backend: AtomicU64,
+    phases: AtomicU64,
 }
 
 /// A bounded ring of the last `N` recorded events, lock- and allocation-free
@@ -467,6 +481,7 @@ impl<const N: usize> FlightRecorder<N> {
                     latency_ns: AtomicU64::new(0),
                     shard: AtomicU64::new(0),
                     backend: AtomicU64::new(0),
+                    phases: AtomicU64::new(0),
                 }
             }; N],
         }
@@ -477,7 +492,16 @@ impl<const N: usize> FlightRecorder<N> {
     /// because a writer lapped us mid-write (see the struct docs; counted in
     /// [`Self::dropped`]).
     #[inline]
-    pub fn record(&self, op: u64, key: u64, latency_ns: u64, shard: u64, backend: u64) -> Option<u64> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        op: u64,
+        key: u64,
+        latency_ns: u64,
+        shard: u64,
+        backend: u64,
+        phases: u64,
+    ) -> Option<u64> {
         // ORDERING: Relaxed — the ticket dispenser only needs the RMW's
         // atomicity for uniqueness; the slot's seqlock carries all
         // publication ordering.
@@ -517,6 +541,7 @@ impl<const N: usize> FlightRecorder<N> {
         slot.latency_ns.store(latency_ns, Ordering::Relaxed);
         slot.shard.store(shard, Ordering::Relaxed);
         slot.backend.store(backend, Ordering::Relaxed);
+        slot.phases.store(phases, Ordering::Relaxed);
         slot.seq.store(ticket.wrapping_mul(2).wrapping_add(2), Ordering::Release);
         Some(ticket)
     }
@@ -555,6 +580,7 @@ impl<const N: usize> FlightRecorder<N> {
                 latency_ns: slot.latency_ns.load(Ordering::Relaxed),
                 shard: slot.shard.load(Ordering::Relaxed),
                 backend: slot.backend.load(Ordering::Relaxed),
+                phases: slot.phases.load(Ordering::Relaxed),
             };
             // If any field load above observed a later writer's store, this
             // fence (pairing with that writer's release fence) forces the
@@ -701,7 +727,7 @@ mod tests {
     fn flight_recorder_keeps_last_n_in_order() {
         let fr: FlightRecorder<8> = FlightRecorder::new();
         for i in 0..20u64 {
-            fr.record(1, i, i * 10, i % 4, 0);
+            fr.record(1, i, i * 10, i % 4, 0, i * 3);
         }
         assert_eq!(fr.recorded(), 20);
         let snap = fr.snapshot();
@@ -711,6 +737,7 @@ mod tests {
         for r in &snap {
             assert_eq!(r.key, r.ticket);
             assert_eq!(r.latency_ns, r.ticket * 10);
+            assert_eq!(r.phases, r.ticket * 3);
         }
     }
 
@@ -723,9 +750,9 @@ mod tests {
                 std::thread::spawn(|| {
                     let mut i = 0u64;
                     while !STOP.load(Ordering::Relaxed) {
-                        // key and latency carry the same payload: a torn read
-                        // would surface as a mismatched pair.
-                        FR.record(2, i, i, 0, 1);
+                        // key, latency and phases carry the same payload: a
+                        // torn read would surface as a mismatched tuple.
+                        FR.record(2, i, i, 0, 1, i);
                         i += 1;
                     }
                 })
@@ -734,6 +761,7 @@ mod tests {
         for _ in 0..200 {
             for r in FR.snapshot() {
                 assert_eq!(r.key, r.latency_ns, "torn flight record escaped the seqlock");
+                assert_eq!(r.key, r.phases, "torn flight record escaped the seqlock");
                 assert_eq!(r.op, 2);
             }
         }

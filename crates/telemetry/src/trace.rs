@@ -1,0 +1,662 @@
+//! Sampled, zero-allocation per-operation span tracing (DESIGN.md §13).
+//!
+//! The server's wire path is decomposed into a fixed **phase taxonomy**
+//! ([`PHASE_READY`] … [`PHASE_DELIVER`]); a deterministic 1-in-N sampler
+//! ([`should_sample`], keyed off a global op counter, never a clock) elects
+//! ops for tracing, and every phase of a sampled op is recorded as one
+//! compact [`SpanRecord`] — phase id, start/duration nanoseconds, and the
+//! KCAS retry/help events that occurred inside the phase.
+//!
+//! Publication uses the same Boehm fence-based seqlock as the flight
+//! recorder ([`crate::FlightRecorder`]): spans land in striped fixed-size
+//! [`SpanRing`]s whose atomics route through the crate's `sync` facade, so under
+//! `--cfg pathcas_loom` the model checker explores the *production* ring
+//! code (`src/models.rs` has the span-ring models and their mutation
+//! witness).
+//!
+//! Overhead discipline (the zero-alloc suites assert this end to end):
+//!
+//! - an **unsampled** op pays one relaxed load + one relaxed `fetch_add`
+//!   in the sampler and a couple of monotonic clock reads at the phase
+//!   boundaries its caller instruments — no heap, no locks, no fences;
+//! - a **sampled** op additionally pays, per phase, one seqlock publication
+//!   into its thread's stripe ring and four relaxed RMWs into the phase
+//!   histogram — still allocation-free and wait-free;
+//! - snapshots, rendering, and [`clear`] are dump-time only and allocate.
+
+use std::cell::Cell;
+use std::sync::{Once, OnceLock};
+use std::time::Instant;
+
+use crate::sync::{fence, AtomicU64, Ordering};
+use crate::{Handle, Histogram, STRIPES};
+
+/// Phase: time blocked waiting for request bytes (the reactor's
+/// `epoll_wait`, the threaded backend's blocking frame read).
+pub const PHASE_READY: u64 = 0;
+/// Phase: decoding one complete frame into a request.
+pub const PHASE_DECODE: u64 = 1;
+/// Phase: routing the request's key to its owning shard.
+pub const PHASE_SHARD: u64 = 2;
+/// Phase: executing the operation against the structure (the KCAS/map
+/// work; retry/help events land in this span's event counts).
+pub const PHASE_KCAS: u64 = 3;
+/// Phase: appending the committed mutation to the replication change log.
+pub const PHASE_COMMIT: u64 = 4;
+/// Phase: encoding/staging the response bytes.
+pub const PHASE_RESP: u64 = 5;
+/// Phase: flushing staged response bytes to the socket.
+pub const PHASE_FLUSH: u64 = 6;
+/// Phase: encoding + flushing one `EVENTS` batch to a `SUBSCRIBE`r.
+pub const PHASE_DELIVER: u64 = 7;
+/// Number of phases in the taxonomy. Phase ids are also the *pipeline
+/// order*, which is what [`snapshot`] sorts by — so an exposition's line
+/// order never depends on raw timestamps.
+pub const PHASE_COUNT: usize = 8;
+
+const PHASE_NAMES: [&str; PHASE_COUNT] =
+    ["ready", "decode", "shard", "kcas", "commit", "resp", "flush", "deliver"];
+
+/// The phase's lowercase wire name (`"?"` for an out-of-range id).
+pub fn phase_name(phase: u64) -> &'static str {
+    PHASE_NAMES.get(phase as usize).copied().unwrap_or("?")
+}
+
+/// Default sampling period: 1 op in 64 is traced.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// Slots per stripe ring. With [`STRIPES`] rings this bounds the retained
+/// spans; a single-threaded script of up to ~10 sampled ops (6 phases each)
+/// fits entirely in one stripe's ring, which the TRACE differential test
+/// relies on.
+pub const SPAN_RING_CAPACITY: usize = 64;
+
+/// Pack per-span event counts: retries in the low 32 bits, helps in the
+/// high 32 (each saturating).
+pub fn pack_events(retries: u64, helps: u64) -> u64 {
+    retries.min(u32::MAX as u64) | (helps.min(u32::MAX as u64) << 32)
+}
+
+/// The retry count packed in `events` (see [`pack_events`]).
+pub fn retries_of(events: u64) -> u64 {
+    events & u32::MAX as u64
+}
+
+/// The help-event count packed in `events` (see [`pack_events`]).
+pub fn helps_of(events: u64) -> u64 {
+    events >> 32
+}
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process's trace epoch (the first call).
+/// Allocation-free after the first call: one atomic load plus a monotonic
+/// clock read.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(DEFAULT_SAMPLE_EVERY);
+static OP_SEQ: AtomicU64 = AtomicU64::new(0);
+static SAMPLED_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Admit one op to the sampler: returns `Some(trace_id)` for every
+/// `sample_every()`-th op (deterministic — the decision is a pure function
+/// of the global op counter, so two backends running the same script
+/// sample the same ops with the same ids), `None` otherwise or when
+/// sampling is disabled.
+#[inline]
+pub fn should_sample() -> Option<u64> {
+    // ORDERING: Relaxed — a tuning knob; a racing set_sample_every may
+    // misclassify a few in-flight ops, never corrupt anything.
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if every == 0 {
+        return None;
+    }
+    // ORDERING: Relaxed — the op counter only needs the RMW's atomicity
+    // for unique, dense tickets; nothing is published through it.
+    let n = OP_SEQ.fetch_add(1, Ordering::Relaxed);
+    if n.is_multiple_of(every) {
+        // ORDERING: Relaxed — diagnostic tally.
+        SAMPLED_OPS.fetch_add(1, Ordering::Relaxed);
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Current sampling period (0 = disabled).
+pub fn sample_every() -> u64 {
+    // ORDERING: Relaxed — standalone tuning knob.
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// Set the sampling period: every `n`-th op is traced; `0` disables
+/// sampling entirely (the sampler then costs one relaxed load per op).
+pub fn set_sample_every(n: u64) {
+    // ORDERING: Relaxed — standalone tuning knob.
+    SAMPLE_EVERY.store(n, Ordering::Relaxed);
+}
+
+/// Ops elected by the sampler since start (or the last [`clear`]).
+pub fn sampled_total() -> u64 {
+    // ORDERING: Relaxed — monotone diagnostic read.
+    SAMPLED_OPS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local trace context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The sampled trace id the current op runs under, if any.
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Monotone per-thread KCAS retry tally (guards take deltas).
+    static RETRIES: Cell<u64> = const { Cell::new(0) };
+    /// Monotone per-thread KCAS help tally (guards take deltas).
+    static HELPS: Cell<u64> = const { Cell::new(0) };
+    /// Per-phase durations recorded for the current trace — what the
+    /// flight recorder packs into a slow-op record's phase breakdown.
+    static SCRATCH: Cell<[u64; PHASE_COUNT]> = const { Cell::new([0; PHASE_COUNT]) };
+}
+
+/// Install (or clear, with `None`) the calling thread's current trace id.
+/// Installing a trace resets the per-phase scratch durations.
+#[inline]
+pub fn set_current(trace: Option<u64>) {
+    if trace.is_some() {
+        SCRATCH.with(|s| s.set([0; PHASE_COUNT]));
+    }
+    CURRENT.with(|c| c.set(trace));
+}
+
+/// The calling thread's current trace id, if an op is being traced.
+#[inline]
+pub fn current() -> Option<u64> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Note one KCAS phase-1 retry on the calling thread (hooked from
+/// `kcas::metrics`); the enclosing [`SpanGuard`] attributes it to its span.
+#[inline]
+pub fn note_retry() {
+    RETRIES.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Note one KCAS helping event on the calling thread (see [`note_retry`]).
+#[inline]
+pub fn note_help() {
+    HELPS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// The per-phase durations recorded so far for the calling thread's current
+/// trace (all zeros right after [`set_current`] installs a trace).
+pub fn phase_scratch_ns() -> [u64; PHASE_COUNT] {
+    SCRATCH.with(|s| s.get())
+}
+
+// ---------------------------------------------------------------------------
+// Span records and the seqlock ring
+// ---------------------------------------------------------------------------
+
+/// One decoded span: a phase of one sampled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotone admission ticket within the stripe ring that held it.
+    pub ticket: u64,
+    /// The sampled op's trace id (the sampler's op-counter value).
+    pub trace_id: u64,
+    /// Phase id ([`PHASE_READY`] … [`PHASE_DELIVER`]).
+    pub phase: u64,
+    /// Phase start, nanoseconds since the trace epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Phase duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Packed KCAS retry/help counts (see [`pack_events`]).
+    pub events: u64,
+}
+
+struct SpanSlot {
+    /// Seqlock word: `2*ticket + 1` while a writer owns the slot,
+    /// `2*ticket + 2` once complete. 0 = never written.
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    phase: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    events: AtomicU64,
+}
+
+/// A bounded ring of the last `N` spans, lock- and allocation-free to
+/// write — the span counterpart of [`crate::FlightRecorder`], using the
+/// identical claim-CAS + Boehm-fence seqlock protocol (see that type's
+/// docs for the protocol argument; `src/models.rs` has the span-ring
+/// models `span_ring_seqlock` / `span_ring_lap` and the weakened-ordering
+/// mutation witness).
+pub struct SpanRing<const N: usize> {
+    next: AtomicU64,
+    dropped: AtomicU64,
+    slots: [SpanSlot; N],
+}
+
+impl<const N: usize> SpanRing<N> {
+    /// An empty ring. `N` must be a power of two (compile-time checked).
+    pub const fn new() -> SpanRing<N> {
+        assert!(N.is_power_of_two(), "SpanRing capacity must be a power of two");
+        SpanRing {
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: [const {
+                SpanSlot {
+                    seq: AtomicU64::new(0),
+                    trace_id: AtomicU64::new(0),
+                    phase: AtomicU64::new(0),
+                    start_ns: AtomicU64::new(0),
+                    dur_ns: AtomicU64::new(0),
+                    events: AtomicU64::new(0),
+                }
+            }; N],
+        }
+    }
+
+    /// Record one span (wait-free, allocation-free). Returns the admission
+    /// ticket, or `None` if another writer lapped this one mid-write and
+    /// the record was dropped (counted in [`Self::dropped`]).
+    #[inline]
+    pub fn record(
+        &self,
+        trace_id: u64,
+        phase: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        events: u64,
+    ) -> Option<u64> {
+        // ORDERING: Relaxed — the ticket dispenser needs only the RMW's
+        // atomicity; the slot's seqlock carries all publication ordering.
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket as usize) & (N - 1)];
+        let odd = ticket.wrapping_mul(2).wrapping_add(1);
+        // ORDERING: Relaxed — pre-claim peek; the CAS below revalidates it.
+        let cur = slot.seq.load(Ordering::Relaxed);
+        // ORDERING: Relaxed claim CAS — elects a unique slot owner via the
+        // RMW's atomicity alone; field publication is ordered by the
+        // release fence below, and a reader that observes any of our field
+        // stores is forced through the fence pair to observe a seqlock
+        // value >= `odd` on its re-read and discard the slot.
+        if cur >= odd
+            || cur & 1 == 1
+            || slot
+                .seq
+                .compare_exchange(cur, odd, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            // ORDERING: Relaxed — diagnostic counter.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Writer half of the Boehm seqlock: the release fence orders the
+        // claim and every field store below before the closing even store.
+        fence(Ordering::Release);
+        // ORDERING: Relaxed field stores — ordered by the fence above and
+        // the release even-store below.
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.phase.store(phase, Ordering::Relaxed);
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.events.store(events, Ordering::Relaxed);
+        slot.seq.store(ticket.wrapping_mul(2).wrapping_add(2), Ordering::Release);
+        Some(ticket)
+    }
+
+    /// Total spans ever admitted (the ring keeps the last `N`).
+    pub fn recorded(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped because a writer found its slot owned by another
+    /// in-flight writer (ring lapped mid-write).
+    pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — monotone diagnostic read.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The consistent spans currently in the ring, oldest first.
+    /// Allocates — dump-time only.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(N);
+        for slot in &self.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 & 1 == 1 {
+                continue; // never written, or a writer is mid-flight
+            }
+            // ORDERING: Relaxed field loads — the reader half of the Boehm
+            // seqlock: ordered after the writer's closing release store by
+            // `s1`'s acquire load, and before the re-read by the fence.
+            let rec = SpanRecord {
+                ticket: (s1 - 2) / 2,
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                phase: slot.phase.load(Ordering::Relaxed),
+                start_ns: slot.start_ns.load(Ordering::Relaxed),
+                dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+                events: slot.events.load(Ordering::Relaxed),
+            };
+            // Reader half of the fence pair: any field load that observed a
+            // later writer forces the re-read below to see its odd claim.
+            fence(Ordering::Acquire);
+            // ORDERING: Relaxed — ordered by the fence above.
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 == s2 {
+                out.push(rec);
+            }
+        }
+        out.sort_unstable_by_key(|r| r.ticket);
+        out
+    }
+
+    /// Reset the ring to empty. **Quiescent-only** (no concurrent writers):
+    /// a maintenance operation for tests and the TRACE differential
+    /// battery, not part of the checked protocol.
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            // ORDERING: Relaxed — quiescent maintenance; no publication.
+            slot.seq.store(0, Ordering::Relaxed);
+            slot.trace_id.store(0, Ordering::Relaxed);
+            slot.phase.store(0, Ordering::Relaxed);
+            slot.start_ns.store(0, Ordering::Relaxed);
+            slot.dur_ns.store(0, Ordering::Relaxed);
+            slot.events.store(0, Ordering::Relaxed);
+        }
+        // ORDERING: Relaxed — quiescent maintenance.
+        self.next.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<const N: usize> Default for SpanRing<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global tracer: striped rings + per-phase histograms
+// ---------------------------------------------------------------------------
+
+static RINGS: [SpanRing<SPAN_RING_CAPACITY>; STRIPES] = [const { SpanRing::new() }; STRIPES];
+
+static PHASE_HIST: [Histogram; PHASE_COUNT] = [const { Histogram::new() }; PHASE_COUNT];
+
+/// Record one span of a sampled op into the calling thread's stripe ring
+/// and the phase's duration histogram. Wait-free and allocation-free; safe
+/// on the asserted zero-alloc warm paths.
+pub fn record_span(trace_id: u64, phase: u64, start_ns: u64, dur_ns: u64, events: u64) {
+    let idx = phase as usize;
+    if idx >= PHASE_COUNT {
+        return;
+    }
+    PHASE_HIST[idx].record(dur_ns);
+    if current() == Some(trace_id) {
+        SCRATCH.with(|s| {
+            let mut a = s.get();
+            a[idx] = a[idx].saturating_add(dur_ns);
+            s.set(a);
+        });
+    }
+    RINGS[crate::stripe_id()].record(trace_id, phase, start_ns, dur_ns, events);
+}
+
+/// An RAII span over a **non-blocking** region of the current trace:
+/// created by [`begin`], it records the phase on drop, attributing the
+/// KCAS retry/help events that occurred in between. Must never be held
+/// across a blocking call (`cargo xtask analyze` enforces this on the
+/// server request path); blocking phases record via explicit timestamps
+/// and [`record_span`] instead.
+pub struct SpanGuard {
+    trace_id: u64,
+    phase: u64,
+    start_ns: u64,
+    retries0: u64,
+    helps0: u64,
+}
+
+/// Open a span for `phase` if the calling thread has a current trace
+/// (`None` otherwise — the untraced fast path is two TLS reads).
+#[inline]
+pub fn begin(phase: u64) -> Option<SpanGuard> {
+    let trace_id = current()?;
+    Some(SpanGuard {
+        trace_id,
+        phase,
+        start_ns: now_ns(),
+        retries0: RETRIES.with(|c| c.get()),
+        helps0: HELPS.with(|c| c.get()),
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        let retries = RETRIES.with(|c| c.get()).wrapping_sub(self.retries0);
+        let helps = HELPS.with(|c| c.get()).wrapping_sub(self.helps0);
+        record_span(self.trace_id, self.phase, self.start_ns, dur_ns, pack_events(retries, helps));
+    }
+}
+
+/// Every consistent span currently retained, merged across all stripe
+/// rings and sorted by `(trace_id, phase, start_ns, ticket)` — phase ids
+/// are pipeline-ordered, so the order (and hence a rendered exposition's
+/// line layout) is independent of raw timestamps. Allocates — dump-time
+/// only.
+pub fn snapshot() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for ring in RINGS.iter() {
+        out.extend(ring.snapshot());
+    }
+    out.sort_unstable_by_key(|s| (s.trace_id, s.phase, s.start_ns, s.ticket));
+    out
+}
+
+/// Total spans admitted across all stripe rings since start (or [`clear`]).
+pub fn recorded_total() -> u64 {
+    RINGS.iter().map(SpanRing::recorded).sum()
+}
+
+/// Total spans dropped to ring lapping since start (or [`clear`]).
+pub fn dropped_total() -> u64 {
+    RINGS.iter().map(SpanRing::dropped).sum()
+}
+
+/// Reset every stripe ring, the op counter, and the sampled-op tally.
+/// **Quiescent-only**: callers (the TRACE differential battery, tests)
+/// must ensure no op is in flight. Phase histograms are *not* reset — they
+/// are registry metrics, and registry readers work in deltas.
+pub fn clear() {
+    for ring in RINGS.iter() {
+        ring.clear();
+    }
+    // ORDERING: Relaxed — quiescent maintenance.
+    OP_SEQ.store(0, Ordering::Relaxed);
+    SAMPLED_OPS.store(0, Ordering::Relaxed);
+}
+
+/// Sum of the phase's duration histogram in nanoseconds (0 for an
+/// out-of-range id) — with the histogram's count, the delta primitive
+/// behind `bench_service`'s `attr_*_ns` columns.
+pub fn phase_sum_ns(phase: u64) -> u64 {
+    PHASE_HIST.get(phase as usize).map(Histogram::sum).unwrap_or(0)
+}
+
+static REGISTER: Once = Once::new();
+
+fn sum_ready() -> u64 {
+    PHASE_HIST[PHASE_READY as usize].sum()
+}
+fn sum_decode() -> u64 {
+    PHASE_HIST[PHASE_DECODE as usize].sum()
+}
+fn sum_shard() -> u64 {
+    PHASE_HIST[PHASE_SHARD as usize].sum()
+}
+fn sum_kcas() -> u64 {
+    PHASE_HIST[PHASE_KCAS as usize].sum()
+}
+fn sum_commit() -> u64 {
+    PHASE_HIST[PHASE_COMMIT as usize].sum()
+}
+fn sum_resp() -> u64 {
+    PHASE_HIST[PHASE_RESP as usize].sum()
+}
+fn sum_flush() -> u64 {
+    PHASE_HIST[PHASE_FLUSH as usize].sum()
+}
+fn sum_deliver() -> u64 {
+    PHASE_HIST[PHASE_DELIVER as usize].sum()
+}
+
+/// Register the tracer's instruments with the global registry (idempotent):
+/// per-phase duration histograms `trace_<phase>_ns`, their running sums
+/// `trace_<phase>_ns_sum` (the attribution delta primitive), and the
+/// sampler/ring tallies. Called by the server's metric registration so both
+/// backends expose the identical name set.
+pub fn register_metrics() {
+    REGISTER.call_once(|| {
+        crate::register("trace_sampled_total", Handle::Func(sampled_total));
+        crate::register("trace_spans_recorded_total", Handle::Func(recorded_total));
+        crate::register("trace_spans_dropped_total", Handle::Func(dropped_total));
+        crate::register("trace_ready_ns", Handle::Histogram(&PHASE_HIST[PHASE_READY as usize]));
+        crate::register("trace_ready_ns_sum", Handle::Func(sum_ready));
+        crate::register("trace_decode_ns", Handle::Histogram(&PHASE_HIST[PHASE_DECODE as usize]));
+        crate::register("trace_decode_ns_sum", Handle::Func(sum_decode));
+        crate::register("trace_shard_ns", Handle::Histogram(&PHASE_HIST[PHASE_SHARD as usize]));
+        crate::register("trace_shard_ns_sum", Handle::Func(sum_shard));
+        crate::register("trace_kcas_ns", Handle::Histogram(&PHASE_HIST[PHASE_KCAS as usize]));
+        crate::register("trace_kcas_ns_sum", Handle::Func(sum_kcas));
+        crate::register("trace_commit_ns", Handle::Histogram(&PHASE_HIST[PHASE_COMMIT as usize]));
+        crate::register("trace_commit_ns_sum", Handle::Func(sum_commit));
+        crate::register("trace_resp_ns", Handle::Histogram(&PHASE_HIST[PHASE_RESP as usize]));
+        crate::register("trace_resp_ns_sum", Handle::Func(sum_resp));
+        crate::register("trace_flush_ns", Handle::Histogram(&PHASE_HIST[PHASE_FLUSH as usize]));
+        crate::register("trace_flush_ns_sum", Handle::Func(sum_flush));
+        crate::register("trace_deliver_ns", Handle::Histogram(&PHASE_HIST[PHASE_DELIVER as usize]));
+        crate::register("trace_deliver_ns_sum", Handle::Func(sum_deliver));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the process-global sampler/ring state.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn sampler_is_deterministic_and_resettable() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        set_sample_every(4);
+        let picks: Vec<Option<u64>> = (0..8).map(|_| should_sample()).collect();
+        assert_eq!(picks[0], Some(0));
+        assert_eq!(picks[4], Some(4));
+        assert!(picks[1..4].iter().all(Option::is_none));
+        assert_eq!(sampled_total(), 2);
+        clear();
+        set_sample_every(1);
+        assert_eq!(should_sample(), Some(0));
+        assert_eq!(should_sample(), Some(1));
+        set_sample_every(0);
+        assert_eq!(should_sample(), None);
+        clear();
+        set_sample_every(DEFAULT_SAMPLE_EVERY);
+    }
+
+    #[test]
+    fn span_ring_keeps_last_n_in_order() {
+        let ring: SpanRing<8> = SpanRing::new();
+        for i in 0..20u64 {
+            assert_eq!(ring.record(i, i % 8, i * 100, i * 10, i), Some(i));
+        }
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.dropped(), 0);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 8);
+        let tickets: Vec<u64> = snap.iter().map(|s| s.ticket).collect();
+        assert_eq!(tickets, (12..20).collect::<Vec<_>>());
+        for s in &snap {
+            assert_eq!(s.trace_id, s.ticket);
+            assert_eq!(s.dur_ns, s.ticket * 10);
+            assert_eq!(s.start_ns, s.ticket * 100);
+        }
+        ring.clear();
+        assert_eq!(ring.recorded(), 0);
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn guard_records_phase_and_event_deltas() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        assert!(begin(PHASE_KCAS).is_none(), "no current trace, no guard");
+        set_current(Some(42));
+        let g = begin(PHASE_KCAS).expect("current trace set");
+        note_retry();
+        note_retry();
+        note_help();
+        drop(g);
+        set_current(None);
+        let spans = snapshot();
+        let span = spans
+            .iter()
+            .find(|s| s.trace_id == 42 && s.phase == PHASE_KCAS)
+            .expect("kcas span recorded");
+        assert_eq!(retries_of(span.events), 2);
+        assert_eq!(helps_of(span.events), 1);
+        clear();
+    }
+
+    #[test]
+    fn scratch_tracks_current_trace_phases() {
+        let _g = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        set_current(Some(7));
+        record_span(7, PHASE_DECODE, 100, 250, 0);
+        record_span(7, PHASE_KCAS, 400, 1000, 0);
+        // A different trace's span must not pollute this thread's scratch.
+        record_span(8, PHASE_KCAS, 500, 9999, 0);
+        let scratch = phase_scratch_ns();
+        assert_eq!(scratch[PHASE_DECODE as usize], 250);
+        assert_eq!(scratch[PHASE_KCAS as usize], 1000);
+        assert_eq!(scratch[PHASE_READY as usize], 0);
+        set_current(Some(9));
+        assert_eq!(phase_scratch_ns(), [0; PHASE_COUNT], "set_current resets scratch");
+        set_current(None);
+        clear();
+    }
+
+    #[test]
+    fn events_pack_and_unpack() {
+        let e = pack_events(3, 5);
+        assert_eq!(retries_of(e), 3);
+        assert_eq!(helps_of(e), 5);
+        let sat = pack_events(u64::MAX, u64::MAX);
+        assert_eq!(retries_of(sat), u32::MAX as u64);
+        assert_eq!(helps_of(sat), u32::MAX as u64);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(phase_name(PHASE_READY), "ready");
+        assert_eq!(phase_name(PHASE_KCAS), "kcas");
+        assert_eq!(phase_name(PHASE_DELIVER), "deliver");
+        assert_eq!(phase_name(99), "?");
+    }
+}

@@ -13,7 +13,8 @@ use std::sync::Arc;
 use telemetry::FlightRecorder;
 
 /// Derive every payload field from `key` so tearing is detectable:
-/// op = key + 1, latency = 10 * key, shard = key ^ MASK, backend = key % 7.
+/// op = key + 1, latency = 10 * key, shard = key ^ MASK, backend = key % 7,
+/// phases = key rotated left 7.
 const SHARD_MASK: u64 = 0xA5A5_A5A5;
 
 fn check_intact(r: &telemetry::FlightRecord) {
@@ -21,6 +22,7 @@ fn check_intact(r: &telemetry::FlightRecord) {
     assert_eq!(r.latency_ns, 10 * r.key, "torn record (latency): {r:?}");
     assert_eq!(r.shard, r.key ^ SHARD_MASK, "torn record (shard): {r:?}");
     assert_eq!(r.backend, r.key % 7, "torn record (backend): {r:?}");
+    assert_eq!(r.phases, r.key.rotate_left(7), "torn record (phases): {r:?}");
 }
 
 #[test]
@@ -39,8 +41,14 @@ fn concurrent_writers_never_tear_snapshots() {
                 let mut accepted = 0u64;
                 for i in 0..per {
                     let key = w * per + i;
-                    if let Some(ticket) = rec.record(key + 1, key, 10 * key, key ^ SHARD_MASK, key % 7)
-                    {
+                    if let Some(ticket) = rec.record(
+                        key + 1,
+                        key,
+                        10 * key,
+                        key ^ SHARD_MASK,
+                        key % 7,
+                        key.rotate_left(7),
+                    ) {
                         // Tickets are unique and the slot index is derived
                         // from them, so an accepted record was fully written.
                         assert!(ticket < writers * per);
@@ -103,7 +111,8 @@ fn single_writer_snapshot_is_exact() {
     // ring holds exactly the last N records in ticket order.
     let rec: FlightRecorder<4> = FlightRecorder::new();
     for key in 0..10u64 {
-        let ticket = rec.record(key + 1, key, 10 * key, key ^ SHARD_MASK, key % 7);
+        let ticket =
+            rec.record(key + 1, key, 10 * key, key ^ SHARD_MASK, key % 7, key.rotate_left(7));
         assert_eq!(ticket, Some(key));
     }
     assert_eq!(rec.recorded(), 10);

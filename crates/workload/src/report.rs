@@ -59,6 +59,27 @@ pub struct Row {
     /// divided by the mean (1.0 = perfectly even; 0.0 when the structure
     /// doesn't track per-shard loads).
     pub shard_imbalance: f64,
+    /// Mean nanoseconds a sampled op spent waiting for request bytes
+    /// (threads: the blocking frame read; reactor: its amortized share of
+    /// `epoll_wait`).  All `attr_*` columns are per-sampled-op means from
+    /// the span tracer's phase sums — 0.0 for `inproc` rows and whenever
+    /// tracing is disabled.
+    pub attr_ready_ns: f64,
+    /// Mean nanoseconds a sampled op spent in frame decode.
+    pub attr_decode_ns: f64,
+    /// Mean nanoseconds a sampled op spent in shard routing.
+    pub attr_shard_ns: f64,
+    /// Mean nanoseconds a sampled op spent executing on the structure (the
+    /// KCAS/map phase; retries and helping ride along as span events).
+    pub attr_kcas_ns: f64,
+    /// Mean nanoseconds a sampled op spent in the replication commit
+    /// (change-log append; 0.0 when the map is not replicated).
+    pub attr_commit_ns: f64,
+    /// Mean nanoseconds a sampled op spent encoding its response.
+    pub attr_resp_ns: f64,
+    /// Mean nanoseconds a sampled op spent in the batched flush (its
+    /// burst's socket write, charged to the burst's last sampled op).
+    pub attr_flush_ns: f64,
 }
 
 /// Run-wide metadata recorded at the top of the JSON report.
@@ -99,7 +120,11 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
              \"staleness_p999\": {}, \"backend\": \"{}\", \
              \"wire_read_syscalls\": {}, \"wire_write_syscalls\": {}, \
              \"reactor_wakeups\": {}, \"kcas_retries\": {}, \
-             \"shard_imbalance\": {:.3}}}{}\n",
+             \"shard_imbalance\": {:.3}, \
+             \"attr_ready_ns\": {:.1}, \"attr_decode_ns\": {:.1}, \
+             \"attr_shard_ns\": {:.1}, \"attr_kcas_ns\": {:.1}, \
+             \"attr_commit_ns\": {:.1}, \"attr_resp_ns\": {:.1}, \
+             \"attr_flush_ns\": {:.1}}}{}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -128,6 +153,13 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
             r.reactor_wakeups,
             r.kcas_retries,
             r.shard_imbalance,
+            r.attr_ready_ns,
+            r.attr_decode_ns,
+            r.attr_shard_ns,
+            r.attr_kcas_ns,
+            r.attr_commit_ns,
+            r.attr_resp_ns,
+            r.attr_flush_ns,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -138,17 +170,20 @@ pub fn to_json(meta: &Meta, rows: &[Row]) -> String {
 /// Render the rows as CSV with a header line (`BENCH_workloads.csv`).
 pub fn to_csv(rows: &[Row]) -> String {
     // New columns (staleness, then backend, then the PR 8 telemetry
-    // deltas) are appended after the existing ones, so consumers indexing
-    // by header name (or by the old column positions) keep working.
+    // deltas, then the PR 10 trace attribution means) are appended after
+    // the existing ones, so consumers indexing by header name (or by the
+    // old column positions) keep working.
     let mut s = String::from(
         "scenario,structure,threads,mops,total_ops,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,\
          saturated,scan_ops,scan_p50_ns,scan_p90_ns,scan_p99_ns,scan_p999_ns,\
          staleness_samples,staleness_p50,staleness_p90,staleness_p99,staleness_p999,backend,\
-         wire_read_syscalls,wire_write_syscalls,reactor_wakeups,kcas_retries,shard_imbalance\n",
+         wire_read_syscalls,wire_write_syscalls,reactor_wakeups,kcas_retries,shard_imbalance,\
+         attr_ready_ns,attr_decode_ns,attr_shard_ns,attr_kcas_ns,attr_commit_ns,attr_resp_ns,\
+         attr_flush_ns\n",
     );
     for r in rows {
         s.push_str(&format!(
-            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}\n",
+            "{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
             r.scenario,
             r.structure,
             r.threads,
@@ -176,7 +211,14 @@ pub fn to_csv(rows: &[Row]) -> String {
             r.wire_write_syscalls,
             r.reactor_wakeups,
             r.kcas_retries,
-            r.shard_imbalance
+            r.shard_imbalance,
+            r.attr_ready_ns,
+            r.attr_decode_ns,
+            r.attr_shard_ns,
+            r.attr_kcas_ns,
+            r.attr_commit_ns,
+            r.attr_resp_ns,
+            r.attr_flush_ns
         ));
     }
     s
@@ -221,6 +263,13 @@ mod tests {
                 reactor_wakeups: 0,
                 kcas_retries: 42,
                 shard_imbalance: 0.0,
+                attr_ready_ns: 0.0,
+                attr_decode_ns: 0.0,
+                attr_shard_ns: 0.0,
+                attr_kcas_ns: 0.0,
+                attr_commit_ns: 0.0,
+                attr_resp_ns: 0.0,
+                attr_flush_ns: 0.0,
             },
             Row {
                 scenario: "scan-heavy".into(),
@@ -242,6 +291,13 @@ mod tests {
                 reactor_wakeups: 321,
                 kcas_retries: 0,
                 shard_imbalance: 1.25,
+                attr_ready_ns: 120.5,
+                attr_decode_ns: 35.0,
+                attr_shard_ns: 12.25,
+                attr_kcas_ns: 210.0,
+                attr_commit_ns: 18.0,
+                attr_resp_ns: 44.0,
+                attr_flush_ns: 95.75,
             },
         ]
     }
@@ -269,6 +325,10 @@ mod tests {
         assert!(j.contains("\"kcas_retries\": 42"));
         assert!(j.contains("\"shard_imbalance\": 1.250"));
         assert!(j.contains("\"shard_imbalance\": 0.000"));
+        assert!(j.contains("\"attr_ready_ns\": 120.5"));
+        assert!(j.contains("\"attr_kcas_ns\": 210.0"));
+        assert!(j.contains("\"attr_flush_ns\": 95.8"));
+        assert!(j.contains("\"attr_flush_ns\": 0.0"));
         // No trailing comma before the closing bracket.
         assert!(!j.contains(",\n  ]"));
     }
@@ -278,13 +338,15 @@ mod tests {
         let c = to_csv(&sample_rows());
         assert_eq!(c.lines().count(), 3);
         assert!(c.starts_with("scenario,structure,threads"));
-        assert!(c
-            .lines()
-            .next()
-            .unwrap()
-            .ends_with("wire_read_syscalls,wire_write_syscalls,reactor_wakeups,kcas_retries,shard_imbalance"));
+        assert!(c.lines().next().unwrap().ends_with(
+            "kcas_retries,shard_imbalance,attr_ready_ns,attr_decode_ns,attr_shard_ns,\
+             attr_kcas_ns,attr_commit_ns,attr_resp_ns,attr_flush_ns"
+        ));
         assert!(c.contains("scan-heavy,int-bst-pathcas,4,3.2500"));
-        assert!(c.contains(",1,1600,800,1500,2500,3500,900,2,10,40,80,reactor,5000,1234,321,0,1.250\n"));
+        assert!(c.contains(
+            ",1,1600,800,1500,2500,3500,900,2,10,40,80,reactor,5000,1234,321,0,1.250,\
+             120.5,35.0,12.2,210.0,18.0,44.0,95.8\n"
+        ));
     }
 
     #[test]

@@ -35,6 +35,11 @@ fn seeded_violations_are_each_reported() {
         "fn f(a: &A) {\n    a.load(Ordering::Relaxed);\n}\n",
     );
     write(&root, "crates/server/src/lib.rs", "fn f() {\n    x.unwrap();\n}\n");
+    write(
+        &root,
+        "crates/server/src/reactor.rs",
+        "fn g(w: &mut W) {\n    let span = telemetry::trace::begin(PHASE_FLUSH);\n    let _ = w.flush();\n    drop(span);\n}\n",
+    );
 
     let vs = analyze(&root).unwrap();
     let count = |r: Rule| vs.iter().filter(|v| v.rule == r).count();
@@ -42,7 +47,8 @@ fn seeded_violations_are_each_reported() {
     assert_eq!(count(Rule::Safety), 1, "all findings: {vs:#?}");
     assert_eq!(count(Rule::Ordering), 1, "all findings: {vs:#?}");
     assert_eq!(count(Rule::Unwrap), 1, "all findings: {vs:#?}");
-    assert_eq!(vs.len(), 4, "all findings: {vs:#?}");
+    assert_eq!(count(Rule::SpanGuard), 1, "all findings: {vs:#?}");
+    assert_eq!(vs.len(), 5, "all findings: {vs:#?}");
     let _ = fs::remove_dir_all(&root);
 }
 
@@ -78,6 +84,22 @@ fn clean_seeded_tree_reports_nothing() {
         &root,
         "crates/server/src/lib.rs",
         "fn f() {\n    x.unwrap_or_default();\n    y.lock().unwrap_or_else(|e| e.into_inner());\n}\n",
+    );
+    write(
+        &root,
+        "crates/server/src/reactor.rs",
+        concat!(
+            "fn g(w: &mut W) {\n",
+            "    {\n",
+            "        let _decode_span = telemetry::trace::begin(PHASE_DECODE);\n",
+            "        decode(p);\n",
+            "    }\n",
+            "    let span = telemetry::trace::begin(PHASE_RESP);\n",
+            "    encode(&mut buf);\n",
+            "    drop(span);\n",
+            "    let _ = w.flush();\n",
+            "}\n",
+        ),
     );
 
     let vs = analyze(&root).unwrap();
